@@ -1,0 +1,26 @@
+# Convenience targets for the PEI reproduction.
+
+.PHONY: install test bench experiments quick clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+# Regenerate every table and figure (writes benchmarks/results/).
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Same, via the CLI (no pytest-benchmark timing around it).
+experiments:
+	python -m repro.bench run all --out benchmarks/results
+
+# Fast sanity pass: unit tests plus one cheap experiment.
+quick:
+	pytest tests/ -q
+	python -m repro.bench run fig10
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

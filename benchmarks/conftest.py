@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table/figure of the paper; its rendered
+report is printed (run pytest with ``-s`` to see it live) and persisted
+under ``benchmarks/results/`` so the output survives pytest's capture.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(report) -> None:
+    """Print an ExperimentReport and persist it to results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = str(report)
+    print()
+    print(text)
+    (RESULTS_DIR / f"{report.name}.txt").write_text(text + "\n")

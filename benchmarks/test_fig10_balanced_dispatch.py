@@ -1,0 +1,21 @@
+"""Figure 10: balanced dispatch (Section 7.4).
+
+Paper's shape: steering monitor-missing PEIs toward the less-loaded
+off-chip direction buys up to +25% on the read-dominated SC and SVM with
+large inputs, and never hurts the others.
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import fig10_balanced_dispatch
+
+
+def test_fig10(benchmark):
+    report = benchmark.pedantic(fig10_balanced_dispatch, rounds=1, iterations=1)
+    emit(report)
+    # SC is the paper's showcase: a 64 B input operand per PEI makes the
+    # request/response balance decisive.
+    assert report.data["SC"]["gain"] > 1.05
+    # Balanced dispatch must not significantly hurt any workload.
+    for name, row in report.data.items():
+        assert row["gain"] > 0.95

@@ -1,0 +1,31 @@
+"""Figure 11: PCU design-space exploration.
+
+Paper's shape: (a) going from one to four operand-buffer entries buys >30%
+and saturates after four; (b) the computation-logic issue width barely
+matters because PEI time is memory-dominated.
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import fig11a_operand_buffer, fig11b_issue_width
+
+
+def test_fig11a_operand_buffer(benchmark):
+    report = benchmark.pedantic(fig11a_operand_buffer, rounds=1, iterations=1)
+    emit(report)
+    speedup = dict(zip(report.data["entries"], report.data["speedup"]))
+    # One entry is markedly slower than four.
+    assert speedup[1] < 0.85
+    assert speedup[2] < 1.0
+    # Saturation beyond four entries.
+    assert abs(speedup[8] - 1.0) < 0.1
+    assert abs(speedup[16] - 1.0) < 0.1
+
+
+def test_fig11b_issue_width(benchmark):
+    report = benchmark.pedantic(fig11b_issue_width, rounds=1, iterations=1)
+    emit(report)
+    speedups = report.data["speedup"]
+    # Negligible effect across widths.
+    for value in speedups:
+        assert abs(value - 1.0) < 0.05

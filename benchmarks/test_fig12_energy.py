@@ -1,0 +1,24 @@
+"""Figure 12: memory-hierarchy energy of the three configurations.
+
+Paper's shape: Locality-Aware consumes the least energy at every input
+size; PIM-Only inflates off-chip link and DRAM energy on small inputs
+(+36% / +116%); memory-side PCUs are ~1.4% of HMC energy.
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import fig12_energy
+
+
+def test_fig12(benchmark):
+    report = benchmark.pedantic(fig12_energy, rounds=1, iterations=1)
+    emit(report)
+    small = report.data["small"]
+    large = report.data["large"]
+    # Small inputs: blanket offloading wastes DRAM and link energy.
+    assert small["pim-only"]["total"] > small["locality-aware"]["total"]
+    assert small["pim-only"]["dram"] > 1.5
+    # Large inputs: adaptive execution saves energy over Host-Only.
+    assert large["locality-aware"]["total"] <= large["host-only"]["total"] * 1.02
+    # Memory-side PCUs are a negligible share of in-cube energy.
+    assert report.data["mem_pcu_fraction"] < 0.05

@@ -1,0 +1,19 @@
+"""Figure 2: performance potential of one in-memory atomic add (PageRank).
+
+Paper's shape: in-memory execution wins on large graphs (up to +53%) and
+loses on cache-resident ones (down to -20% on p2p-Gnutella31).
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import fig2_pagerank_potential
+
+
+def test_fig2(benchmark):
+    report = benchmark.pedantic(fig2_pagerank_potential, rounds=1, iterations=1)
+    emit(report)
+    speedups = dict(zip(report.data["graphs"], report.data["speedup"]))
+    # Shape assertions: the small head of the suite loses, the tail wins.
+    assert speedups["soc-Slashdot0811"] < 1.0
+    assert speedups["soc-LiveJournal1"] > 1.0
+    assert speedups["soc-LiveJournal1"] > speedups["p2p-Gnutella31"]

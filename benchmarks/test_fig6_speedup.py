@@ -1,0 +1,33 @@
+"""Figure 6: speedup of the four configurations under three input sizes.
+
+Paper's shape: PIM-Only wins on large inputs (+44% GM) and loses on small
+ones (-20% GM); Locality-Aware tracks the winner at both extremes.
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import fig6_speedup
+from repro.bench.tables import geometric_mean
+
+
+def test_fig6(benchmark):
+    report = benchmark.pedantic(fig6_speedup, rounds=1, iterations=1)
+    emit(report)
+    gm = {
+        size: {
+            policy: geometric_mean([report.data[size][w][policy]
+                                    for w in report.data[size]])
+            for policy in ("host-only", "pim-only", "locality-aware")
+        }
+        for size in report.data
+    }
+    # Small inputs: offloading everything loses badly; Locality-Aware stays
+    # close to Host-Only.
+    assert gm["small"]["pim-only"] < 0.85
+    assert gm["small"]["locality-aware"] > gm["small"]["pim-only"]
+    # Large inputs: PIM-Only wins and Locality-Aware tracks it.
+    assert gm["large"]["pim-only"] > 1.0
+    assert gm["large"]["locality-aware"] > gm["large"]["host-only"]
+    # Host-Only never beats the idealized host.
+    for size in gm:
+        assert gm[size]["host-only"] <= 1.02

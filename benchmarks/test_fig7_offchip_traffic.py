@@ -1,0 +1,29 @@
+"""Figure 7: off-chip transfer of Host-Only and PIM-Only vs Ideal-Host.
+
+Paper's shape: PIM-Only cuts traffic on large inputs and inflates it by
+orders of magnitude on small, cache-resident ones (up to 502x on SC).
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import fig7_offchip_traffic
+from repro.bench.tables import geometric_mean
+
+
+def test_fig7(benchmark):
+    report = benchmark.pedantic(fig7_offchip_traffic, rounds=1, iterations=1)
+    emit(report)
+    small = report.data["small"]
+    large = report.data["large"]
+    # Small inputs: always-offload inflates traffic dramatically — the
+    # warm-started host moves (near) nothing while PIM-Only streams every
+    # PEI off chip.
+    for name in small:
+        assert small[name]["pim_bytes"] > 100 * (small[name]["ideal_bytes"] + 1024)
+    # Large inputs: PIM-Only moves less data than the host for the
+    # bandwidth-bound graph workloads.
+    for name in ("ATF", "PR", "SP", "WCC"):
+        assert large[name]["pim_bytes"] < large[name]["host_bytes"] * 1.05
+    # Host-Only's traffic matches Ideal-Host (same execution placement).
+    host_gm = geometric_mean([large[w]["host-only"] for w in large])
+    assert 0.9 < host_gm < 1.1

@@ -1,0 +1,28 @@
+"""Figure 8: PageRank across the nine-graph suite.
+
+Paper's shape: Locality-Aware's offload fraction grows monotonically-ish
+with graph size (0.3% on soc-Slashdot0811 up to 87% on cit-Patents), and
+its speedup tracks the better of Host-Only and PIM-Only throughout.
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import fig8_input_size_sweep
+
+
+def test_fig8(benchmark):
+    report = benchmark.pedantic(fig8_input_size_sweep, rounds=1, iterations=1)
+    emit(report)
+    graphs = report.data["graphs"]
+    fraction = dict(zip(graphs, report.data["pim_fraction"]))
+    aware = dict(zip(graphs, report.data["locality-aware"]))
+    host = dict(zip(graphs, report.data["host-only"]))
+    pim = dict(zip(graphs, report.data["pim-only"]))
+    # Adaptivity: tiny graphs stay on the host, huge graphs go to memory.
+    assert fraction["p2p-Gnutella31"] < 0.10
+    assert fraction["soc-LiveJournal1"] > 0.50
+    assert fraction["ljournal-2008"] > fraction["soc-Slashdot0811"]
+    # Locality-Aware never collapses to the loser's performance.
+    for graph in graphs:
+        floor = min(host[graph], pim[graph])
+        assert aware[graph] > floor * 0.95

@@ -1,0 +1,26 @@
+"""Figure 9: randomly mixed multiprogrammed workloads.
+
+Paper's shape: across 200 random two-application mixes, Locality-Aware's
+IPC throughput beats Host-Only and PIM-Only for the overwhelming majority.
+The default here runs REPRO_BENCH_MIXES (24) mixes; set it to 200 for the
+paper-scale sweep.
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import fig9_multiprogrammed
+from repro.bench.tables import geometric_mean
+
+
+def test_fig9(benchmark):
+    report = benchmark.pedantic(fig9_multiprogrammed, rounds=1, iterations=1)
+    emit(report)
+    aware = report.data["locality_aware"]
+    pim = report.data["pim_only"]
+    n = len(aware)
+    # Locality-Aware is at worst near Host-Only's throughput and clearly
+    # better than blanket offloading on the mean.
+    assert geometric_mean(aware) > 0.9
+    assert geometric_mean(aware) > geometric_mean(pim) * 0.95
+    # It is best-or-tied in the large majority of mixes.
+    assert report.data["wins"] >= int(0.6 * n)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Writing your own PEI workload with the public API.
+
+Implements a workload that is *not* in the paper — sparse
+matrix-vector multiplication (SpMV), the core of iterative solvers — using
+the PEI intrinsics, and runs it under all configurations.  SpMV's scatter
+update (`y[row] += value * x[col]`) is exactly the kind of irregular
+read-modify-write the FP-add PEI accelerates.
+
+This is the adoption path for downstream users: subclass Workload, allocate
+regions, do your real computation, and yield intrinsics alongside
+loads/stores.
+
+Run:  python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro import DispatchPolicy, System, Workload, scaled_config
+from repro.core.intrinsics import pfence, pim_fadd
+from repro.cpu.trace import Barrier, Compute, Load
+from repro.util.rng import make_rng
+from repro.workloads.base import ThreadChunks
+
+
+class SparseMatrixVector(Workload):
+    """y = A @ x for a random sparse matrix in COO form (column-major
+    scatter), with one FP-add PEI per non-zero."""
+
+    name = "SpMV"
+
+    def __init__(self, n=200_000, nnz_per_row=8, seed=42):
+        super().__init__(seed=seed)
+        self.n = n
+        self.nnz = n * nnz_per_row
+
+    def prepare(self, space):
+        self.space = space
+        rng = make_rng(self.seed, "spmv")
+        self.rows = rng.integers(0, self.n, size=self.nnz)
+        self.cols = np.sort(rng.integers(0, self.n, size=self.nnz))
+        self.values = rng.normal(size=self.nnz)
+        self.x = rng.normal(size=self.n)
+        self.y = np.zeros(self.n)
+        self._coo = space.alloc("spmv.coo", self.nnz * 24)  # row, col, value
+        self._x = space.alloc("spmv.x", self.n * 8)
+        self._y = space.alloc("spmv.y", self.n * 8)
+
+    def make_threads(self, n_threads):
+        return [self._thread(t, n_threads) for t in range(n_threads)]
+
+    def _thread(self, thread, n_threads):
+        chunks = ThreadChunks(self.nnz, n_threads)
+        for i in chunks.range(thread):
+            yield Load(self._coo.base + i * 24)  # stream the triple
+            yield Load(self._x.base + int(self.cols[i]) * 8)  # gather x[col]
+            yield Compute(2)  # value * x[col]
+            row = int(self.rows[i])
+            # The scatter: one atomic FP-add PEI into y[row].
+            yield pim_fadd(self.y, row,
+                           self._y.base + row * 8,
+                           float(self.values[i] * self.x[self.cols[i]]))
+        yield pfence()
+        yield Barrier()
+
+    def verify(self):
+        expected = np.zeros(self.n)
+        np.add.at(expected, self.rows, self.values * self.x[self.cols])
+        if not np.allclose(expected, self.y, rtol=1e-9, atol=1e-12):
+            raise AssertionError("SpMV result diverges from reference")
+
+
+def main():
+    print("Custom workload: SpMV (200K x 200K, 8 nnz/row) with FP-add PEIs\n")
+    results = {}
+    for policy in (DispatchPolicy.IDEAL_HOST, DispatchPolicy.HOST_ONLY,
+                   DispatchPolicy.PIM_ONLY, DispatchPolicy.LOCALITY_AWARE):
+        system = System(scaled_config(), policy)
+        workload = SparseMatrixVector()
+        results[policy] = system.run(workload, max_ops_per_thread=8000)
+
+    base = results[DispatchPolicy.IDEAL_HOST]
+    for policy, result in results.items():
+        print(f"  {policy.value:<17} {result.speedup_over(base):>6.3f}x, "
+              f"{100 * result.pim_fraction:>5.1f}% of PEIs in memory")
+
+    checked = SparseMatrixVector(n=2000)
+    System(scaled_config(), DispatchPolicy.LOCALITY_AWARE).run(checked)
+    checked.verify()
+    print("\nFunctional check (full 2K x 2K SpMV): y = A @ x verified.")
+
+
+if __name__ == "__main__":
+    main()

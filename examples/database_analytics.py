@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""In-memory database analytics with PEIs: hash join and radix partition.
+
+Demonstrates the output-producing PIM operations of Section 5.2: hash-table
+probing (a 9-byte match-and-next-pointer result per chain hop, overlapped
+four probes at a time exactly as the paper's unrolled software does) and
+histogram bin indexing (16 bin indexes per cache block).  Results are
+checked against reference joins/partitions.
+
+Run:  python examples/database_analytics.py
+"""
+
+from repro import DispatchPolicy, System, scaled_config
+from repro.workloads.analytics import HashJoin, RadixPartition
+
+
+def show(title, results, extra=""):
+    print(title)
+    base = results[DispatchPolicy.HOST_ONLY]
+    for policy, result in results.items():
+        marker = " <-- adaptive" if policy is DispatchPolicy.LOCALITY_AWARE else ""
+        print(f"  {policy.value:<17} {base.cycles / result.cycles:>6.3f}x "
+              f"vs host-only, {100 * result.pim_fraction:>5.1f}% in memory"
+              f"{marker}")
+    if extra:
+        print(f"  {extra}")
+    print()
+
+
+def main():
+    policies = [DispatchPolicy.HOST_ONLY, DispatchPolicy.PIM_ONLY,
+                DispatchPolicy.LOCALITY_AWARE]
+
+    # Hash join: a large build table (pointer-chased probes) -------------
+    results = {}
+    matches = None
+    for policy in policies:
+        system = System(scaled_config(), policy)
+        join = HashJoin(build_rows=262_144, probe_rows=16_384)
+        results[policy] = system.run(join, max_ops_per_thread=8000)
+    join_small = HashJoin(build_rows=2_048, probe_rows=8_192)
+    System(scaled_config(), DispatchPolicy.LOCALITY_AWARE).run(join_small)
+    join_small.verify()
+    show("Hash join, 256K-row build table (exceeds the LLC):", results,
+         extra=f"(functional check on a full small join: "
+               f"{join_small.matches} matches verified)")
+
+    # Radix partitioning: repeated passes over the same relation ---------
+    results = {}
+    for policy in policies:
+        system = System(scaled_config(), policy)
+        partition = RadixPartition(n_rows=16_384, passes=3)
+        results[policy] = system.run(partition)
+    check = RadixPartition(n_rows=4_096, passes=1)
+    System(scaled_config(), DispatchPolicy.LOCALITY_AWARE).run(check)
+    check.verify()
+    show("Radix partition, 16K rows x 3 passes (cache-resident reuse):",
+         results,
+         extra="(functional check: 4K rows partitioned into 256 radix "
+               "buckets, stable order verified)")
+
+    print("Note the flip: the cache-hostile join favours memory-side")
+    print("execution, while the reuse-heavy partitioning stays on the host —")
+    print("the same binary, steered per cache block by the locality monitor.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Graph analytics across input scales: the paper's adaptivity story.
+
+Runs PageRank over a range of synthetic power-law graphs (stand-ins for the
+paper's nine real-world graphs, Figures 2 and 8) and shows how the
+locality-aware architecture shifts PEIs from host-side PCUs to memory-side
+PCUs as the graph outgrows the last-level cache — while the functional
+result (the actual PageRank values) stays bit-identical to the reference.
+
+Run:  python examples/graph_analytics.py
+"""
+
+import numpy as np
+
+from repro import DispatchPolicy, System, scaled_config
+from repro.workloads.graph import PageRank
+from repro.workloads.graph.generators import GRAPH_SUITE
+
+# A spread of the suite: small, medium, large.
+GRAPHS = ["p2p-Gnutella31", "web-Stanford", "frwiki-2013", "cit-Patents"]
+
+
+def main():
+    config = scaled_config()
+    print(f"LLC: {config.l3_size // 1024} KB; locality monitor mirrors its "
+          f"{config.l3_sets} sets x {config.l3_ways} ways\n")
+    print(f"{'graph':<18} {'vertices':>9} {'footprint':>10} {'PIM %':>7} "
+          f"{'vs host-only':>13}")
+    print("-" * 62)
+    for name in GRAPHS:
+        spec = GRAPH_SUITE[name]
+
+        def run(policy):
+            system = System(config, policy)
+            workload = PageRank(graph_name=name, iterations=2)
+            result = system.run(workload, max_ops_per_thread=6000)
+            return workload, result
+
+        _, host = run(DispatchPolicy.HOST_ONLY)
+        workload, aware = run(DispatchPolicy.LOCALITY_AWARE)
+        footprint_kb = workload.footprint // 1024
+        print(f"{name:<18} {spec.n_vertices:>9} {footprint_kb:>9}K "
+              f"{100 * aware.pim_fraction:>6.1f}% "
+              f"{host.cycles / aware.cycles:>13.3f}")
+
+        top = np.argsort(workload.pagerank)[-3:][::-1]
+        ranks = ", ".join(f"v{v}={workload.pagerank[v]:.2e}" for v in top)
+        print(f"{'':<18} top ranks: {ranks}")
+    # Functional check on an uncapped run: execution location never
+    # changes the computed ranks.
+    checked = PageRank(graph_name="p2p-Gnutella31", iterations=2)
+    System(config, DispatchPolicy.LOCALITY_AWARE).run(checked)
+    checked.verify()
+    print("\nFunctional check: PageRank values on p2p-Gnutella31 match the")
+    print("reference bit-for-bit under locality-aware execution.")
+    print("PIM % grows with graph size: the locality monitor keeps hot,")
+    print("cache-resident vertices on the host and offloads the long tail.")
+
+
+if __name__ == "__main__":
+    main()

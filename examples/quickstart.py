@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload under every configuration of the paper.
+
+Simulates parallel PageRank (the paper's Figure 1 kernel) on a scaled
+frwiki-2013 stand-in under the four evaluated configurations and prints a
+speedup table plus the key per-run statistics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DispatchPolicy, System, make_workload, scaled_config
+
+POLICIES = [
+    DispatchPolicy.IDEAL_HOST,
+    DispatchPolicy.HOST_ONLY,
+    DispatchPolicy.PIM_ONLY,
+    DispatchPolicy.LOCALITY_AWARE,
+]
+
+
+def main():
+    print("Simulating PageRank (medium input: frwiki-2013, scaled) ...\n")
+    results = {}
+    for policy in POLICIES:
+        # A fresh System per run: every configuration starts cold.
+        system = System(scaled_config(), policy)
+        workload = make_workload("PR", "medium")
+        results[policy] = system.run(workload, max_ops_per_thread=8000)
+
+    baseline = results[DispatchPolicy.IDEAL_HOST]
+    header = (f"{'configuration':<18} {'speedup':>8} {'PEIs in memory':>15} "
+              f"{'off-chip MB':>12} {'DRAM accesses':>14}")
+    print(header)
+    print("-" * len(header))
+    for policy, result in results.items():
+        print(f"{policy.value:<18} "
+              f"{result.speedup_over(baseline):>8.3f} "
+              f"{100 * result.pim_fraction:>14.1f}% "
+              f"{result.offchip_bytes / 1e6:>12.2f} "
+              f"{result.dram_accesses:>14.0f}")
+
+    aware = results[DispatchPolicy.LOCALITY_AWARE]
+    print(f"\nLocality-Aware executed {aware.peis_executed:.0f} PEIs, "
+          f"{100 * aware.pim_fraction:.1f}% of them on memory-side PCUs.")
+    print(f"Energy (Locality-Aware): {aware.energy.total_pj / 1e6:.2f} uJ, "
+          f"of which DRAM {aware.energy.dram_pj / 1e6:.2f} uJ and "
+          f"off-chip links {aware.energy.offchip_pj / 1e6:.2f} uJ.")
+
+
+if __name__ == "__main__":
+    main()

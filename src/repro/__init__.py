@@ -1,0 +1,66 @@
+"""repro: a reproduction of "PIM-Enabled Instructions" (ISCA 2015).
+
+A locality-aware processing-in-memory architecture simulator: PIM-enabled
+instructions (PEIs) executed either on host-side PCUs or inside HMC vaults,
+coordinated by a PEI Management Unit with a tag-less PIM directory and an
+L3-mirrored locality monitor.
+
+Quickstart::
+
+    from repro import DispatchPolicy, System, make_workload, scaled_config
+
+    system = System(scaled_config(), DispatchPolicy.LOCALITY_AWARE)
+    result = system.run(make_workload("PR", "medium"),
+                        max_ops_per_thread=20_000)
+    print(result.cycles, result.pim_fraction)
+"""
+
+from repro.core.dispatch import DispatchPolicy
+from repro.core.isa import (
+    DOT_PRODUCT,
+    EUCLIDEAN_DIST,
+    FP_ADD,
+    HASH_PROBE,
+    HISTOGRAM_BIN,
+    INT_INCREMENT,
+    INT_MIN,
+    PIM_OPS,
+    PimOp,
+)
+from repro.system.config import SystemConfig, paper_config, scaled_config, tiny_config
+from repro.system.result import RunResult
+from repro.system.system import System
+from repro.workloads import (
+    INPUT_SIZES,
+    MultiprogrammedWorkload,
+    WORKLOAD_NAMES,
+    Workload,
+    make_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DOT_PRODUCT",
+    "DispatchPolicy",
+    "EUCLIDEAN_DIST",
+    "FP_ADD",
+    "HASH_PROBE",
+    "HISTOGRAM_BIN",
+    "INPUT_SIZES",
+    "INT_INCREMENT",
+    "INT_MIN",
+    "MultiprogrammedWorkload",
+    "PIM_OPS",
+    "PimOp",
+    "RunResult",
+    "System",
+    "SystemConfig",
+    "WORKLOAD_NAMES",
+    "Workload",
+    "__version__",
+    "make_workload",
+    "paper_config",
+    "scaled_config",
+    "tiny_config",
+]

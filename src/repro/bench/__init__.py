@@ -1,0 +1,13 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.bench.runner import BenchSettings, run_config, run_workload
+from repro.bench.tables import format_series, format_table, geometric_mean
+
+__all__ = [
+    "BenchSettings",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "run_config",
+    "run_workload",
+]

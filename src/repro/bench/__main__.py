@@ -1,0 +1,63 @@
+"""Command-line entry point for regenerating the paper's experiments.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench run fig8
+    python -m repro.bench run all
+
+Results are printed and, with ``--out DIR``, persisted one text file per
+experiment.
+"""
+
+import argparse
+import pathlib
+import sys
+
+from repro.bench import experiments
+
+EXPERIMENTS = {
+    "fig2": experiments.fig2_pagerank_potential,
+    "fig6": experiments.fig6_speedup,
+    "fig7": experiments.fig7_offchip_traffic,
+    "fig8": experiments.fig8_input_size_sweep,
+    "fig9": experiments.fig9_multiprogrammed,
+    "fig10": experiments.fig10_balanced_dispatch,
+    "fig11a": experiments.fig11a_operand_buffer,
+    "fig11b": experiments.fig11b_issue_width,
+    "sec76": experiments.sec76_pmu_overhead,
+    "fig12": experiments.fig12_energy,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the tables and figures of the PEI paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    run.add_argument("--out", type=pathlib.Path, default=None,
+                     help="directory to write <experiment>.txt files into")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, fn in sorted(EXPERIMENTS.items()):
+            summary = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<8} {summary}")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        report = EXPERIMENTS[name]()
+        print(report)
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(str(report) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

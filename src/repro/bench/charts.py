@@ -1,0 +1,65 @@
+"""ASCII bar charts for figure-style benchmark output.
+
+The paper's figures are grouped bar charts; rendering the regenerated data
+the same way makes shape comparisons (who wins, where the crossover falls)
+readable directly in a terminal or a results file.
+"""
+
+from typing import Dict, List, Sequence
+
+FULL, PARTIALS = "█", " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    if scale <= 0:
+        return ""
+    cells = max(0.0, value) / scale * width
+    whole = int(cells)
+    frac = int((cells - whole) * 8)
+    bar = FULL * whole
+    if frac and whole < width:
+        bar += PARTIALS[frac]
+    return bar
+
+
+def bar_chart(
+    labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    width: int = 40,
+    baseline: float = None,
+    title: str = "",
+) -> str:
+    """Render grouped horizontal bars.
+
+    ``series`` maps a series name (e.g. a configuration) to one value per
+    label (e.g. a workload).  If ``baseline`` is given, a marker column is
+    drawn at that value (the paper's figures normalize to Ideal-Host = 1).
+    """
+    if not series:
+        return title
+    peak = max(max(values) for values in series.values())
+    if baseline is not None:
+        peak = max(peak, baseline)
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(str(l)) for l in labels)
+    name_w = max(len(name) for name in series)
+    marker = None
+    if baseline is not None:
+        marker = int(baseline / peak * width)
+    lines: List[str] = [title] if title else []
+    for i, label in enumerate(labels):
+        for j, (name, values) in enumerate(series.items()):
+            bar = _bar(values[i], peak, width)
+            row = list(bar.ljust(width + 1))
+            if marker is not None and marker <= width:
+                if row[marker] == " ":
+                    row[marker] = "|"
+            prefix = str(label).ljust(label_w) if j == 0 else " " * label_w
+            lines.append(
+                f"{prefix}  {name.ljust(name_w)} {''.join(row)} {values[i]:.3f}"
+            )
+        lines.append("")
+    if baseline is not None:
+        lines.append(f"('|' marks the {baseline:g} baseline)")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,85 @@
+"""Shared experiment runner with result memoization.
+
+Several figures consume the same underlying runs (Fig. 6's speedups and
+Fig. 7's traffic and Fig. 12's energy all come from the same simulations),
+so the runner memoizes RunResults by their full parameterization.
+
+Environment knobs (for quick or exhaustive regeneration):
+
+* ``REPRO_BENCH_OPS`` — operations per thread per run (default 8000);
+* ``REPRO_BENCH_MIXES`` — multiprogrammed mixes for Fig. 9 (default 24,
+  paper used 200).
+"""
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.dispatch import DispatchPolicy
+from repro.system.config import SystemConfig, scaled_config
+from repro.system.result import RunResult
+from repro.system.system import System
+from repro.workloads.base import Workload
+from repro.workloads.registry import make_workload
+
+
+@dataclass(frozen=True)
+class BenchSettings:
+    """Global defaults for all benchmark experiments."""
+
+    max_ops_per_thread: int = int(os.environ.get("REPRO_BENCH_OPS", 8000))
+    n_mixes: int = int(os.environ.get("REPRO_BENCH_MIXES", 24))
+    seed: int = 42
+
+
+SETTINGS = BenchSettings()
+
+_CACHE: Dict[Tuple, RunResult] = {}
+
+
+def run_workload(
+    workload: Workload,
+    policy: DispatchPolicy,
+    config: Optional[SystemConfig] = None,
+    max_ops_per_thread: Optional[int] = None,
+) -> RunResult:
+    """Run an already-constructed workload on a fresh system (uncached)."""
+    system = System(config if config is not None else scaled_config(), policy)
+    if max_ops_per_thread is None:
+        max_ops_per_thread = SETTINGS.max_ops_per_thread
+    return system.run(workload, max_ops_per_thread=max_ops_per_thread)
+
+
+def run_config(
+    name: str,
+    size: str,
+    policy: DispatchPolicy,
+    config: Optional[SystemConfig] = None,
+    max_ops_per_thread: Optional[int] = None,
+    seed: Optional[int] = None,
+    **workload_overrides,
+) -> RunResult:
+    """Run a registry workload under one configuration (memoized)."""
+    if seed is None:
+        seed = SETTINGS.seed
+    if max_ops_per_thread is None:
+        max_ops_per_thread = SETTINGS.max_ops_per_thread
+    key = (
+        name,
+        size,
+        policy,
+        config if config is not None else "default",
+        max_ops_per_thread,
+        seed,
+        tuple(sorted(workload_overrides.items())),
+    )
+    result = _CACHE.get(key)
+    if result is None:
+        workload = make_workload(name, size, seed=seed, **workload_overrides)
+        result = run_workload(workload, policy, config, max_ops_per_thread)
+        _CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

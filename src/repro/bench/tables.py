@@ -1,0 +1,39 @@
+"""Plain-text table and series formatting for benchmark output."""
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's 'GM' aggregate in Fig. 6)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned plain-text table."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append([
+            f"{cell:.3f}" if isinstance(cell, float) else str(cell)
+            for cell in row
+        ])
+    widths = [max(len(r[c]) for r in rendered) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for i, row in enumerate(rendered):
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence[float]) -> str:
+    """Render one named figure series as 'x=y' pairs."""
+    pairs = ", ".join(f"{x}={y:.3f}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

@@ -1,0 +1,358 @@
+"""Inclusive L1/L2/L3 hierarchy with MESI-lite directory coherence.
+
+Functional on tags: every access updates presence, dirtiness, the sharer set
+and the modified-owner of the target block, and returns a latency composed of
+crossbar, L3-bank and memory occupancies.  Two properties matter for the PEI
+architecture and are enforced here:
+
+* **Inclusion** — a block present in any private L1/L2 is present in the L3;
+  evicting a block from the L3 back-invalidates the private copies.  This is
+  what lets the PMU clean a block for memory-side execution by probing only
+  the L3 directory (Section 4.3, "Cache Coherence Management").
+* **Single-writer** — a block dirty in one core's private caches is in no
+  other core's caches; a write to a shared block invalidates other sharers.
+
+The hierarchy exposes ``flush_block`` implementing both back-invalidation
+(writer PEIs) and back-writeback (reader PEIs), and an ``l3_observer`` hook
+through which the PMU's locality monitor sees every last-level-cache access.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.cache.array import SetAssocArray
+from repro.mem.hmc import HmcSystem
+from repro.sim.resource import BankedResource
+from repro.sim.stats import Stats
+from repro.util.bitops import ilog2
+from repro.xbar.crossbar import Crossbar
+
+#: Hit levels reported by :meth:`CacheHierarchy.access`.
+L1, L2, L3, MEMORY = "l1", "l2", "l3", "mem"
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one load/store: completion time and the level that hit."""
+
+    finish: float
+    level: str
+
+
+class CacheHierarchy:
+    """The on-chip cache subsystem shared by host cores and host-side PCUs."""
+
+    def __init__(
+        self,
+        n_cores: int,
+        block_size: int,
+        l1_sets: int,
+        l1_ways: int,
+        l2_sets: int,
+        l2_ways: int,
+        l3_sets: int,
+        l3_ways: int,
+        l1_latency: float,
+        l2_latency: float,
+        l3_latency: float,
+        l3_banks: int,
+        l3_bank_occupancy: float,
+        crossbar: Crossbar,
+        hmc: HmcSystem,
+        stats: Stats,
+        cache_to_cache_penalty: float = 20.0,
+        replacement_policy: str = "lru",
+    ):
+        self.n_cores = n_cores
+        self.block_bits = ilog2(block_size)
+        self.block_size = block_size
+        self.l1 = [SetAssocArray(l1_sets, l1_ways, replacement_policy)
+                   for _ in range(n_cores)]
+        self.l2 = [SetAssocArray(l2_sets, l2_ways, replacement_policy)
+                   for _ in range(n_cores)]
+        self.l3 = SetAssocArray(l3_sets, l3_ways, replacement_policy)
+        self.l1_latency = l1_latency
+        self.l2_latency = l2_latency
+        self.l3_latency = l3_latency
+        self.l3_banks = BankedResource("l3.bank", l3_banks)
+        self.l3_bank_occupancy = l3_bank_occupancy
+        self.crossbar = crossbar
+        self.hmc = hmc
+        self.stats = stats
+        self.cache_to_cache_penalty = cache_to_cache_penalty
+        # Directory state: which cores hold private copies, and which single
+        # core (if any) holds the block modified.
+        self.sharers: Dict[int, Set[int]] = {}
+        self.owner: Dict[int, Optional[int]] = {}
+        # Locality-monitor hook: called with the block number of every L3
+        # access (hits and misses alike), mirroring the paper's monitor
+        # update rule.
+        self.l3_observer: Optional[Callable[[int], None]] = None
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def block_of(self, addr: int) -> int:
+        return addr >> self.block_bits
+
+    def block_addr(self, block: int) -> int:
+        return block << self.block_bits
+
+    def _fill_private(self, core: int, block: int, dirty: bool, time: float) -> None:
+        """Install ``block`` into core's L1 and L2, handling evictions."""
+        victim = self.l2[core].insert(block, dirty=False)
+        if victim is not None:
+            self._retire_private_victim(core, victim, time)
+        victim = self.l1[core].insert(block, dirty=dirty)
+        if victim is not None:
+            v_block, v_dirty = victim
+            if v_dirty:
+                # Dirty L1 victim folds into the L2 copy (or re-installs).
+                evicted = self.l2[core].insert(v_block, dirty=True)
+                if evicted is not None:
+                    self._retire_private_victim(core, evicted, time)
+                self.l2[core].mark_dirty(v_block)
+            else:
+                self._drop_private_if_absent(core, v_block)
+
+    def _retire_private_victim(self, core: int, victim: Tuple[int, bool], time: float) -> None:
+        """An L2 eviction: dirty data folds into the (inclusive) L3."""
+        v_block, v_dirty = victim
+        if self.l1[core].contains(v_block):
+            # L1 still holds it: the private copy survives, and the evicted
+            # L2 copy's dirtiness folds into the surviving L1 line.
+            if v_dirty:
+                self.l1[core].mark_dirty(v_block)
+            return
+        if v_dirty:
+            self.l3.mark_dirty(v_block)
+            if self.owner.get(v_block) == core:
+                self.owner[v_block] = None
+            self.stats.add("l2.writebacks")
+        self._remove_sharer(v_block, core)
+
+    def _drop_private_if_absent(self, core: int, block: int) -> None:
+        """After an L1 eviction, update the sharer set if L2 lacks it too."""
+        if not self.l2[core].contains(block):
+            self._remove_sharer(block, core)
+            if self.owner.get(block) == core:
+                # Clean eviction of an owned block cannot happen (owned blocks
+                # are dirty), but guard anyway.
+                self.owner[block] = None
+
+    def _remove_sharer(self, block: int, core: int) -> None:
+        holders = self.sharers.get(block)
+        if holders is not None:
+            holders.discard(core)
+            if not holders:
+                del self.sharers[block]
+
+    def _add_sharer(self, block: int, core: int) -> None:
+        self.sharers.setdefault(block, set()).add(core)
+
+    def _invalidate_other_sharers(self, block: int, core: int) -> float:
+        """Invalidate every private copy except core's; return added latency."""
+        holders = self.sharers.get(block)
+        if not holders:
+            return 0.0
+        others = [c for c in holders if c != core]
+        if not others:
+            return 0.0
+        for other in others:
+            dirty1 = self.l1[other].remove(block)
+            dirty2 = self.l2[other].remove(block)
+            if dirty1 or dirty2:
+                # The previous owner's data folds into the L3 copy.
+                self.l3.mark_dirty(block)
+            self._remove_sharer(block, other)
+            self.stats.add("coherence.invalidations")
+        if self.owner.get(block) not in (None, core):
+            self.owner[block] = None
+        return 2.0 * self.crossbar.latency
+
+    # ------------------------------------------------------------------
+    # The main access path
+    # ------------------------------------------------------------------
+
+    def access(self, core: int, addr: int, is_write: bool, time: float) -> AccessResult:
+        """Perform a load (``is_write=False``) or store by ``core``.
+
+        Returns the completion time and the level that serviced the access.
+        Store misses are write-allocate.
+        """
+        block = self.block_of(addr)
+        self.stats.add("l1.accesses")
+        # L1
+        if self.l1[core].lookup(block):
+            self.stats.add("l1.hits")
+            latency = self.l1_latency
+            if is_write:
+                latency += self._promote_to_owner(block, core)
+                self.l1[core].mark_dirty(block)
+            return AccessResult(time + latency, L1)
+        # L2
+        self.stats.add("l2.accesses")
+        if self.l2[core].lookup(block):
+            self.stats.add("l2.hits")
+            latency = self.l2_latency
+            if is_write:
+                latency += self._promote_to_owner(block, core)
+            victim = self.l1[core].insert(block, dirty=is_write)
+            if victim is not None:
+                v_block, v_dirty = victim
+                if v_dirty:
+                    evicted = self.l2[core].insert(v_block, dirty=True)
+                    if evicted is not None:
+                        self._retire_private_victim(core, evicted, time)
+                    self.l2[core].mark_dirty(v_block)
+                else:
+                    self._drop_private_if_absent(core, v_block)
+            if is_write:
+                self.l1[core].mark_dirty(block)
+            return AccessResult(time + latency, L2)
+        # L3 (via crossbar)
+        t = self.crossbar.traverse(core, time, 16)
+        t = self.l3_banks.acquire(block, t, self.l3_bank_occupancy)
+        t += self.l3_latency
+        self.stats.add("l3.accesses")
+        if self.l3_observer is not None:
+            self.l3_observer(block)
+        if self.l3.lookup(block):
+            self.stats.add("l3.hits")
+            level = L3
+            t += self._collect_remote_copy(block, core, is_write)
+        else:
+            level = MEMORY
+            self.stats.add("l3.misses")
+            t = self.hmc.read_block(t, self.block_addr(block))
+            self._install_in_l3(block, time)
+        if is_write:
+            t += self._promote_to_owner(block, core)
+        # Response crosses the crossbar back to the core.
+        t = self.crossbar.traverse(core, t, self.block_size + 16)
+        self._add_sharer(block, core)
+        self._fill_private(core, block, dirty=is_write, time=time)
+        return AccessResult(t, level)
+
+    def _promote_to_owner(self, block: int, core: int) -> float:
+        """Give ``core`` exclusive write ownership of ``block``."""
+        latency = self._invalidate_other_sharers(block, core)
+        self.owner[block] = core
+        return latency
+
+    def _collect_remote_copy(self, block: int, core: int, is_write: bool) -> float:
+        """Handle an L3 hit whose latest data lives in another core's cache."""
+        own = self.owner.get(block)
+        if own is None or own == core:
+            return 0.0
+        # Cache-to-cache transfer: the owner's dirty data folds into the L3.
+        dirty1 = self.l1[own].is_dirty(block)
+        dirty2 = self.l2[own].is_dirty(block)
+        if dirty1 or dirty2:
+            self.l3.mark_dirty(block)
+        if is_write:
+            self.l1[own].remove(block)
+            self.l2[own].remove(block)
+            self._remove_sharer(block, own)
+        else:
+            self.l1[own].mark_clean(block)
+            self.l2[own].mark_clean(block)
+        self.owner[block] = None
+        self.stats.add("coherence.cache_to_cache")
+        return self.cache_to_cache_penalty
+
+    def _install_in_l3(self, block: int, time: float) -> None:
+        """Insert a memory-fetched block into the L3, evicting inclusively."""
+        victim = self.l3.insert(block, dirty=False)
+        if victim is None:
+            return
+        v_block, v_dirty = victim
+        # Inclusion: revoke every private copy of the victim.
+        holders = self.sharers.pop(v_block, set())
+        for holder in holders:
+            d1 = self.l1[holder].remove(v_block)
+            d2 = self.l2[holder].remove(v_block)
+            v_dirty = v_dirty or bool(d1) or bool(d2)
+            self.stats.add("coherence.back_invalidations")
+        self.owner.pop(v_block, None)
+        if v_dirty:
+            self.stats.add("l3.writebacks")
+            self.hmc.write_block(time, self.block_addr(v_block))
+
+    # ------------------------------------------------------------------
+    # PMU-facing operations
+    # ------------------------------------------------------------------
+
+    def present(self, block: int) -> bool:
+        """True if the block has any copy on chip (no side effects)."""
+        return self.l3.contains(block) or block in self.sharers
+
+    def flush_block(self, block: int, invalidate: bool, time: float) -> Tuple[float, bool]:
+        """Back-invalidate (writer PEI) or back-writeback (reader PEI).
+
+        Returns ``(ready_time, wrote_back)`` where ``ready_time`` is when
+        main memory holds the latest data (a memory-side PIM operation must
+        not start before it), and ``wrote_back`` says whether dirty data
+        actually moved off chip.
+        """
+        if not self.present(block):
+            return time, False
+        latency = self.l3_latency + self.crossbar.latency
+        dirty = self.l3.is_dirty(block)
+        holders = list(self.sharers.get(block, ()))
+        for holder in holders:
+            if invalidate:
+                d1 = self.l1[holder].remove(block)
+                d2 = self.l2[holder].remove(block)
+            else:
+                d1 = self.l1[holder].is_dirty(block)
+                d2 = self.l2[holder].is_dirty(block)
+                self.l1[holder].mark_clean(block)
+                self.l2[holder].mark_clean(block)
+            dirty = dirty or bool(d1) or bool(d2)
+        if invalidate:
+            self.sharers.pop(block, None)
+            self.owner.pop(block, None)
+            self.l3.remove(block)
+            self.stats.add("pmu.back_invalidations")
+        else:
+            self.owner[block] = None
+            self.l3.mark_clean(block)
+            self.stats.add("pmu.back_writebacks")
+        ready = time + latency
+        if dirty:
+            ready = self.hmc.write_block(ready, self.block_addr(block))
+            return ready, True
+        return ready, False
+
+    # ------------------------------------------------------------------
+    # Introspection / invariant checks (used heavily by the test suite)
+    # ------------------------------------------------------------------
+
+    def check_inclusion(self) -> List[int]:
+        """Return blocks violating inclusion (private copy without L3 copy)."""
+        violations = []
+        for core in range(self.n_cores):
+            for array in (self.l1[core], self.l2[core]):
+                for line_set in array.sets:
+                    for block in line_set:
+                        if not self.l3.contains(block):
+                            violations.append(block)
+        return violations
+
+    def check_single_writer(self) -> List[int]:
+        """Return blocks dirty in more than one core's private caches."""
+        violations = []
+        seen: Dict[int, int] = {}
+        for core in range(self.n_cores):
+            for array in (self.l1[core], self.l2[core]):
+                for line_set in array.sets:
+                    for block, dirty in line_set.items():
+                        if not dirty:
+                            continue
+                        prev = seen.get(block)
+                        if prev is not None and prev != core:
+                            violations.append(block)
+                        seen[block] = core
+        return violations

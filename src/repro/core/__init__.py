@@ -1,0 +1,52 @@
+"""The paper's primary contribution: PIM-enabled instructions.
+
+This package implements the PEI abstraction (Section 3) and the hardware
+that realizes it (Section 4):
+
+* :mod:`repro.core.isa` — the seven PIM operations of Table 1;
+* :mod:`repro.core.pcu` — PEI Computation Units with operand buffers;
+* :mod:`repro.core.pim_directory` — the tag-less reader-writer lock table;
+* :mod:`repro.core.locality_monitor` — the L3-mirrored locality tag array;
+* :mod:`repro.core.dispatch` — host/memory execution-location policies,
+  including locality-aware and balanced dispatch;
+* :mod:`repro.core.pmu` — the PEI Management Unit tying the above together;
+* :mod:`repro.core.executor` — the host-side (Fig. 4) and memory-side
+  (Fig. 5) execution sequences.
+"""
+
+from repro.core.dispatch import DispatchPolicy
+from repro.core.executor import PeiExecutor
+from repro.core.isa import (
+    DOT_PRODUCT,
+    EUCLIDEAN_DIST,
+    FP_ADD,
+    HASH_PROBE,
+    HISTOGRAM_BIN,
+    INT_INCREMENT,
+    INT_MIN,
+    PIM_OPS,
+    PimOp,
+)
+from repro.core.locality_monitor import LocalityMonitor
+from repro.core.pcu import OperandBuffer, Pcu
+from repro.core.pim_directory import PimDirectory
+from repro.core.pmu import Pmu
+
+__all__ = [
+    "DOT_PRODUCT",
+    "DispatchPolicy",
+    "EUCLIDEAN_DIST",
+    "FP_ADD",
+    "HASH_PROBE",
+    "HISTOGRAM_BIN",
+    "INT_INCREMENT",
+    "INT_MIN",
+    "LocalityMonitor",
+    "OperandBuffer",
+    "PIM_OPS",
+    "Pcu",
+    "PeiExecutor",
+    "PimDirectory",
+    "PimOp",
+    "Pmu",
+]

@@ -1,0 +1,209 @@
+"""End-to-end PEI execution: the sequences of Figures 4 and 5.
+
+The executor owns the host-side PCUs (one per core) and reaches the
+memory-side PCUs through their vaults.  For every PEI it composes:
+
+* **host-side** (Fig. 4): operand-buffer allocation -> PMU (lock + locality
+  advice) -> cache-block load through the core's own L1 path -> computation
+  logic -> store back into the L1 (for writers) -> completion notification;
+* **memory-side** (Fig. 5): operand-buffer allocation -> PMU -> back-
+  invalidation/back-writeback -> operand shipping -> off-chip request packet
+  -> vault DRAM read over TSVs -> memory-side PCU compute -> optional DRAM
+  write -> off-chip response packet -> completion.
+
+In the Ideal-Host configuration PEIs retire as if they were ordinary host
+instructions: no operand buffers, a free infinite directory, and the core's
+own MLP window provides the overlap.
+"""
+
+from typing import List
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.dispatch import DispatchPolicy
+from repro.core.isa import PimOp
+from repro.core.pcu import Pcu
+from repro.core.pmu import Pmu
+from repro.cpu.core import CoreModel
+from repro.mem.hmc import HmcSystem
+from repro.sim.stats import Stats
+
+
+class PeiExecutor:
+    """Executes PEIs on host-side or memory-side PCUs."""
+
+    def __init__(
+        self,
+        host_pcus: List[Pcu],
+        hmc: HmcSystem,
+        pmu: Pmu,
+        hierarchy: CacheHierarchy,
+        stats: Stats,
+        mmio_cost: float = 2.0,
+    ):
+        self.host_pcus = host_pcus
+        self.hmc = hmc
+        self.pmu = pmu
+        self.hierarchy = hierarchy
+        self.stats = stats
+        self.mmio_cost = mmio_cost
+        # Optional repro.core.tracer.PeiTracer for per-PEI debugging.
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+
+    def execute(
+        self, core: CoreModel, op: PimOp, vaddr: int, wait_output: bool, chain=None
+    ) -> float:
+        """Run one PEI issued by ``core``; returns the PEI's completion time.
+
+        Advances ``core.time`` to the point where the core may continue:
+        after the issue (fire-and-forget) or after reading the output
+        operands (``wait_output``).  A ``chain`` id serializes this PEI
+        behind the previous PEI of the same chain (its input depends on that
+        output) without blocking the core, modelling unrolled dependent
+        probe sequences overlapped by the out-of-order window.
+        """
+        self.stats.add("pei.issued")
+        paddr = core.translate(vaddr)
+        block = self.hierarchy.block_of(paddr)
+        if chain is not None:
+            ready = core.chain_completions.get(chain, 0.0)
+            if ready > core.time:
+                core.time = ready
+
+        # Step 1: the host processor writes the input operands into the
+        # PCU's memory-mapped registers and issues the PEI.  Ideal-Host
+        # retires PEIs as ordinary instructions: the issue costs one issue
+        # slot and the PMU visit below is free (Section 7's idealization),
+        # making it Host-Only minus every PEI-management overhead.
+        ideal = self.pmu.policy is DispatchPolicy.IDEAL_HOST
+        core.time += (1.0 / core.issue_width) if ideal else self.mmio_cost
+        core.instructions += 1
+        pcu = self.host_pcus[core.core_id]
+        issue_time = pcu.operand_buffer.allocate(core.time)
+        if issue_time > core.time:
+            # Operand buffer full: the host processor stalls (Section 4.2).
+            self.stats.add("pei.operand_buffer_stall_cycles", issue_time - core.time)
+            core.time = issue_time
+
+        # Step 2: PMU — reader/writer lock and execution-location decision.
+        grant = self.pmu.begin_pei(core.core_id, block, op, issue_time)
+
+        if grant.on_host:
+            completion = self._execute_host_side(
+                core, pcu, op, paddr, grant.decision_time, grant.grant_time
+            )
+            self.stats.add("pei.host_executed")
+            pcu.operand_buffer.release(completion)
+        else:
+            completion = self._execute_memory_side(
+                core, op, paddr, block, grant.grant_time
+            )
+            self.stats.add("pei.mem_executed")
+            if op.output_bytes > 0:
+                # The entry's memory-mapped registers receive the output
+                # operands (Fig. 5 step 8): held until completion.
+                pcu.operand_buffer.release(completion)
+            else:
+                # An offloaded no-output PEI is tracked by its vault PCU's
+                # operand buffer from hand-off onward (the 576-entry
+                # in-flight budget of Section 6.1 counts host and vault
+                # entries together); the host entry frees at dispatch.
+                pcu.operand_buffer.release(grant.grant_time)
+
+        self.pmu.finish_pei(grant.entry, op, completion)
+
+        if self.tracer is not None:
+            from repro.core.tracer import PeiTrace
+            self.tracer.record(PeiTrace(
+                core=core.core_id, op=op.mnemonic, block=block,
+                on_host=grant.on_host, issue_time=issue_time,
+                grant_time=grant.grant_time, completion=completion,
+            ))
+        if chain is not None:
+            core.chain_completions[chain] = completion
+        if wait_output:
+            # Step 7/8: the host reads the output operands through the
+            # memory-mapped registers once the PEI completes.
+            if completion > core.time:
+                core.time = completion
+            if not ideal:
+                core.time += self.mmio_cost
+        return completion
+
+    # ------------------------------------------------------------------
+    # Fig. 4: host-side PEI execution
+    # ------------------------------------------------------------------
+
+    def _execute_host_side(
+        self,
+        core: CoreModel,
+        pcu: Pcu,
+        op: PimOp,
+        paddr: int,
+        fetch_time: float,
+        grant_time: float,
+    ) -> float:
+        # Steps 3-5: the PCU loads the target block through the core's own
+        # L1 (it shares the cache port, the MSHRs, and the hierarchy), runs
+        # the computation logic, and stores back if the PEI is a writer.
+        # The line fetch starts as soon as the PMU has decided on host-side
+        # execution and overlaps any reader-writer-lock wait; only the
+        # atomic read-modify-write itself is serialized under the lock.
+        # Sharing the L1 means the access also occupies one of the core's
+        # MSHR-bounded outstanding-miss slots.
+        core.window_acquire()
+        if core.time > fetch_time:
+            fetch_time = core.time
+        result = self.hierarchy.access(core.core_id, paddr, op.is_writer, fetch_time)
+        start = result.finish if result.finish > grant_time else grant_time
+        completion = pcu.compute(start, op)
+        core.window_release(completion)
+        return completion
+
+    # ------------------------------------------------------------------
+    # Fig. 5: memory-side PEI execution
+    # ------------------------------------------------------------------
+
+    def _execute_memory_side(
+        self, core: CoreModel, op: PimOp, paddr: int, block: int, time: float
+    ) -> float:
+        # Step 3: clean any on-chip copy (back-invalidation / back-writeback)
+        ready = self.pmu.clean_block_for_memory(block, op, time)
+        # Step 4: input operands travel from the host-side PCU to the PMU
+        # over the on-chip network (overlapped with step 3 — take the max).
+        operands_ready = self.pmu.crossbar.traverse(
+            core.core_id, time, 16 + op.input_bytes
+        )
+        t = ready if ready > operands_ready else operands_ready
+        # Step 5: the PMU packetizes the PIM operation and ships it.
+        t = self.hmc.pim_send_request(t, op.input_bytes, paddr)
+        # In the vault: claim a memory-side operand-buffer entry, fetch the
+        # block over the TSVs, compute, and write back if needed.
+        vault = self.hmc.vault_for(paddr)
+        vpcu = vault.pcu
+        t = vpcu.operand_buffer.allocate(t)
+        t = self.hmc.pim_read_block(t, paddr)
+        t = vpcu.compute(t, op)
+        if op.is_writer:
+            # The write back into DRAM is posted: the vault's controller
+            # schedules a PEI's accesses as an inseparable group (Section
+            # 4.3), so later accesses to the block observe the write without
+            # the response having to wait for it.
+            write_done = self.hmc.pim_write_block(t, paddr)
+            vpcu.operand_buffer.release(write_done)
+        else:
+            vpcu.operand_buffer.release(t)
+        # Step 6/7: response packet back to the PMU, outputs to the PCU.
+        t = self.hmc.pim_send_response(t, op.output_bytes, paddr)
+        return self.pmu.crossbar.traverse(self.pmu.pmu_port, t, 16 + op.output_bytes)
+
+    # ------------------------------------------------------------------
+
+    def fence(self, core: CoreModel) -> None:
+        """pfence semantics: drain the core and wait for in-flight PEIs."""
+        core.drain()
+        t = self.pmu.fence(core.time)
+        if t > core.time:
+            core.time = t
+        core.instructions += 1

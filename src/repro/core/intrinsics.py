@@ -1,0 +1,69 @@
+"""Programmer-facing PEI intrinsics (Section 3.3).
+
+The paper envisions PEIs being used like Intel SSE/AVX intrinsics: the
+programmer replaces a plain update with an intrinsic call and the hardware
+takes care of where it executes.  These helpers bundle the *functional*
+effect (applied to the program's own data, so results can never drift from
+what was simulated) with the *timing* record the engine replays:
+
+    yield pim_fadd(ranks, w, layout.prop_addr("rank", w), delta)
+
+Read-only operations (probe, histogram, distance, dot product) return their
+functional result to the caller out-of-band, so their intrinsics only wrap
+the timing record; pass ``chain`` to overlap dependent sequences.
+"""
+
+from repro.core.isa import (
+    DOT_PRODUCT,
+    EUCLIDEAN_DIST,
+    FP_ADD,
+    HASH_PROBE,
+    HISTOGRAM_BIN,
+    INT_INCREMENT,
+    INT_MIN,
+)
+from repro.cpu.trace import Pei, PFence
+
+
+def pim_inc(values, index, addr: int) -> Pei:
+    """8-byte atomic integer increment of ``values[index]`` (ATF)."""
+    values[index] += 1
+    return Pei(INT_INCREMENT, addr)
+
+
+def pim_int_min(values, index, addr: int, operand: int) -> Pei:
+    """8-byte atomic integer min into ``values[index]`` (BFS, SP, WCC)."""
+    if operand < values[index]:
+        values[index] = operand
+    return Pei(INT_MIN, addr)
+
+
+def pim_fadd(values, index, addr: int, delta: float) -> Pei:
+    """Double-precision atomic add into ``values[index]`` (PR)."""
+    values[index] += delta
+    return Pei(FP_ADD, addr)
+
+
+def pim_hash_probe(addr: int, chain=None) -> Pei:
+    """Probe one hash-bucket node; returns match + next pointer (HJ)."""
+    return Pei(HASH_PROBE, addr, chain=chain)
+
+
+def pim_hist_bin(addr: int, chain=None) -> Pei:
+    """Bin indexes of the 16 words in the target block (HG, RP)."""
+    return Pei(HISTOGRAM_BIN, addr, chain=chain)
+
+
+def pim_euclidean_dist(addr: int, chain=None) -> Pei:
+    """Distance of the target 16-dim float chunk to the operand chunk (SC)."""
+    return Pei(EUCLIDEAN_DIST, addr, chain=chain)
+
+
+def pim_dot_product(addr: int, chain=None) -> Pei:
+    """Dot product of the target 4-dim double chunk with the operand (SVM)."""
+    return Pei(DOT_PRODUCT, addr, chain=chain)
+
+
+def pfence() -> PFence:
+    """Memory fence ordering normal instructions after in-flight PEIs."""
+    return PFence()

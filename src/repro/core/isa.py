@@ -1,0 +1,169 @@
+"""The PIM-enabled instruction set: the seven operations of Table 1.
+
+Every operation obeys the single-cache-block restriction (Section 3.1): it
+reads, and optionally writes, exactly one last-level cache block, and its
+input/output operands are at most one block in size.  The same operation can
+execute on a host-side or a memory-side PCU; the numerical result is
+identical either way, which is what lets the hardware choose the location
+transparently.
+
+Besides the architectural metadata, this module provides the *reference
+semantics* of the read-modify-write operations (``apply_rmw``) used by the
+workloads' functional execution and by the test suite.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class PimOp:
+    """Metadata of one PIM operation (a row of Table 1).
+
+    Attributes:
+        name: long human-readable name as printed in the paper's table.
+        mnemonic: short assembly-style mnemonic (``pim.<x>``).
+        reads: operation reads its target cache block ('R' column).
+        writes: operation modifies its target cache block ('W' column).
+        input_bytes: size of the input operand shipped with the PEI.
+        output_bytes: size of the output operand returned to the core.
+        compute_cycles: computation-logic occupancy on a PCU (host cycles
+            at the host PCU's 4 GHz clock; memory-side PCUs run at 2 GHz and
+            scale this through their clock domain).
+        applications: workloads of the case study using this operation.
+    """
+
+    name: str
+    mnemonic: str
+    reads: bool
+    writes: bool
+    input_bytes: int
+    output_bytes: int
+    compute_cycles: float
+    applications: Tuple[str, ...]
+
+    def __post_init__(self):
+        if self.input_bytes < 0 or self.output_bytes < 0:
+            raise ValueError("operand sizes must be non-negative")
+        if self.input_bytes > 64 or self.output_bytes > 64:
+            # Section 3.1: operands larger than one last-level cache block
+            # would make memory-side execution strictly worse than host-side.
+            raise ValueError("operands are limited to one cache block (64 B)")
+        if self.writes and not self.reads:
+            raise ValueError("all Table 1 writer operations also read")
+
+    @property
+    def is_writer(self) -> bool:
+        """Writer PEIs take the PIM directory's writer lock."""
+        return self.writes
+
+    def __str__(self) -> str:
+        return self.mnemonic
+
+
+INT_INCREMENT = PimOp(
+    name="8-byte integer increment",
+    mnemonic="pim.inc",
+    reads=True,
+    writes=True,
+    input_bytes=0,
+    output_bytes=0,
+    compute_cycles=1.0,
+    applications=("ATF",),
+)
+
+INT_MIN = PimOp(
+    name="8-byte integer min",
+    mnemonic="pim.min",
+    reads=True,
+    writes=True,
+    input_bytes=8,
+    output_bytes=0,
+    compute_cycles=1.0,
+    applications=("BFS", "SP", "WCC"),
+)
+
+FP_ADD = PimOp(
+    name="Floating-point add",
+    mnemonic="pim.fadd",
+    reads=True,
+    writes=True,
+    input_bytes=8,
+    output_bytes=0,
+    compute_cycles=4.0,
+    applications=("PR",),
+)
+
+HASH_PROBE = PimOp(
+    name="Hash table probing",
+    mnemonic="pim.probe",
+    reads=True,
+    writes=False,
+    input_bytes=8,
+    output_bytes=9,
+    compute_cycles=6.0,
+    applications=("HJ",),
+)
+
+HISTOGRAM_BIN = PimOp(
+    name="Histogram bin index",
+    mnemonic="pim.hist",
+    reads=True,
+    writes=False,
+    input_bytes=1,
+    output_bytes=16,
+    compute_cycles=8.0,
+    applications=("HG", "RP"),
+)
+
+EUCLIDEAN_DIST = PimOp(
+    name="Euclidean distance",
+    mnemonic="pim.dist",
+    reads=True,
+    writes=False,
+    input_bytes=64,
+    output_bytes=4,
+    compute_cycles=16.0,
+    applications=("SC",),
+)
+
+DOT_PRODUCT = PimOp(
+    name="Dot product",
+    mnemonic="pim.dot",
+    reads=True,
+    writes=False,
+    input_bytes=32,
+    output_bytes=8,
+    compute_cycles=8.0,
+    applications=("SVM",),
+)
+
+#: Table 1, keyed by mnemonic.
+PIM_OPS: Dict[str, PimOp] = {
+    op.mnemonic: op
+    for op in (
+        INT_INCREMENT,
+        INT_MIN,
+        FP_ADD,
+        HASH_PROBE,
+        HISTOGRAM_BIN,
+        EUCLIDEAN_DIST,
+        DOT_PRODUCT,
+    )
+}
+
+
+def apply_rmw(op: PimOp, current, operand):
+    """Reference semantics of the read-modify-write operations.
+
+    Returns the new value of the targeted word.  Used by workloads for
+    functional execution and by tests as the golden model; the location of
+    execution never changes this result.
+    """
+    if op is INT_INCREMENT:
+        return current + 1
+    if op is INT_MIN:
+        return operand if operand < current else current
+    if op is FP_ADD:
+        return current + operand
+    raise ValueError(f"{op.mnemonic} is not a read-modify-write operation")

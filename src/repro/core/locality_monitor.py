@@ -1,0 +1,138 @@
+"""The locality monitor: per-block data-locality profiling (Section 4.3).
+
+A tag array with the same sets/ways as the last-level cache, but storing only
+a valid bit, a 10-bit partial tag (XOR-folded from the full tag), LRU
+replacement information, and a 1-bit *ignore* flag.  Two update sources:
+
+* every **last-level cache access** promotes/allocates the corresponding
+  entry (allocation does *not* set the ignore flag);
+* every **PIM operation sent to memory** updates the monitor as if it were an
+  LLC access, but an entry *allocated* this way sets its ignore flag, so the
+  first monitor hit of a block that has only ever been touched by in-memory
+  PEIs is not yet taken as evidence of locality.
+
+A PEI's advice is then a simple tag probe: hit (and not ignored) => execute
+on the host; miss => execute in memory.  Partial tags can alias, causing
+false locality reports — the Section 7.6 ablation quantifies that cost.
+"""
+
+from collections import OrderedDict
+from typing import List
+
+from repro.sim.stats import Stats
+from repro.util.bitops import ilog2, is_power_of_two, xor_fold
+
+
+class LocalityMonitor:
+    """L3-mirrored partial-tag array advising PEI execution location."""
+
+    def __init__(
+        self,
+        n_sets: int,
+        n_ways: int,
+        partial_tag_bits: int = 10,
+        latency: float = 3.0,
+        use_ignore_flag: bool = True,
+        stats: Stats = None,
+    ):
+        if not is_power_of_two(n_sets):
+            raise ValueError(f"set count must be a power of two, got {n_sets}")
+        if n_ways <= 0:
+            raise ValueError(f"way count must be positive, got {n_ways}")
+        if partial_tag_bits <= 0:
+            raise ValueError("partial tags need at least one bit")
+        self.n_sets = n_sets
+        self.n_ways = n_ways
+        self.partial_tag_bits = partial_tag_bits
+        self.latency = latency
+        self.use_ignore_flag = use_ignore_flag
+        self.stats = stats if stats is not None else Stats()
+        self._set_bits = ilog2(n_sets)
+        # Per set: partial_tag -> ignore flag, in LRU order.
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(n_sets)]
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+
+    def set_index(self, block: int) -> int:
+        return block & (self.n_sets - 1)
+
+    def partial_tag(self, block: int) -> int:
+        """Fold the full tag into ``partial_tag_bits`` bits."""
+        return xor_fold(block >> self._set_bits, self.partial_tag_bits)
+
+    # ------------------------------------------------------------------
+    # Update sources
+    # ------------------------------------------------------------------
+
+    def observe_llc_access(self, block: int) -> None:
+        """Mirror one last-level cache access (hook on the L3)."""
+        line_set = self._sets[self.set_index(block)]
+        tag = self.partial_tag(block)
+        if tag in line_set:
+            # Hit promotion; a real LLC access is direct locality evidence,
+            # so any PIM-allocated ignore flag is cleared.
+            line_set[tag] = False
+            line_set.move_to_end(tag)
+        else:
+            if len(line_set) >= self.n_ways:
+                line_set.popitem(last=False)
+                self.stats.add("locality_monitor.evictions")
+            line_set[tag] = False
+
+    def note_pim_issue(self, block: int) -> None:
+        """Update for a PIM operation sent to memory.
+
+        The paper's key rule: the monitor is updated *as if* there were an
+        LLC access to the target block, except that a fresh allocation sets
+        the ignore flag.
+        """
+        line_set = self._sets[self.set_index(block)]
+        tag = self.partial_tag(block)
+        if tag in line_set:
+            line_set.move_to_end(tag)
+        else:
+            if len(line_set) >= self.n_ways:
+                line_set.popitem(last=False)
+                self.stats.add("locality_monitor.evictions")
+            line_set[tag] = self.use_ignore_flag
+
+    # ------------------------------------------------------------------
+    # Advice
+    # ------------------------------------------------------------------
+
+    def advise_host(self, block: int) -> bool:
+        """Return True if the PEI should run on the host-side PCU.
+
+        A hit on an ignore-flagged entry is treated as a miss once: the flag
+        is cleared so the block's *second* consecutive monitor hit does count
+        as locality.
+        """
+        line_set = self._sets[self.set_index(block)]
+        tag = self.partial_tag(block)
+        self.stats.add("locality_monitor.accesses")
+        if tag not in line_set:
+            self.stats.add("locality_monitor.miss_advice")
+            return False
+        if line_set[tag]:
+            # First hit of a PIM-allocated entry: ignored.
+            line_set[tag] = False
+            line_set.move_to_end(tag)
+            self.stats.add("locality_monitor.ignored_first_hits")
+            return False
+        line_set.move_to_end(tag)
+        self.stats.add("locality_monitor.host_advice")
+        return True
+
+    def contains(self, block: int) -> bool:
+        """Presence probe without statistics or LRU effects (for tests)."""
+        return self.partial_tag(block) in self._sets[self.set_index(block)]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def storage_bits(self) -> int:
+        """1 valid + partial tag + 4-bit LRU + 1 ignore bit per entry."""
+        per_entry = 1 + self.partial_tag_bits + 4 + 1
+        return self.n_sets * self.n_ways * per_entry

@@ -1,0 +1,128 @@
+"""The PIM directory: cost-effective atomicity for in-flight PEIs.
+
+Section 4.3.  A direct-mapped, *tag-less* table of reader-writer locks
+indexed by the XOR-folded target block address.  Because it is tag-less, two
+different blocks can map to the same entry and be needlessly serialized
+(a false positive) — that is safe and, per Section 7.6, rare; what can never
+happen is two simultaneous writers of the *same* block (a false negative),
+because same block implies same entry.
+
+Timing realization: each entry keeps two timestamps, when the last writer
+completes (``writer_free``) and when the last reader completes
+(``readers_max``).  A reader may start once the current writer is done
+(readers overlap each other); a writer must wait for both previous writers
+and all in-flight readers.  This reproduces the blocking rules of the paper's
+readable/writeable bits + reader/writer counters in a timestamp world.
+
+With ``ideal=True`` the directory models the Ideal-Host configuration: an
+infinite zero-latency table, i.e. per-block entries and no access cost.
+"""
+
+from typing import Dict
+
+from repro.sim.stats import Stats
+from repro.util.bitops import ilog2, is_power_of_two, xor_fold
+
+
+class PimDirectory:
+    """Direct-mapped reader-writer lock table for PEI atomicity."""
+
+    def __init__(
+        self,
+        entries: int = 2048,
+        latency: float = 2.0,
+        stats: Stats = None,
+        ideal: bool = False,
+        handoff_penalty: float = 10.0,
+    ):
+        if not ideal and not is_power_of_two(entries):
+            raise ValueError(f"entry count must be a power of two, got {entries}")
+        self.entries = entries
+        self.latency = 0.0 if ideal else latency
+        self.ideal = ideal
+        # Cost of passing a contended lock (and, physically, the cache-line
+        # ownership) to the next PEI.  Applied only when the acquirer
+        # actually had to wait; even the ideal directory keeps it, because
+        # it models coherence, not directory storage.
+        self.handoff_penalty = handoff_penalty
+        self.stats = stats if stats is not None else Stats()
+        self._index_bits = ilog2(entries) if not ideal else 0
+        self._writer_free: Dict[int, float] = {}
+        self._readers_max: Dict[int, float] = {}
+        # Global completion horizon of all in-flight/completed writer PEIs —
+        # the time a pfence issued now would return (Section 3.2).
+        self._fence_horizon = 0.0
+        self._pei_horizon = 0.0
+
+    def index_of(self, block: int) -> int:
+        """Directory entry of a target block (XOR-folded; shared if ideal)."""
+        if self.ideal:
+            return block
+        return xor_fold(block, self._index_bits)
+
+    # ------------------------------------------------------------------
+    # Lock protocol
+    # ------------------------------------------------------------------
+
+    def acquire(self, block: int, is_writer: bool, time: float) -> "tuple[int, float]":
+        """Acquire the entry for ``block``; return (entry, grant_time).
+
+        ``grant_time`` already includes the directory access latency.  The
+        caller must later pass ``entry`` to :meth:`release`.
+        """
+        entry = self.index_of(block)
+        t = time + self.latency
+        self.stats.add("pim_directory.accesses")
+        writer_free = self._writer_free.get(entry, 0.0)
+        if is_writer:
+            readers_max = self._readers_max.get(entry, 0.0)
+            busy_until = writer_free if writer_free > readers_max else readers_max
+        else:
+            busy_until = writer_free
+        if busy_until > t:
+            grant = busy_until + self.handoff_penalty
+            self.stats.add("pim_directory.conflicts")
+            self.stats.add("pim_directory.wait_cycles", grant - t)
+        else:
+            grant = t
+        return entry, grant
+
+    def release(self, entry: int, is_writer: bool, completion: float) -> None:
+        """Record the completion of the PEI holding ``entry``."""
+        if is_writer:
+            if completion > self._writer_free.get(entry, 0.0):
+                self._writer_free[entry] = completion
+            if completion > self._fence_horizon:
+                self._fence_horizon = completion
+        else:
+            if completion > self._readers_max.get(entry, 0.0):
+                self._readers_max[entry] = completion
+        if completion > self._pei_horizon:
+            self._pei_horizon = completion
+
+    # ------------------------------------------------------------------
+    # pfence support
+    # ------------------------------------------------------------------
+
+    def fence_time(self, time: float) -> float:
+        """When a pfence issued at ``time`` unblocks.
+
+        The pfence waits for every directory entry to become readable, i.e.
+        for all writer PEIs issued before it to complete.
+        """
+        horizon = max(self._fence_horizon, time)
+        return horizon + (0.0 if self.ideal else self.latency)
+
+    def quiesce_time(self, time: float) -> float:
+        """When *all* in-flight PEIs (readers included) have completed."""
+        return max(self._pei_horizon, time)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def storage_bits(self) -> int:
+        """Storage cost: 13 bits per entry (Section 6.1)."""
+        if self.ideal:
+            return 0
+        # readable + writeable + 10-bit reader counter + 1-bit writer counter
+        return self.entries * 13

@@ -1,0 +1,135 @@
+"""The PEI Management Unit (Section 4.3).
+
+One PMU sits next to the shared L3 and coordinates every PCU in the system.
+For each PEI it (1) takes the reader/writer lock in the PIM directory,
+(2) decides the execution location via the locality monitor and the active
+dispatch policy, and (3) for memory-side execution, cleans the target block
+out of the cache hierarchy (back-invalidation for writers, back-writeback
+for readers).  It also implements pfence.
+"""
+
+from dataclasses import dataclass
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.dispatch import DispatchPolicy, balanced_choice
+from repro.core.isa import PimOp
+from repro.core.locality_monitor import LocalityMonitor
+from repro.core.pim_directory import PimDirectory
+from repro.mem.link import OffChipChannel
+from repro.sim.stats import Stats
+from repro.xbar.crossbar import Crossbar
+
+
+@dataclass(frozen=True)
+class PmuGrant:
+    """Outcome of a PEI's PMU visit.
+
+    ``decision_time`` is when the PMU has decided the execution location
+    (directory + monitor access latency paid, but no lock waiting) —
+    the host-side PCU may start fetching the target block speculatively at
+    this point.  ``grant_time`` additionally includes waiting for the
+    reader-writer lock; computation that mutates or reads the block
+    atomically must not start before it.
+    """
+
+    entry: int
+    decision_time: float
+    grant_time: float
+    on_host: bool
+
+
+class Pmu:
+    """Atomicity, coherence, and locality management for all PEIs."""
+
+    def __init__(
+        self,
+        directory: PimDirectory,
+        monitor: LocalityMonitor,
+        hierarchy: CacheHierarchy,
+        channel: OffChipChannel,
+        crossbar: Crossbar,
+        pmu_port: int,
+        policy: DispatchPolicy,
+        stats: Stats,
+    ):
+        self.directory = directory
+        self.monitor = monitor
+        self.hierarchy = hierarchy
+        self.channel = channel
+        self.crossbar = crossbar
+        self.pmu_port = pmu_port
+        self.policy = policy
+        self.stats = stats
+
+    # ------------------------------------------------------------------
+    # PEI admission (steps 2 of Figs. 4 and 5)
+    # ------------------------------------------------------------------
+
+    def begin_pei(self, core_port: int, block: int, op: PimOp, time: float) -> PmuGrant:
+        """Admit a PEI: control message to the PMU, lock, location decision.
+
+        Under the Ideal-Host configuration the PMU visit is free (Section 7:
+        an infinitely large, zero-cycle PIM directory and no monitor), so the
+        control-packet hop is skipped as well.
+        """
+        if self.policy is DispatchPolicy.IDEAL_HOST:
+            entry, grant = self.directory.acquire(block, op.is_writer, time)
+            return PmuGrant(entry=entry, decision_time=time, grant_time=grant,
+                            on_host=True)
+        # The host-side PCU reaches the PMU over the on-chip network with a
+        # small control packet (operation type + target block address).
+        t = self.crossbar.traverse(core_port, time, 16)
+        entry, grant = self.directory.acquire(block, op.is_writer, t)
+        decision = t + self.directory.latency
+        on_host = self._decide_location(block, op, decision)
+        if self.policy.uses_monitor:
+            decision += self.monitor.latency
+        if grant < decision:
+            grant = decision
+        if on_host:
+            self.stats.add("pei.host_dispatched")
+        else:
+            self.stats.add("pei.mem_dispatched")
+            if self.policy.uses_monitor:
+                self.monitor.note_pim_issue(block)
+        return PmuGrant(entry=entry, decision_time=decision, grant_time=grant,
+                        on_host=on_host)
+
+    def _decide_location(self, block: int, op: PimOp, time: float) -> bool:
+        policy = self.policy
+        if policy is DispatchPolicy.PIM_ONLY:
+            return False
+        if policy in (DispatchPolicy.HOST_ONLY, DispatchPolicy.IDEAL_HOST):
+            return True
+        if self.monitor.advise_host(block):
+            return True
+        if policy.is_balanced:
+            host = balanced_choice(op, self.channel, time)
+            if host:
+                self.stats.add("pei.balanced_host_overrides")
+            return host
+        return False
+
+    # ------------------------------------------------------------------
+    # Coherence management for memory-side execution (step 3 of Fig. 5)
+    # ------------------------------------------------------------------
+
+    def clean_block_for_memory(self, block: int, op: PimOp, time: float) -> float:
+        """Back-invalidate (writer) / back-writeback (reader) the block.
+
+        Returns the time main memory is guaranteed to hold the latest data.
+        """
+        ready, _ = self.hierarchy.flush_block(block, invalidate=op.is_writer, time=time)
+        return ready
+
+    # ------------------------------------------------------------------
+    # Completion and fencing
+    # ------------------------------------------------------------------
+
+    def finish_pei(self, entry: int, op: PimOp, completion: float) -> None:
+        self.directory.release(entry, op.is_writer, completion)
+
+    def fence(self, time: float) -> float:
+        """pfence: block until all previously issued writer PEIs complete."""
+        self.stats.add("pei.pfences")
+        return self.directory.fence_time(time)

@@ -1,0 +1,74 @@
+"""Optional per-PEI tracing: where did each PEI go and why, and where did
+its latency come from.
+
+A :class:`PeiTracer` can be attached to a :class:`~repro.core.executor.
+PeiExecutor`; the executor then records one :class:`PeiTrace` per executed
+PEI.  This is a debugging/analysis aid for users of the library — the
+simulator equivalent of a processor's performance-monitoring trace — and is
+off by default (tracing every PEI of a long run costs memory).
+"""
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class PeiTrace:
+    """Everything observable about one PEI's execution."""
+
+    core: int
+    op: str
+    block: int
+    on_host: bool
+    issue_time: float
+    grant_time: float
+    completion: float
+
+    @property
+    def latency(self) -> float:
+        return self.completion - self.issue_time
+
+    @property
+    def lock_wait(self) -> float:
+        return max(0.0, self.grant_time - self.issue_time)
+
+
+class PeiTracer:
+    """Collects PeiTrace records, with an optional live callback."""
+
+    def __init__(self, callback: Optional[Callable[[PeiTrace], None]] = None,
+                 capacity: Optional[int] = None):
+        self.records: List[PeiTrace] = []
+        self.callback = callback
+        self.capacity = capacity
+        self.dropped = 0
+
+    def record(self, trace: PeiTrace) -> None:
+        if self.capacity is None or len(self.records) < self.capacity:
+            self.records.append(trace)
+        else:
+            self.dropped += 1
+        if self.callback is not None:
+            self.callback(trace)
+
+    # Analysis helpers --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def host_fraction(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(t.on_host for t in self.records) / len(self.records)
+
+    def mean_latency(self, on_host: Optional[bool] = None) -> float:
+        selected = [t.latency for t in self.records
+                    if on_host is None or t.on_host == on_host]
+        return sum(selected) / len(selected) if selected else 0.0
+
+    def hottest_blocks(self, top: int = 10):
+        """(block, count) pairs for the most frequently targeted blocks."""
+        counts = {}
+        for t in self.records:
+            counts[t.block] = counts.get(t.block, 0) + 1
+        return sorted(counts.items(), key=lambda kv: -kv[1])[:top]

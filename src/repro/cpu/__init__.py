@@ -1,0 +1,33 @@
+"""Host processor model: trace operations and a bounded-MLP core."""
+
+from repro.cpu.core import CoreModel
+from repro.cpu.trace import (
+    KIND_BARRIER,
+    KIND_COMPUTE,
+    KIND_FENCE,
+    KIND_LOAD,
+    KIND_PEI,
+    KIND_STORE,
+    Barrier,
+    Compute,
+    Load,
+    PFence,
+    Pei,
+    Store,
+)
+
+__all__ = [
+    "Barrier",
+    "Compute",
+    "CoreModel",
+    "KIND_BARRIER",
+    "KIND_COMPUTE",
+    "KIND_FENCE",
+    "KIND_LOAD",
+    "KIND_PEI",
+    "KIND_STORE",
+    "Load",
+    "PFence",
+    "Pei",
+    "Store",
+]

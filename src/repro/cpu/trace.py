@@ -1,0 +1,124 @@
+"""Operations emitted by workload threads.
+
+A workload is a real algorithm running over its own data; as it executes it
+*yields* a stream of these operation records, which the timing engine
+replays.  Functional effects (the actual PageRank additions, BFS relaxations,
+hash probes, ...) happen inside the workload at yield time — operations are
+pure timing records, which keeps the engine small and fast.
+
+All addresses are virtual; the core translates them through its TLB.
+"""
+
+KIND_COMPUTE = 0
+KIND_LOAD = 1
+KIND_STORE = 2
+KIND_PEI = 3
+KIND_FENCE = 4
+KIND_BARRIER = 5
+
+
+class Compute:
+    """``insts`` non-memory instructions (retired at the core's issue width)."""
+
+    __slots__ = ("kind", "insts")
+
+    def __init__(self, insts: int):
+        self.kind = KIND_COMPUTE
+        self.insts = insts
+
+    def __repr__(self) -> str:
+        return f"Compute({self.insts})"
+
+
+class Load:
+    """A load from a virtual address.
+
+    ``dep=True`` marks a load whose address depends on the previous load's
+    value (pointer chasing); the core serializes such loads instead of
+    overlapping them in its MLP window.
+    """
+
+    __slots__ = ("kind", "addr", "dep")
+
+    def __init__(self, addr: int, dep: bool = False):
+        self.kind = KIND_LOAD
+        self.addr = addr
+        self.dep = dep
+
+    def __repr__(self) -> str:
+        return f"Load(0x{self.addr:x}{', dep' if self.dep else ''})"
+
+
+class Store:
+    """A store to a virtual address (posted through the write buffer)."""
+
+    __slots__ = ("kind", "addr")
+
+    def __init__(self, addr: int):
+        self.kind = KIND_STORE
+        self.addr = addr
+
+    def __repr__(self) -> str:
+        return f"Store(0x{self.addr:x})"
+
+
+class Pei:
+    """A PIM-enabled instruction targeting one cache block.
+
+    ``op`` is a :class:`repro.core.isa.PimOp`.  ``wait_output`` defaults to
+    True for operations that produce output operands (the issuing thread
+    reads the result through the PCU's memory-mapped registers) and False for
+    pure read-modify-write operations, which retire asynchronously.
+
+    ``chain`` models the paper's software unrolling for HJ (Section 5.2):
+    output-producing PEIs tagged with the same chain id form a dependence
+    chain (each waits for the previous one's output), but *different* chains
+    overlap in the out-of-order window instead of blocking the core.
+    """
+
+    __slots__ = ("kind", "op", "addr", "wait_output", "chain")
+
+    def __init__(self, op, addr: int, wait_output=None, chain=None):
+        self.kind = KIND_PEI
+        self.op = op
+        self.addr = addr
+        if wait_output is None:
+            wait_output = op.output_bytes > 0 and chain is None
+        self.wait_output = wait_output
+        self.chain = chain
+
+    def __repr__(self) -> str:
+        return f"Pei({self.op.mnemonic}, 0x{self.addr:x})"
+
+
+class PFence:
+    """The pfence instruction: wait for all previously issued PEIs."""
+
+    __slots__ = ("kind",)
+
+    def __init__(self):
+        self.kind = KIND_FENCE
+
+    def __repr__(self) -> str:
+        return "PFence()"
+
+
+class Barrier:
+    """A software thread barrier (e.g. between parallel-for phases).
+
+    Not a hardware structure — it models the join points of the parallel
+    algorithms (level-synchronous BFS, PageRank iterations).  The engine
+    parks each arriving thread and releases all of them at the latest
+    arrival time.  ``group`` scopes the barrier: only threads of the same
+    barrier group synchronize, which is how independent applications of a
+    multiprogrammed mix avoid waiting on each other.
+    """
+
+    __slots__ = ("kind", "group")
+
+    def __init__(self, group: int = 0):
+        self.kind = KIND_BARRIER
+        self.group = group
+
+    def __repr__(self) -> str:
+        return f"Barrier(group={self.group})"

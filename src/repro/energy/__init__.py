@@ -1,0 +1,6 @@
+"""Memory-hierarchy energy accounting (Figure 12)."""
+
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.energy.params import EnergyParams
+
+__all__ = ["EnergyBreakdown", "EnergyModel", "EnergyParams"]

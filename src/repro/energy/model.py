@@ -1,0 +1,88 @@
+"""Energy model: multiplies event counts by per-event energies.
+
+Produces the Figure 12 breakdown — on-chip caches, DRAM, off-chip links,
+PCUs, and the PMU structures — from the statistics a run accumulates.
+"""
+
+from dataclasses import dataclass, fields
+
+from repro.energy.params import EnergyParams
+from repro.sim.stats import Stats
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy per memory-hierarchy component, in picojoules."""
+
+    caches_pj: float
+    dram_pj: float
+    offchip_pj: float
+    onchip_network_pj: float
+    host_pcu_pj: float
+    mem_pcu_pj: float
+    pmu_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    @property
+    def hmc_pj(self) -> float:
+        """Energy spent inside the cubes (DRAM + memory-side PCUs).
+
+        The paper reports memory-side PCUs contribute only ~1.4% of HMC
+        energy (Section 7.7); this property is what that ratio is taken
+        against.
+        """
+        return self.dram_pj + self.mem_pcu_pj
+
+    @property
+    def mem_pcu_fraction_of_hmc(self) -> float:
+        hmc = self.hmc_pj
+        return self.mem_pcu_pj / hmc if hmc > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["total_pj"] = self.total_pj
+        return out
+
+
+class EnergyModel:
+    """Computes an EnergyBreakdown from a run's statistics."""
+
+    def __init__(self, params: EnergyParams = None):
+        self.params = params if params is not None else EnergyParams()
+
+    def compute(self, stats: Stats) -> EnergyBreakdown:
+        p = self.params
+        caches = (
+            stats["l1.accesses"] * p.l1_access_pj
+            + stats["l2.accesses"] * p.l2_access_pj
+            + stats["l3.accesses"] * p.l3_access_pj
+        )
+        dram_accesses = (
+            stats["dram.reads"]
+            + stats["dram.writes"]
+            + stats["dram.pim_reads"]
+            + stats["dram.pim_writes"]
+        )
+        dram = dram_accesses * p.dram_access_pj + stats["tsv.bytes"] * p.tsv_per_byte_pj
+        offchip = (
+            stats["offchip.request_bytes"] + stats["offchip.response_bytes"]
+        ) * p.offchip_per_byte_pj
+        onchip = stats["xbar.bytes"] * p.xbar_per_byte_pj
+        host_pcu = stats["pei.host_executed"] * p.host_pcu_op_pj
+        mem_pcu = stats["pei.mem_executed"] * p.mem_pcu_op_pj
+        pmu = (
+            stats["pim_directory.accesses"] * p.pim_directory_access_pj
+            + stats["locality_monitor.accesses"] * p.locality_monitor_access_pj
+        )
+        return EnergyBreakdown(
+            caches_pj=caches,
+            dram_pj=dram,
+            offchip_pj=offchip,
+            onchip_network_pj=onchip,
+            host_pcu_pj=host_pcu,
+            mem_pcu_pj=mem_pcu,
+            pmu_pj=pmu,
+        )

@@ -1,0 +1,33 @@
+"""Per-event energy parameters.
+
+The paper modelled energy with CACTI 6.5 (caches, PMU structures),
+CACTI-3DD (3D-stacked DRAM), McPAT (DRAM controllers), a published HMC link
+model, and RTL synthesis for the PCUs.  None of those tools are available
+offline, so we substitute a fixed per-event parameter table with values in
+the ranges those tools report for the paper's technology assumptions.
+Figure 12 compares *relative* energy of configurations, which depends on
+event counts, not on the absolute picojoule scale.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Energy per event, in picojoules (per byte where noted)."""
+
+    l1_access_pj: float = 5.0
+    l2_access_pj: float = 15.0
+    l3_access_pj: float = 40.0
+    # One 64 B access inside the cube, incl. amortized activation: HMC-class
+    # stacks run near ~4 pJ/bit (CACTI-3DD territory), i.e. ~2 nJ per block.
+    dram_access_pj: float = 2000.0
+    tsv_per_byte_pj: float = 1.0
+    # Off-chip SerDes + channel: ~5 pJ/bit per direction -> 40 pJ/byte.
+    offchip_per_byte_pj: float = 40.0
+    xbar_per_byte_pj: float = 2.0
+    # Synthesized PCU datapath + operand buffer per operation.
+    host_pcu_op_pj: float = 60.0
+    mem_pcu_op_pj: float = 50.0
+    pim_directory_access_pj: float = 2.0
+    locality_monitor_access_pj: float = 3.0

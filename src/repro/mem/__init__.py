@@ -1,0 +1,24 @@
+"""Hybrid Memory Cube (HMC) main-memory substrate.
+
+Models the paper's Table 2 memory system: 8 HMCs on a daisy chain with
+80 GB/s full-duplex off-chip links, 16 vaults per cube, 256 DRAM banks in
+total, FR-FCFS-approximate open-row bank timing with
+tCL = tRCD = tRP = 13.75 ns, and 64-TSV vertical links per vault.
+"""
+
+from repro.mem.address_map import AddressMap, BlockLocation
+from repro.mem.dram import DramBank, DramTimings
+from repro.mem.hmc import HmcSystem
+from repro.mem.link import EmaFlitCounter, OffChipChannel
+from repro.mem.vault import Vault
+
+__all__ = [
+    "AddressMap",
+    "BlockLocation",
+    "DramBank",
+    "DramTimings",
+    "EmaFlitCounter",
+    "HmcSystem",
+    "OffChipChannel",
+    "Vault",
+]

@@ -1,0 +1,68 @@
+"""Physical-address to HMC/vault/bank/row interleaving.
+
+Cache blocks are interleaved across all vaults of all cubes at block
+granularity (consecutive blocks land in different vaults), then across the
+banks within a vault, with the remaining bits selecting the DRAM row.  This
+is the layout that maximizes vault-level parallelism for the streaming and
+random-access workloads the paper studies, and it is also what makes the
+single-cache-block restriction (Section 3.1) meaningful: one PIM operation
+touches exactly one vault.
+"""
+
+from dataclasses import dataclass
+
+from repro.util.bitops import ilog2
+
+
+@dataclass(frozen=True)
+class BlockLocation:
+    """Where a physical cache block lives inside the memory system."""
+
+    hmc: int
+    vault: int  # global vault index across all HMCs
+    bank: int  # bank index within the vault
+    row: int  # DRAM row within the bank
+
+
+class AddressMap:
+    """Decomposes physical block addresses into memory-system coordinates."""
+
+    def __init__(
+        self,
+        block_size: int = 64,
+        n_hmcs: int = 8,
+        vaults_per_hmc: int = 16,
+        banks_per_vault: int = 2,
+        row_bytes: int = 2048,
+    ):
+        self.block_size = block_size
+        self.n_hmcs = n_hmcs
+        self.vaults_per_hmc = vaults_per_hmc
+        self.banks_per_vault = banks_per_vault
+        self.row_bytes = row_bytes
+        self.total_vaults = n_hmcs * vaults_per_hmc
+        self.total_banks = self.total_vaults * banks_per_vault
+        self._block_bits = ilog2(block_size)
+        self._vault_bits = ilog2(self.total_vaults)
+        self._bank_bits = ilog2(banks_per_vault)
+        self._blocks_per_row = max(1, row_bytes // block_size)
+        self._row_bits_shift = self._vault_bits + self._bank_bits
+
+    def block_number(self, addr: int) -> int:
+        return addr >> self._block_bits
+
+    def locate(self, addr: int) -> BlockLocation:
+        """Map a physical address to its (hmc, vault, bank, row) coordinates."""
+        block = addr >> self._block_bits
+        vault = block & (self.total_vaults - 1)
+        block >>= self._vault_bits
+        bank = block & (self.banks_per_vault - 1)
+        block >>= self._bank_bits
+        row = block // self._blocks_per_row
+        return BlockLocation(
+            hmc=vault // self.vaults_per_hmc, vault=vault, bank=bank, row=row
+        )
+
+    def vault_of(self, addr: int) -> int:
+        """Fast path: only the global vault index of ``addr``."""
+        return (addr >> self._block_bits) & (self.total_vaults - 1)

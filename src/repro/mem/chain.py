@@ -1,0 +1,79 @@
+"""Per-cube daisy-chain modeling (opt-in).
+
+By default the 8-cube chain of Table 2 is modelled as its bottleneck
+host-side hop (one request + one response link shared by all cubes).  With
+``SystemConfig.model_chain_hops=True`` the chain is modelled hop by hop: a
+packet to cube *k* traverses k+1 request hops and its response k+1 response
+hops, each hop being its own fluid-queue link — so nearer cubes enjoy lower
+latency and the first hop still carries all traffic (it remains the
+bandwidth bottleneck, preserving the default model's aggregate behaviour).
+"""
+
+from typing import List
+
+from repro.mem.link import OffChipChannel
+from repro.sim.resource import BandwidthLink
+
+
+class DaisyChainChannel(OffChipChannel):
+    """An OffChipChannel whose packets pay position-dependent hop costs.
+
+    The base class's ``request``/``response`` links are the host-side hop
+    (hop 0), keeping every aggregate counter (bytes, EMA flits) and the
+    balanced-dispatch interface identical to the single-hop model; deeper
+    hops add their own queueing and serialization latency on top.
+    """
+
+    def __init__(
+        self,
+        n_hops: int,
+        request_bytes_per_cycle: float,
+        response_bytes_per_cycle: float,
+        header_bytes: int = 16,
+        flit_bytes: int = 16,
+        serdes_latency: float = 16.0,
+        ema_period: float = 40000.0,
+        hop_latency: float = 4.0,
+    ):
+        super().__init__(request_bytes_per_cycle, response_bytes_per_cycle,
+                         header_bytes, flit_bytes, serdes_latency, ema_period)
+        if n_hops <= 0:
+            raise ValueError(f"chain needs at least one hop, got {n_hops}")
+        self.n_hops = n_hops
+        self.hop_latency = hop_latency
+        # Hop 0 is the base class's links; deeper hops are extra.
+        self._request_hops: List[BandwidthLink] = [
+            BandwidthLink(f"chain.req[{i}]", request_bytes_per_cycle)
+            for i in range(1, n_hops)
+        ]
+        self._response_hops: List[BandwidthLink] = [
+            BandwidthLink(f"chain.res[{i}]", response_bytes_per_cycle)
+            for i in range(1, n_hops)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def send_request_to(self, arrival: float, payload_bytes: int,
+                        hop: int) -> float:
+        """Send a request packet to the cube ``hop`` positions down-chain."""
+        t = self.send_request(arrival, payload_bytes)  # hop 0 (bottleneck)
+        nbytes = self.packet_bytes(payload_bytes)
+        for link in self._request_hops[:hop]:
+            t = link.transfer(t, nbytes) + self.hop_latency
+        return t
+
+    def send_response_from(self, arrival: float, payload_bytes: int,
+                           hop: int) -> float:
+        """Return a response from the cube ``hop`` positions down-chain."""
+        nbytes = self.packet_bytes(payload_bytes)
+        t = arrival
+        for link in reversed(self._response_hops[:hop]):
+            t = link.transfer(t, nbytes) + self.hop_latency
+        return self.send_response(t, payload_bytes)  # hop 0 last
+
+    def reset(self) -> None:
+        super().reset()
+        for link in self._request_hops:
+            link.reset()
+        for link in self._response_hops:
+            link.reset()

@@ -1,0 +1,119 @@
+"""The full HMC-based main-memory system.
+
+Exposes the two primitives the cache hierarchy needs (block read, posted
+block write) and the vault-level access points the memory-side PEI executor
+composes.  Off-chip traffic accounting follows the paper's packet cost model:
+a 64-byte block read is a 16-byte request plus an 80-byte response; a block
+write is an 80-byte posted request.
+"""
+
+from typing import List
+
+from repro.mem.address_map import AddressMap
+from repro.mem.dram import DramTimings
+from repro.mem.link import OffChipChannel
+from repro.mem.vault import Vault
+from repro.sim.stats import Stats
+
+
+class HmcSystem:
+    """8 HMCs x 16 vaults of 3D-stacked DRAM behind a shared off-chip chain."""
+
+    def __init__(
+        self,
+        address_map: AddressMap,
+        timings: DramTimings,
+        channel: OffChipChannel,
+        tsv_bytes_per_cycle: float,
+        stats: Stats,
+        controller_latency: float = 8.0,
+    ):
+        self.address_map = address_map
+        self.channel = channel
+        self.stats = stats
+        self.vaults: List[Vault] = [
+            Vault(i, address_map.banks_per_vault, timings, tsv_bytes_per_cycle,
+                  controller_latency)
+            for i in range(address_map.total_vaults)
+        ]
+
+    def vault_for(self, addr: int) -> Vault:
+        """Return the vault that owns the block containing ``addr``."""
+        return self.vaults[self.address_map.vault_of(addr)]
+
+    # ------------------------------------------------------------------
+    # Normal (cache-hierarchy-initiated) accesses
+    # ------------------------------------------------------------------
+
+    def read_block(self, arrival: float, addr: int) -> float:
+        """Fetch one cache block; return the time it reaches the host.
+
+        Request: header only (16 B).  Response: header + 64 B of data.
+        """
+        loc = self.address_map.locate(addr)
+        t = self.channel.send_request_to(arrival, 0, loc.hmc)
+        t = self.vaults[loc.vault].read_block(t, loc.bank, loc.row,
+                                              self.address_map.block_size)
+        t = self.channel.send_response_from(t, self.address_map.block_size,
+                                            loc.hmc)
+        self.stats.add("dram.reads")
+        self.stats.add("offchip.read_packets")
+        return t
+
+    def write_block(self, arrival: float, addr: int) -> float:
+        """Write back one cache block (posted; header + 64 B request).
+
+        Returns the completion time inside the cube, but callers normally do
+        not wait on it — writebacks are fire-and-forget.
+        """
+        loc = self.address_map.locate(addr)
+        t = self.channel.send_request_to(arrival, self.address_map.block_size,
+                                         loc.hmc)
+        t = self.vaults[loc.vault].write_block(t, loc.bank, loc.row,
+                                               self.address_map.block_size)
+        self.stats.add("dram.writes")
+        self.stats.add("offchip.write_packets")
+        return t
+
+    # ------------------------------------------------------------------
+    # Memory-side PEI primitives (composed by repro.core.executor)
+    # ------------------------------------------------------------------
+
+    def pim_send_request(self, arrival: float, input_bytes: int,
+                         addr: int = 0) -> float:
+        """Ship a PIM-operation packet (type + address + inputs) to its cube."""
+        self.stats.add("offchip.pim_requests")
+        hop = self.address_map.locate(addr).hmc
+        return self.channel.send_request_to(arrival, input_bytes, hop)
+
+    def pim_send_response(self, arrival: float, output_bytes: int,
+                          addr: int = 0) -> float:
+        """Return a PIM operation's outputs (possibly empty) to the host."""
+        self.stats.add("offchip.pim_responses")
+        hop = self.address_map.locate(addr).hmc
+        return self.channel.send_response_from(arrival, output_bytes, hop)
+
+    def pim_read_block(self, arrival: float, addr: int) -> float:
+        """Vault-local block read feeding the memory-side PCU (no off-chip)."""
+        loc = self.address_map.locate(addr)
+        self.stats.add("dram.pim_reads")
+        return self.vaults[loc.vault].read_block(arrival, loc.bank, loc.row,
+                                                 self.address_map.block_size)
+
+    def pim_write_block(self, arrival: float, addr: int) -> float:
+        """Vault-local block write from the memory-side PCU (no off-chip)."""
+        loc = self.address_map.locate(addr)
+        self.stats.add("dram.pim_writes")
+        return self.vaults[loc.vault].write_block(arrival, loc.bank, loc.row,
+                                                  self.address_map.block_size)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def dram_accesses(self) -> int:
+        return sum(vault.dram_accesses for vault in self.vaults)
+
+    def reset(self) -> None:
+        self.channel.reset()
+        for vault in self.vaults:
+            vault.reset()

@@ -1,0 +1,121 @@
+"""Off-chip HMC links: separate request and response directions.
+
+The paper's bandwidth asymmetry argument (Section 7.4) rests on the packet
+cost model: a read consumes 16 bytes of request bandwidth and 80 bytes of
+response bandwidth; a write consumes 80 bytes of request bandwidth.  We model
+each direction as an independent BandwidthLink and pad payloads to the flit
+granularity.  The channel also maintains the two exponentially-averaged flit
+counters (C_req, C_res) that balanced dispatch reads.
+"""
+
+from repro.sim.resource import BandwidthLink
+from repro.util.bitops import align_up
+
+
+class EmaFlitCounter:
+    """An accumulator halved every ``period`` cycles (Section 7.4).
+
+    The paper halves the counters every 10 microseconds to compute an
+    exponential moving average of off-chip traffic; we decay lazily when the
+    counter is touched.
+    """
+
+    __slots__ = ("period", "value", "_epoch")
+
+    def __init__(self, period: float):
+        if period <= 0:
+            raise ValueError(f"EMA period must be positive, got {period}")
+        self.period = period
+        self.value = 0.0
+        self._epoch = 0.0
+
+    def _decay(self, now: float) -> None:
+        if now <= self._epoch:
+            return
+        steps = int((now - self._epoch) / self.period)
+        if steps > 0:
+            self.value *= 0.5 ** min(steps, 64)
+            self._epoch += steps * self.period
+
+    def add(self, now: float, amount: float) -> None:
+        self._decay(now)
+        self.value += amount
+
+    def read(self, now: float) -> float:
+        self._decay(now)
+        return self.value
+
+
+class OffChipChannel:
+    """The daisy-chained host<->HMC channel (one shared hop).
+
+    The eight cubes of Table 2 share one 80 GB/s full-duplex chain whose
+    host-side hop is the bottleneck, so we model a single request link and a
+    single response link.  All payloads are padded to ``flit_bytes`` and
+    carry a ``header_bytes`` packet header.
+    """
+
+    def __init__(
+        self,
+        request_bytes_per_cycle: float,
+        response_bytes_per_cycle: float,
+        header_bytes: int = 16,
+        flit_bytes: int = 16,
+        serdes_latency: float = 16.0,
+        ema_period: float = 40000.0,
+    ):
+        self.request = BandwidthLink("offchip.request", request_bytes_per_cycle)
+        self.response = BandwidthLink("offchip.response", response_bytes_per_cycle)
+        self.header_bytes = header_bytes
+        self.flit_bytes = flit_bytes
+        self.serdes_latency = serdes_latency
+        self.req_flits = EmaFlitCounter(ema_period)
+        self.res_flits = EmaFlitCounter(ema_period)
+
+    def packet_bytes(self, payload_bytes: int) -> int:
+        """Total wire bytes of a packet with ``payload_bytes`` of payload."""
+        return align_up(self.header_bytes + payload_bytes, self.flit_bytes)
+
+    def send_request(self, arrival: float, payload_bytes: int) -> float:
+        """Transfer a request packet; return its arrival time at the cube."""
+        nbytes = self.packet_bytes(payload_bytes)
+        finish = self.request.transfer(arrival, nbytes)
+        self.req_flits.add(finish, nbytes / self.flit_bytes)
+        return finish + self.serdes_latency
+
+    def send_response(self, arrival: float, payload_bytes: int) -> float:
+        """Transfer a response packet; return its arrival time at the host."""
+        nbytes = self.packet_bytes(payload_bytes)
+        finish = self.response.transfer(arrival, nbytes)
+        self.res_flits.add(finish, nbytes / self.flit_bytes)
+        return finish + self.serdes_latency
+
+    # Hop-aware variants: the base channel models the chain as its
+    # bottleneck hop, so the cube position is ignored here; the opt-in
+    # DaisyChainChannel (repro.mem.chain) overrides these.
+
+    def send_request_to(self, arrival: float, payload_bytes: int,
+                        hop: int) -> float:
+        return self.send_request(arrival, payload_bytes)
+
+    def send_response_from(self, arrival: float, payload_bytes: int,
+                           hop: int) -> float:
+        return self.send_response(arrival, payload_bytes)
+
+    @property
+    def request_bytes(self) -> int:
+        return self.request.bytes_transferred
+
+    @property
+    def response_bytes(self) -> int:
+        return self.response.bytes_transferred
+
+    @property
+    def total_bytes(self) -> int:
+        return self.request_bytes + self.response_bytes
+
+    def reset(self) -> None:
+        self.request.reset()
+        self.response.reset()
+        self.req_flits = EmaFlitCounter(self.req_flits.period)
+        self.res_flits = EmaFlitCounter(self.res_flits.period)

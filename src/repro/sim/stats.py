@@ -1,0 +1,62 @@
+"""Event counters shared by all hardware models.
+
+A Stats object is a flat named-counter registry.  Components increment
+counters as side effects of timing calls; the benchmark harness and the
+energy model read them afterwards.  Keeping one flat namespace (rather than
+per-component objects) makes cross-cutting metrics such as "total off-chip
+request bytes" trivial to aggregate and compare across configurations.
+"""
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class Stats:
+    """A dictionary of float counters with convenience arithmetic."""
+
+    __slots__ = ("_counters",)
+
+    def __init__(self):
+        self._counters = defaultdict(float)
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Increment counter ``name`` by ``value``."""
+        self._counters[name] += value
+
+    def set(self, name: str, value: float) -> None:
+        """Set counter ``name`` to ``value`` (for gauges such as runtime)."""
+        self._counters[name] = value
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._counters.get(name, default)
+
+    def __getitem__(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._counters.items()))
+
+    def merge(self, other: "Stats") -> None:
+        """Add all counters of ``other`` into this object."""
+        for name, value in other._counters.items():
+            self._counters[name] += value
+
+    def scaled(self, factor: float) -> "Stats":
+        """Return a copy with every counter multiplied by ``factor``."""
+        out = Stats()
+        for name, value in self._counters.items():
+            out._counters[name] = value * factor
+        return out
+
+    def to_dict(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    def clear(self) -> None:
+        self._counters.clear()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counters.items()))
+        return f"Stats({inner})"

@@ -1,0 +1,14 @@
+"""System assembly: configuration, construction, and the run engine."""
+
+from repro.system.config import SystemConfig, paper_config, scaled_config, tiny_config
+from repro.system.result import RunResult
+from repro.system.system import System
+
+__all__ = [
+    "RunResult",
+    "System",
+    "SystemConfig",
+    "paper_config",
+    "scaled_config",
+    "tiny_config",
+]

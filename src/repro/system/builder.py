@@ -1,0 +1,224 @@
+"""Constructs a complete simulated machine from a SystemConfig."""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.dispatch import DispatchPolicy
+from repro.core.executor import PeiExecutor
+from repro.core.locality_monitor import LocalityMonitor
+from repro.core.pcu import Pcu
+from repro.core.pim_directory import PimDirectory
+from repro.core.pmu import Pmu
+from repro.cpu.core import CoreModel
+from repro.mem.address_map import AddressMap
+from repro.mem.dram import DramTimings
+from repro.mem.hmc import HmcSystem
+from repro.mem.link import OffChipChannel
+from repro.sim.clock import ClockDomain
+from repro.sim.stats import Stats
+from repro.system.config import SystemConfig
+from repro.vm.page_table import PageTable
+from repro.vm.tlb import Tlb
+from repro.xbar.crossbar import Crossbar
+
+
+@dataclass
+class Machine:
+    """All constructed hardware components of one system instance."""
+
+    config: SystemConfig
+    policy: DispatchPolicy
+    stats: Stats
+    crossbar: Crossbar
+    hmc: HmcSystem
+    hierarchy: CacheHierarchy
+    page_table: PageTable
+    tlbs: List[Tlb]
+    cores: List[CoreModel]
+    host_pcus: List[Pcu]
+    directory: PimDirectory
+    monitor: LocalityMonitor
+    pmu: Pmu
+    executor: PeiExecutor
+
+
+def build_machine(config: SystemConfig, policy: DispatchPolicy) -> Machine:
+    """Wire every component of the architecture of Fig. 3."""
+    stats = Stats()
+
+    # On-chip network: one injection port per core, plus one for the PMU
+    # and one for the HMC controller.
+    pmu_port = config.n_cores
+    crossbar = Crossbar(
+        n_ports=config.n_cores + 2,
+        bytes_per_cycle=config.xbar_bytes_per_cycle,
+        latency=config.xbar_latency,
+    )
+
+    # Main memory.
+    address_map = AddressMap(
+        block_size=config.block_size,
+        n_hmcs=config.n_hmcs,
+        vaults_per_hmc=config.vaults_per_hmc,
+        banks_per_vault=config.banks_per_vault,
+        row_bytes=config.dram_row_bytes,
+    )
+    timings = DramTimings.from_ns(
+        t_cl_ns=config.dram_t_cl_ns,
+        t_rcd_ns=config.dram_t_rcd_ns,
+        t_rp_ns=config.dram_t_rp_ns,
+        burst_ns=config.dram_burst_ns,
+        host_freq_ghz=config.core_freq_ghz,
+    )
+    if config.model_chain_hops:
+        from repro.mem.chain import DaisyChainChannel
+
+        channel = DaisyChainChannel(
+            n_hops=config.n_hmcs,
+            request_bytes_per_cycle=config.offchip_request_bytes_per_cycle,
+            response_bytes_per_cycle=config.offchip_response_bytes_per_cycle,
+            header_bytes=config.packet_header_bytes,
+            flit_bytes=config.flit_bytes,
+            serdes_latency=config.serdes_latency,
+            ema_period=config.balanced_dispatch_ema_period,
+            hop_latency=config.chain_hop_latency,
+        )
+    else:
+        channel = OffChipChannel(
+            request_bytes_per_cycle=config.offchip_request_bytes_per_cycle,
+            response_bytes_per_cycle=config.offchip_response_bytes_per_cycle,
+            header_bytes=config.packet_header_bytes,
+            flit_bytes=config.flit_bytes,
+            serdes_latency=config.serdes_latency,
+            ema_period=config.balanced_dispatch_ema_period,
+        )
+    hmc = HmcSystem(
+        address_map=address_map,
+        timings=timings,
+        channel=channel,
+        tsv_bytes_per_cycle=config.tsv_bytes_per_cycle,
+        stats=stats,
+        controller_latency=config.memory_controller_latency,
+    )
+
+    # Cache hierarchy.
+    hierarchy = CacheHierarchy(
+        n_cores=config.n_cores,
+        block_size=config.block_size,
+        l1_sets=config.l1_sets,
+        l1_ways=config.l1_ways,
+        l2_sets=config.l2_sets,
+        l2_ways=config.l2_ways,
+        l3_sets=config.l3_sets,
+        l3_ways=config.l3_ways,
+        l1_latency=config.l1_latency,
+        l2_latency=config.l2_latency,
+        l3_latency=config.l3_latency,
+        l3_banks=config.l3_banks,
+        l3_bank_occupancy=config.l3_bank_occupancy,
+        crossbar=crossbar,
+        hmc=hmc,
+        stats=stats,
+        cache_to_cache_penalty=config.cache_to_cache_penalty,
+        replacement_policy=config.cache_replacement_policy,
+    )
+
+    # Virtual memory.
+    page_table = PageTable(page_size=config.page_size, n_frames=config.physical_frames)
+    tlbs = [
+        Tlb(page_table, entries=config.tlb_entries, walk_latency=config.tlb_walk_latency)
+        for _ in range(config.n_cores)
+    ]
+
+    # Cores.
+    cores = [
+        CoreModel(
+            core_id=i,
+            issue_width=config.issue_width,
+            mlp=config.core_mlp,
+            tlb=tlbs[i],
+            hierarchy=hierarchy,
+            stats=stats,
+        )
+        for i in range(config.n_cores)
+    ]
+
+    # PEI hardware: host-side PCUs (one per core) ...
+    host_clock = ClockDomain(config.host_pcu_freq_ghz, config.core_freq_ghz)
+    host_pcus = [
+        Pcu(
+            f"pcu.host{i}",
+            host_clock,
+            operand_buffer_entries=config.pcu_operand_buffer_entries,
+            issue_width=config.pcu_issue_width,
+        )
+        for i in range(config.n_cores)
+    ]
+    # ... and memory-side PCUs (one per vault), attached to their vaults.
+    mem_clock = ClockDomain(config.mem_pcu_freq_ghz, config.core_freq_ghz)
+    for vault in hmc.vaults:
+        vault.pcu = Pcu(
+            f"pcu.vault{vault.index}",
+            mem_clock,
+            operand_buffer_entries=config.pcu_operand_buffer_entries,
+            issue_width=config.pcu_issue_width,
+        )
+
+    # PMU: PIM directory + locality monitor.
+    ideal_directory = config.ideal_pim_directory or policy is DispatchPolicy.IDEAL_HOST
+    directory = PimDirectory(
+        entries=config.pim_directory_entries,
+        latency=config.pim_directory_latency,
+        stats=stats,
+        ideal=ideal_directory,
+        handoff_penalty=config.pim_directory_handoff_penalty,
+    )
+    monitor = LocalityMonitor(
+        n_sets=config.l3_sets,
+        n_ways=config.l3_ways,
+        partial_tag_bits=48 if config.ideal_locality_monitor
+        else config.locality_monitor_partial_tag_bits,
+        latency=0.0 if config.ideal_locality_monitor
+        else config.locality_monitor_latency,
+        use_ignore_flag=config.locality_monitor_ignore_flag,
+        stats=stats,
+    )
+    pmu = Pmu(
+        directory=directory,
+        monitor=monitor,
+        hierarchy=hierarchy,
+        channel=channel,
+        crossbar=crossbar,
+        pmu_port=pmu_port,
+        policy=policy,
+        stats=stats,
+    )
+    if policy.uses_monitor:
+        hierarchy.l3_observer = monitor.observe_llc_access
+
+    executor = PeiExecutor(
+        host_pcus=host_pcus,
+        hmc=hmc,
+        pmu=pmu,
+        hierarchy=hierarchy,
+        stats=stats,
+        mmio_cost=config.pei_mmio_cost,
+    )
+
+    return Machine(
+        config=config,
+        policy=policy,
+        stats=stats,
+        crossbar=crossbar,
+        hmc=hmc,
+        hierarchy=hierarchy,
+        page_table=page_table,
+        tlbs=tlbs,
+        cores=cores,
+        host_pcus=host_pcus,
+        directory=directory,
+        monitor=monitor,
+        pmu=pmu,
+        executor=executor,
+    )

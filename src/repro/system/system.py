@@ -1,0 +1,257 @@
+"""The top-level simulated system and its run engine.
+
+The engine interleaves the workload's per-thread operation generators in
+approximate global-time order: a heap keyed by core time always advances the
+laggard thread, and each popped thread processes a small batch of operations
+before re-entering the heap.  Shared-resource contention (links, DRAM banks,
+L3 banks, PCU logic) is handled by the resources themselves, so the engine
+only has to keep threads roughly synchronized.
+"""
+
+import heapq
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.core.dispatch import DispatchPolicy
+from repro.cpu.trace import (
+    KIND_BARRIER,
+    KIND_COMPUTE,
+    KIND_FENCE,
+    KIND_LOAD,
+    KIND_PEI,
+    KIND_STORE,
+)
+from repro.energy.model import EnergyModel
+from repro.energy.params import EnergyParams
+from repro.system.builder import build_machine
+from repro.system.config import SystemConfig, scaled_config
+from repro.system.result import RunResult
+from repro.vm.address_space import AddressSpace
+from repro.workloads.base import Workload
+
+
+class System:
+    """A complete machine instance ready to run one workload.
+
+    Machine state (caches, monitor, link counters) persists across ``run``
+    calls; experiments create a fresh System per measured run so every
+    configuration starts cold.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig = None,
+        policy: DispatchPolicy = DispatchPolicy.LOCALITY_AWARE,
+        energy_params: EnergyParams = None,
+    ):
+        self.config = config if config is not None else scaled_config()
+        self.policy = policy
+        self.machine = build_machine(self.config, policy)
+        self.energy_model = EnergyModel(energy_params)
+
+    # Convenience accessors --------------------------------------------
+
+    @property
+    def stats(self):
+        return self.machine.stats
+
+    @property
+    def cores(self):
+        return self.machine.cores
+
+    @property
+    def hierarchy(self):
+        return self.machine.hierarchy
+
+    @property
+    def pmu(self):
+        return self.machine.pmu
+
+    @property
+    def executor(self):
+        return self.machine.executor
+
+    @property
+    def hmc(self):
+        return self.machine.hmc
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        workload: Workload,
+        max_ops_per_thread: Optional[int] = None,
+        n_threads: Optional[int] = None,
+        batch_window: float = 256.0,
+        warm_start: bool = True,
+    ) -> RunResult:
+        """Simulate ``workload``; returns the collected metrics.
+
+        ``max_ops_per_thread`` caps each thread's operation count — the
+        analogue of the paper's fixed two-billion-instruction simulation
+        windows.  The cap cuts identical work in every configuration because
+        operation streams never depend on the execution mode.
+
+        ``warm_start`` emulates the paper's methodology of simulating after
+        the initialization phase: the initialization sweep that wrote the
+        data leaves the last-level cache and the locality monitor populated
+        with the most recently initialized blocks.
+        """
+        machine = self.machine
+        space = AddressSpace(page_size=self.config.page_size)
+        workload.prepare(space)
+        if warm_start:
+            self._warm_caches(space)
+        if n_threads is None:
+            n_threads = self.config.n_cores
+        if n_threads > self.config.n_cores:
+            raise ValueError(
+                f"{n_threads} threads exceed {self.config.n_cores} cores"
+            )
+        generators = workload.make_threads(n_threads)
+        if len(generators) != n_threads:
+            raise RuntimeError(
+                f"workload produced {len(generators)} threads, expected {n_threads}"
+            )
+        groups = workload.barrier_groups(n_threads)
+
+        cores = machine.cores
+        executor = machine.executor
+        ops_done = [0] * n_threads
+        group_active: Dict[int, int] = defaultdict(int)
+        for group in groups:
+            group_active[group] += 1
+        barrier_arrived: Dict[int, List[int]] = defaultdict(list)
+        parked_count = 0
+
+        heap = [(cores[tid].time, tid) for tid in range(n_threads)]
+        heapq.heapify(heap)
+
+        def release_group(group: int) -> None:
+            nonlocal parked_count
+            waiting = barrier_arrived[group]
+            resume = max(cores[tid].time for tid in waiting)
+            for tid in waiting:
+                cores[tid].time = resume
+                heapq.heappush(heap, (resume, tid))
+            parked_count -= len(waiting)
+            barrier_arrived[group] = []
+
+        def finish_thread(tid: int) -> None:
+            group = groups[tid]
+            group_active[group] -= 1
+            waiting = barrier_arrived[group]
+            if waiting and len(waiting) == group_active[group]:
+                release_group(group)
+
+        while heap:
+            _, tid = heapq.heappop(heap)
+            gen = generators[tid]
+            core = cores[tid]
+            horizon = heap[0][0] + batch_window if heap else float("inf")
+            parked = False
+            finished = False
+            while True:
+                if max_ops_per_thread is not None and ops_done[tid] >= max_ops_per_thread:
+                    finished = True
+                    break
+                try:
+                    op = next(gen)
+                except StopIteration:
+                    finished = True
+                    break
+                ops_done[tid] += 1
+                kind = op.kind
+                if kind == KIND_LOAD:
+                    core.do_load(op.addr, op.dep)
+                elif kind == KIND_PEI:
+                    executor.execute(core, op.op, op.addr, op.wait_output, op.chain)
+                elif kind == KIND_COMPUTE:
+                    core.do_compute(op.insts)
+                elif kind == KIND_STORE:
+                    core.do_store(op.addr)
+                elif kind == KIND_FENCE:
+                    executor.fence(core)
+                elif kind == KIND_BARRIER:
+                    group = op.group
+                    barrier_arrived[group].append(tid)
+                    parked_count += 1
+                    parked = True
+                    if len(barrier_arrived[group]) == group_active[group]:
+                        release_group(group)
+                    break
+                else:
+                    raise ValueError(f"unknown operation kind {kind}")
+                if core.time > horizon:
+                    break
+            if finished:
+                finish_thread(tid)
+            elif not parked:
+                heapq.heappush(heap, (core.time, tid))
+
+        if parked_count:
+            raise RuntimeError(
+                "barrier deadlock: threads still parked when the run drained"
+            )
+
+        for core in cores:
+            core.drain()
+        return self._collect(workload, n_threads, max_ops_per_thread)
+
+    # ------------------------------------------------------------------
+
+    def _warm_caches(self, space: AddressSpace) -> None:
+        """Touch every allocated block in initialization order.
+
+        Inserts each block (clean) into the L3 and, when the policy uses the
+        locality monitor, mirrors the access there — the state a real run
+        would have right after its (skipped) initialization phase.  No
+        statistics or timing are charged.
+        """
+        machine = self.machine
+        hierarchy = machine.hierarchy
+        page_table = machine.page_table
+        block_size = self.config.block_size
+        observe = (machine.monitor.observe_llc_access
+                   if self.policy.uses_monitor else None)
+        for region in space.regions.values():
+            for vaddr in range(region.base, region.end, block_size):
+                block = page_table.translate(vaddr) >> hierarchy.block_bits
+                hierarchy.l3.insert(block, dirty=False)
+                if observe is not None:
+                    observe(block)
+
+    # ------------------------------------------------------------------
+
+    def _collect(
+        self, workload: Workload, n_threads: int, max_ops_per_thread: Optional[int]
+    ) -> RunResult:
+        machine = self.machine
+        stats = machine.stats
+        cycles = max(core.time for core in machine.cores)
+        channel = machine.hmc.channel
+        stats.set("offchip.request_bytes", channel.request.bytes_transferred)
+        stats.set("offchip.response_bytes", channel.response.bytes_transferred)
+        stats.set(
+            "tsv.bytes",
+            sum(vault.tsv.bytes_transferred for vault in machine.hmc.vaults),
+        )
+        stats.set("xbar.bytes", machine.crossbar.bytes_transferred)
+        stats.set("runtime.cycles", cycles)
+        per_core = [core.instructions for core in machine.cores]
+        energy = self.energy_model.compute(stats)
+        return RunResult(
+            workload=workload.name,
+            policy=self.policy.value,
+            cycles=cycles,
+            instructions=sum(per_core),
+            per_core_instructions=per_core,
+            stats=stats.to_dict(),
+            energy=energy,
+            metadata={
+                "n_threads": n_threads,
+                "max_ops_per_thread": max_ops_per_thread,
+                "footprint_bytes": workload.footprint,
+                "config_l3_size": self.config.l3_size,
+            },
+        )

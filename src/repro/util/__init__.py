@@ -1,0 +1,26 @@
+"""Small shared utilities: bit manipulation and deterministic RNG helpers."""
+
+from repro.util.bitops import (
+    align_down,
+    align_up,
+    block_address,
+    block_index,
+    ilog2,
+    is_power_of_two,
+    mask,
+    xor_fold,
+)
+from repro.util.rng import derive_seed, make_rng
+
+__all__ = [
+    "align_down",
+    "align_up",
+    "block_address",
+    "block_index",
+    "derive_seed",
+    "ilog2",
+    "is_power_of_two",
+    "make_rng",
+    "mask",
+    "xor_fold",
+]

@@ -1,0 +1,70 @@
+"""Bit-manipulation helpers used across the address-mapped hardware models.
+
+The PIM directory and the locality monitor of the paper both index their
+structures with *XOR-folded* block addresses (Sections 4.3 and 6.1), so the
+folding primitive lives here and is shared by both.
+"""
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Return log2 of a positive power of two.
+
+    Raises:
+        ValueError: if ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"expected a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+def mask(bits: int) -> int:
+    """Return an integer with the low ``bits`` bits set."""
+    if bits < 0:
+        raise ValueError(f"bit count must be non-negative, got {bits}")
+    return (1 << bits) - 1
+
+
+def xor_fold(value: int, bits: int) -> int:
+    """Fold ``value`` into ``bits`` bits by XOR-ing successive chunks.
+
+    This is the hash used by the paper for the tag-less PIM directory index
+    and for the locality monitor's partial tags.  Folding (rather than
+    truncating) mixes high address bits into the result so that regular
+    strides do not systematically collide.
+    """
+    if bits <= 0:
+        raise ValueError(f"fold width must be positive, got {bits}")
+    value = int(value)  # tolerate numpy integers without overflow
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    folded = 0
+    chunk_mask = mask(bits)
+    while value:
+        folded ^= value & chunk_mask
+        value >>= bits
+    return folded
+
+
+def block_address(addr: int, block_size: int) -> int:
+    """Return the base address of the cache block containing ``addr``."""
+    return addr & ~(block_size - 1)
+
+
+def block_index(addr: int, block_size: int) -> int:
+    """Return the block number (address divided by block size)."""
+    return addr >> ilog2(block_size)
+
+
+def align_down(addr: int, alignment: int) -> int:
+    """Round ``addr`` down to a multiple of ``alignment`` (a power of two)."""
+    return addr & ~(alignment - 1)
+
+
+def align_up(addr: int, alignment: int) -> int:
+    """Round ``addr`` up to a multiple of ``alignment`` (a power of two)."""
+    return (addr + alignment - 1) & ~(alignment - 1)

@@ -1,0 +1,13 @@
+"""Virtual memory: address-space allocation, page table, per-core TLBs.
+
+PEIs use virtual addresses exactly like normal instructions (Section 4.4):
+the issuing core translates the target block through its own TLB before the
+operation ever reaches the PMU, so the PMU, the PCUs and the memory system
+deal in physical addresses only.
+"""
+
+from repro.vm.address_space import AddressSpace
+from repro.vm.page_table import PageTable
+from repro.vm.tlb import Tlb
+
+__all__ = ["AddressSpace", "PageTable", "Tlb"]

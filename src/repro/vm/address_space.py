@@ -1,0 +1,57 @@
+"""A process address space with a named bump allocator.
+
+Workloads allocate their data structures here and compute element addresses
+as ``base + index * stride``.  Allocations are page-aligned so distinct
+structures never share a page, and region names make traces and tests
+self-describing.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.util.bitops import align_up
+
+
+@dataclass(frozen=True)
+class Region:
+    """One named allocation."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def addr(self, offset: int) -> int:
+        """Address of a byte offset inside the region (bounds-checked)."""
+        if not 0 <= offset < self.size:
+            raise IndexError(f"offset {offset} outside region '{self.name}' of size {self.size}")
+        return self.base + offset
+
+
+class AddressSpace:
+    """Bump allocator over a virtual address range starting above NULL."""
+
+    def __init__(self, page_size: int = 4096, base: int = 0x10000):
+        self.page_size = page_size
+        self._next = align_up(base, page_size)
+        self.regions: Dict[str, Region] = {}
+
+    def alloc(self, name: str, size: int, alignment: int = 64) -> Region:
+        """Allocate ``size`` bytes; returns the new page-aligned region."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        if name in self.regions:
+            raise ValueError(f"region '{name}' already allocated")
+        base = align_up(self._next, max(alignment, self.page_size))
+        region = Region(name, base, size)
+        self.regions[name] = region
+        self._next = align_up(base + size, self.page_size)
+        return region
+
+    @property
+    def footprint(self) -> int:
+        """Total bytes allocated across all regions."""
+        return sum(region.size for region in self.regions.values())

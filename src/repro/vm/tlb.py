@@ -1,0 +1,49 @@
+"""A per-core translation lookaside buffer.
+
+The single-cache-block restriction guarantees a PEI needs exactly one TLB
+access, the same as a normal memory instruction (Section 4.4) — so the TLB
+is shared by loads, stores and PEIs alike and misses add a fixed page-walk
+latency.
+"""
+
+from collections import OrderedDict
+
+from repro.vm.page_table import PageTable
+
+
+class Tlb:
+    """Fully-associative LRU TLB in front of a shared page table."""
+
+    __slots__ = ("page_table", "entries", "_cache", "walk_latency", "hits", "misses")
+
+    def __init__(self, page_table: PageTable, entries: int = 64, walk_latency: float = 100.0):
+        if entries <= 0:
+            raise ValueError(f"TLB must have at least one entry, got {entries}")
+        self.page_table = page_table
+        self.entries = entries
+        self.walk_latency = walk_latency
+        self._cache: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def translate(self, vaddr: int) -> "tuple[int, float]":
+        """Return ``(physical_address, extra_latency)`` for ``vaddr``."""
+        vpage = vaddr >> self.page_table.page_bits
+        frame = self._cache.get(vpage)
+        if frame is not None:
+            self._cache.move_to_end(vpage)
+            self.hits += 1
+            extra = 0.0
+        else:
+            self.misses += 1
+            paddr = self.page_table.translate(vaddr)
+            frame = paddr >> self.page_table.page_bits
+            self._cache[vpage] = frame
+            if len(self._cache) > self.entries:
+                self._cache.popitem(last=False)
+            extra = self.walk_latency
+        offset = vaddr & (self.page_table.page_size - 1)
+        return (frame << self.page_table.page_bits) | offset, extra
+
+    def flush(self) -> None:
+        self._cache.clear()

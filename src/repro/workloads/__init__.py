@@ -1,0 +1,25 @@
+"""The ten data-intensive workloads of the paper's case study (Section 5).
+
+Every workload is a *real* parallel algorithm operating on its own data in a
+simulated address space; as it runs it emits the operation stream (loads,
+stores, PEIs, fences, barriers) that the timing engine replays.  Functional
+results (PageRank values, BFS levels, join output, ...) are therefore
+computed for real and checked by the test suite.
+"""
+
+from repro.workloads.base import ThreadChunks, Workload
+from repro.workloads.multiprog import MultiprogrammedWorkload
+from repro.workloads.registry import (
+    INPUT_SIZES,
+    WORKLOAD_NAMES,
+    make_workload,
+)
+
+__all__ = [
+    "INPUT_SIZES",
+    "MultiprogrammedWorkload",
+    "ThreadChunks",
+    "WORKLOAD_NAMES",
+    "Workload",
+    "make_workload",
+]

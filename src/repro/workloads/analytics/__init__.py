@@ -1,0 +1,7 @@
+"""In-memory data analytics workloads (Section 5.2)."""
+
+from repro.workloads.analytics.hash_join import HashJoin
+from repro.workloads.analytics.histogram import Histogram
+from repro.workloads.analytics.radix_partition import RadixPartition
+
+__all__ = ["HashJoin", "Histogram", "RadixPartition"]

@@ -1,0 +1,135 @@
+"""Hash Join (Section 5.2).
+
+Builds a chained hash table from relation R (the skipped initialization
+phase) and probes it with keys from relation S.  Each chain hop is the
+paper's *hash table probing* PEI: it checks the keys of one bucket node and
+returns the match result plus the next node address (9 output bytes).  The
+software unrolls four independent probes per loop iteration so the
+out-of-order core overlaps their dependent PEI chains — modelled with the
+``chain`` tag of :class:`repro.cpu.trace.Pei`.
+"""
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.isa import HASH_PROBE
+from repro.cpu.trace import Barrier, Compute, Pei
+from repro.util.rng import make_rng
+from repro.workloads.base import ThreadChunks, Workload
+
+NODE_BYTES = 64  # one bucket node per cache block
+KEYS_PER_NODE = 4  # 4 keys + 4 payloads + next pointer per 64-byte node
+UNROLL = 4  # independent probe chains per loop iteration
+_HASH_MULT = 0x9E3779B97F4A7C15
+
+
+def bucket_hash(key: int, mask: int) -> int:
+    return ((key * _HASH_MULT) >> 17) & mask
+
+
+class HashJoin(Workload):
+    """Build-and-probe hash join; probes are chained hash-probe PEIs."""
+
+    name = "HJ"
+
+    def __init__(self, build_rows: int = 4096, probe_rows: int = 16384, seed: int = 42):
+        super().__init__(seed=seed)
+        if build_rows <= 0 or probe_rows <= 0:
+            raise ValueError("relation sizes must be positive")
+        self.build_rows = build_rows
+        self.probe_rows = probe_rows
+        self.matches = 0
+
+    def prepare(self, space) -> None:
+        self.space = space
+        rng = make_rng(self.seed, "hj")
+        # Unique build keys; probe keys hit ~50% of the time.
+        self.r_keys = rng.permutation(self.build_rows * 2)[: self.build_rows].astype(
+            np.int64
+        )
+        self.s_keys = rng.integers(0, self.build_rows * 2, size=self.probe_rows).astype(
+            np.int64
+        )
+        self._r_keyset = set(int(k) for k in self.r_keys)
+        # Hash-table geometry: ~2 keys per bucket before chaining.
+        n_buckets = 1
+        while n_buckets * KEYS_PER_NODE < self.build_rows * 2:
+            n_buckets *= 2
+        self.n_buckets = n_buckets
+        buckets = space.alloc("hj.buckets", n_buckets * NODE_BYTES)
+        # Build the chains functionally (initialization is not simulated).
+        chains: Dict[int, List[List[int]]] = {}
+        mask = n_buckets - 1
+        for key in self.r_keys:
+            b = bucket_hash(int(key), mask)
+            nodes = chains.setdefault(b, [[]])
+            if len(nodes[-1]) >= KEYS_PER_NODE:
+                nodes.append([])
+            nodes[-1].append(int(key))
+        n_overflow = sum(max(0, len(nodes) - 1) for nodes in chains.values())
+        overflow = space.alloc("hj.overflow", max(1, n_overflow) * NODE_BYTES)
+        space.alloc("hj.probe_keys", self.probe_rows * 8)
+        # Materialize per-bucket node address lists and key contents.
+        self._node_addrs: Dict[int, List[int]] = {}
+        self._node_keys: Dict[int, List[List[int]]] = {}
+        next_overflow = 0
+        for b, nodes in chains.items():
+            addrs = [buckets.base + b * NODE_BYTES]
+            for _ in nodes[1:]:
+                addrs.append(overflow.base + next_overflow * NODE_BYTES)
+                next_overflow += 1
+            self._node_addrs[b] = addrs
+            self._node_keys[b] = nodes
+        self._bucket_mask = mask
+        self._buckets_base = buckets.base
+        self.matches = 0
+
+    def _chain_for(self, key: int) -> List[int]:
+        """Node addresses a probe of ``key`` visits (stops at the match)."""
+        b = bucket_hash(key, self._bucket_mask)
+        addrs = self._node_addrs.get(b)
+        if addrs is None:
+            # Empty bucket: the probe still reads the bucket head node.
+            return [self._buckets_base + b * NODE_BYTES]
+        visited = []
+        for addr, keys in zip(addrs, self._node_keys[b]):
+            visited.append(addr)
+            if key in keys:
+                return visited
+        return visited
+
+    def make_threads(self, n_threads: int):
+        return [self._thread(t, n_threads) for t in range(n_threads)]
+
+    def _thread(self, thread: int, n_threads: int):
+        chunks = ThreadChunks(self.probe_rows, n_threads)
+        keys = self.s_keys
+        r_keyset = self._r_keyset
+        indices = list(chunks.range(thread))
+        for group_start in range(0, len(indices), UNROLL):
+            group = indices[group_start:group_start + UNROLL]
+            yield Compute(3 * len(group))  # hash computation per probe
+            chains = [self._chain_for(int(keys[i])) for i in group]
+            positions = [0] * len(chains)
+            remaining = sum(len(c) for c in chains)
+            while remaining:
+                for c, chain_nodes in enumerate(chains):
+                    if positions[c] < len(chain_nodes):
+                        # Dependent hop of probe c; independent of other
+                        # probes, so the four chains overlap.
+                        yield Pei(HASH_PROBE, chain_nodes[positions[c]], chain=c)
+                        positions[c] += 1
+                        remaining -= 1
+                yield Compute(2)
+            for i in group:
+                if int(keys[i]) in r_keyset:
+                    self.matches += 1
+        yield Barrier()
+
+    def verify(self) -> None:
+        expected = int(np.isin(self.s_keys, self.r_keys).sum())
+        if expected != self.matches:
+            raise AssertionError(
+                f"hash join found {self.matches} matches, expected {expected}"
+            )

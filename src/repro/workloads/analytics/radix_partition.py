@@ -1,0 +1,109 @@
+"""Radix Partitioning (Section 5.2).
+
+Partitions 32-bit keys into 256 radix partitions: a histogram pass (reusing
+the HG *histogram bin index* PEI) computes per-thread, per-partition counts;
+a prefix sum assigns output cursors; a scatter pass moves every key to its
+partition.  The paper simulates a database server re-partitioning the same
+relation for 100 consecutive queries; we default to a smaller number of
+passes, which preserves the access pattern that matters — repeated sweeps
+over the same data, giving small inputs high reuse.
+"""
+
+import numpy as np
+
+from repro.core.isa import HISTOGRAM_BIN
+from repro.cpu.trace import Barrier, Compute, Load, Pei, Store
+from repro.util.rng import make_rng
+from repro.workloads.base import ThreadChunks, Workload
+
+BLOCK_BYTES = 64
+KEYS_PER_BLOCK = 16
+N_PARTITIONS = 256
+
+
+class RadixPartition(Workload):
+    """Parallel radix partitioning: histogram PEIs + scatter passes."""
+
+    name = "RP"
+
+    def __init__(self, n_rows: int = 8192, passes: int = 3, shift: int = 22,
+                 seed: int = 42):
+        super().__init__(seed=seed)
+        if n_rows <= 0 or passes <= 0:
+            raise ValueError("row count and pass count must be positive")
+        self.n_rows = n_rows
+        self.passes = passes
+        self.shift = shift
+        self.output = None
+
+    def prepare(self, space) -> None:
+        self.space = space
+        rng = make_rng(self.seed, "rp")
+        self.keys = rng.integers(0, 1 << 30, size=self.n_rows, dtype=np.int64).astype(
+            np.int32
+        )
+        self._in_region = space.alloc("rp.keys", self.n_rows * 4)
+        self._out_region = space.alloc("rp.partitions", self.n_rows * 4)
+        self.output = np.zeros(self.n_rows, dtype=np.int32)
+
+    def _bins(self, keys: np.ndarray) -> np.ndarray:
+        return (keys >> self.shift) & (N_PARTITIONS - 1)
+
+    @property
+    def n_blocks(self) -> int:
+        return (self.n_rows * 4 + BLOCK_BYTES - 1) // BLOCK_BYTES
+
+    def make_threads(self, n_threads: int):
+        # Scatter plan: per-thread histograms and exclusive output cursors,
+        # partition-major then thread-major (the classic parallel layout).
+        chunks = ThreadChunks(self.n_rows, n_threads)
+        bins = self._bins(self.keys)
+        per_thread = np.zeros((n_threads, N_PARTITIONS), dtype=np.int64)
+        for t in range(n_threads):
+            per_thread[t] = np.bincount(bins[chunks.start(t):chunks.end(t)],
+                                        minlength=N_PARTITIONS)
+        flat = per_thread.T.reshape(-1)  # partition-major, thread-minor
+        cursors = np.zeros_like(flat)
+        np.cumsum(flat[:-1], out=cursors[1:])
+        offsets = cursors.reshape(N_PARTITIONS, n_threads).T.copy()
+        return [
+            self._thread(t, chunks, bins, offsets[t].copy())
+            for t in range(n_threads)
+        ]
+
+    def _thread(self, thread: int, chunks: ThreadChunks, bins: np.ndarray,
+                cursors: np.ndarray):
+        lo, hi = chunks.start(thread), chunks.end(thread)
+        in_base = self._in_region.base
+        out_base = self._out_region.base
+        keys = self.keys
+        output = self.output
+        for pass_no in range(self.passes):
+            pass_cursors = cursors.copy()
+            # Phase 1: histogram over this thread's blocks via the HG PEI.
+            first_block = (lo * 4) // BLOCK_BYTES
+            last_block = (hi * 4 + BLOCK_BYTES - 1) // BLOCK_BYTES
+            for block in range(first_block, last_block):
+                yield Pei(HISTOGRAM_BIN, in_base + block * BLOCK_BYTES,
+                          chain=block & 3)
+                yield Compute(KEYS_PER_BLOCK)
+            yield Barrier()
+            # Phase 2: scatter every key to its partition slot.
+            for i in range(lo, hi):
+                if i % KEYS_PER_BLOCK == 0:
+                    yield Load(in_base + i * 4)
+                p = bins[i]
+                dest = pass_cursors[p]
+                pass_cursors[p] += 1
+                if pass_no == 0:
+                    output[dest] = keys[i]  # functional effect
+                yield Compute(2)
+                yield Store(out_base + int(dest) * 4)
+            yield Barrier()
+
+    def verify(self) -> None:
+        bins = self._bins(self.keys)
+        order = np.argsort(bins, kind="stable")
+        expected = self.keys[order]
+        if not np.array_equal(expected, self.output):
+            raise AssertionError("radix partition output diverges from reference")

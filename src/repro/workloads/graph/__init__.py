@@ -1,0 +1,27 @@
+"""Large-scale graph processing workloads (Section 5.1)."""
+
+from repro.workloads.graph.atf import AverageTeenageFollower
+from repro.workloads.graph.bfs import BreadthFirstSearch
+from repro.workloads.graph.generators import (
+    GRAPH_SUITE,
+    GraphSpec,
+    generate_power_law_graph,
+    make_suite_graph,
+)
+from repro.workloads.graph.graph import CsrGraph
+from repro.workloads.graph.pagerank import PageRank
+from repro.workloads.graph.sssp import SingleSourceShortestPath
+from repro.workloads.graph.wcc import WeaklyConnectedComponents
+
+__all__ = [
+    "AverageTeenageFollower",
+    "BreadthFirstSearch",
+    "CsrGraph",
+    "GRAPH_SUITE",
+    "GraphSpec",
+    "PageRank",
+    "SingleSourceShortestPath",
+    "WeaklyConnectedComponents",
+    "generate_power_law_graph",
+    "make_suite_graph",
+]

@@ -1,0 +1,61 @@
+"""Average Teenage Follower (Section 5.1).
+
+Counts, for each vertex, the number of its teenage followers: every teenager
+vertex increments the follower counter of each of its successors.  The
+increment is the paper's *8-byte atomic integer increment* PEI — a writer
+operation with no input or output operands.
+"""
+
+import numpy as np
+
+from repro.core.isa import INT_INCREMENT
+from repro.cpu.trace import Barrier, Compute, Load, PFence, Pei
+from repro.util.rng import make_rng
+from repro.workloads.graph.layout import GraphWorkloadBase
+
+TEEN_FRACTION = 0.25
+
+
+class AverageTeenageFollower(GraphWorkloadBase):
+    """ATF: count teenage followers via 8-byte atomic-increment PEIs."""
+
+    name = "ATF"
+    properties = ("teen", "followers")
+
+    def init_data(self) -> None:
+        rng = make_rng(self.seed, "atf-teens")
+        self.teen = rng.random(self.graph.n_vertices) < TEEN_FRACTION
+        self.followers = np.zeros(self.graph.n_vertices, dtype=np.int64)
+
+    def make_threads(self, n_threads: int):
+        return [self._thread(t, n_threads) for t in range(n_threads)]
+
+    def _thread(self, thread: int, n_threads: int):
+        graph = self.graph
+        layout = self.layout
+        indptr = graph.indptr
+        indices = graph.indices
+        teen = self.teen
+        followers = self.followers
+        for v in self.vertex_range(thread, n_threads):
+            # Read the teen flag and the CSR offsets of v (sequential scan).
+            yield Load(layout.prop_addr("teen", v))
+            yield Load(layout.indptr_addr(v))
+            if not teen[v]:
+                continue
+            yield Compute(2)
+            for e in range(indptr[v], indptr[v + 1]):
+                w = indices[e]
+                yield Load(layout.edge_addr(e))
+                followers[w] += 1  # functional effect of the PEI
+                yield Pei(INT_INCREMENT, layout.prop_addr("followers", w))
+        yield PFence()
+        yield Barrier()
+
+    def verify(self) -> None:
+        expected = np.zeros(self.graph.n_vertices, dtype=np.int64)
+        teen_sources = np.flatnonzero(self.teen)
+        for v in teen_sources:
+            np.add.at(expected, self.graph.successors(v), 1)
+        if not np.array_equal(expected, self.followers):
+            raise AssertionError("ATF follower counts diverge from reference")

@@ -1,0 +1,97 @@
+"""Parallel level-synchronous Breadth-First Search (Section 5.1).
+
+Each vertex keeps a 'level' field; frontier vertices relax their neighbors
+with the *8-byte atomic integer min* PEI.  Levels are separated by a pfence
+(normal reads of the level array follow PEI writes) and a thread barrier.
+"""
+
+import numpy as np
+
+from repro.core.isa import INT_MIN
+from repro.cpu.trace import Barrier, Compute, Load, PFence, Pei
+from repro.workloads.graph.layout import GraphWorkloadBase
+
+INFINITY = np.iinfo(np.int64).max
+
+
+class BreadthFirstSearch(GraphWorkloadBase):
+    """Level-synchronous BFS with atomic-min level relaxations."""
+
+    name = "BFS"
+    properties = ("level",)
+
+    def __init__(self, *args, source: int = 0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.source = source
+
+    def init_data(self) -> None:
+        if not 0 <= self.source < self.graph.n_vertices:
+            raise ValueError(f"source {self.source} out of range")
+        self.level = np.full(self.graph.n_vertices, INFINITY, dtype=np.int64)
+        self.level[self.source] = 0
+        # Depth -> frontier cache, shared by all threads (computed once).
+        self._frontiers = {0: np.array([self.source], dtype=np.int64)}
+        # The frontier lives in memory as a queue region; reuse one region
+        # sized for the worst case (every vertex enqueued once).
+        self._frontier_base = None
+
+    def prepare(self, space) -> None:
+        super().prepare(space)
+        self._frontier_base = space.alloc(
+            "bfs.frontier", self.graph.n_vertices * 8
+        ).base
+
+    def _frontier(self, depth: int) -> np.ndarray:
+        frontier = self._frontiers.get(depth)
+        if frontier is None:
+            # All relaxations of depth-1 completed before the barrier, so
+            # the level array deterministically defines this frontier.
+            frontier = np.flatnonzero(self.level == depth).astype(np.int64)
+            self._frontiers[depth] = frontier
+        return frontier
+
+    def make_threads(self, n_threads: int):
+        return [self._thread(t, n_threads) for t in range(n_threads)]
+
+    def _thread(self, thread: int, n_threads: int):
+        graph = self.graph
+        layout = self.layout
+        indptr = graph.indptr
+        indices = graph.indices
+        level = self.level
+        depth = 0
+        while True:
+            frontier = self._frontier(depth)
+            if len(frontier) == 0:
+                return
+            for i, u in enumerate(self.chunk_of(frontier, thread, n_threads)):
+                yield Load(self._frontier_base + int(i) * 8)
+                yield Load(layout.indptr_addr(int(u)))
+                next_level = depth + 1
+                for e in range(indptr[u], indptr[u + 1]):
+                    w = indices[e]
+                    yield Load(layout.edge_addr(e))
+                    if next_level < level[w]:
+                        level[w] = next_level  # functional atomic min
+                    yield Pei(INT_MIN, layout.prop_addr("level", w))
+                yield Compute(2)
+            yield PFence()
+            yield Barrier()
+            depth += 1
+
+    def verify(self) -> None:
+        expected = np.full(self.graph.n_vertices, INFINITY, dtype=np.int64)
+        expected[self.source] = 0
+        frontier = [self.source]
+        depth = 0
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for w in self.graph.successors(u):
+                    if expected[w] > depth + 1:
+                        expected[w] = depth + 1
+                        nxt.append(int(w))
+            frontier = nxt
+            depth += 1
+        if not np.array_equal(expected, self.level):
+            raise AssertionError("BFS levels diverge from reference")

@@ -1,0 +1,116 @@
+"""Shared scaffolding for the graph workloads.
+
+All five graph kernels follow the same shape: a CSR graph in memory, 8-byte
+per-vertex property arrays, threads owning contiguous vertex chunks, and an
+inner loop that streams edge targets and fires one PEI per edge at a random
+vertex property.  GraphWorkloadBase centralizes graph construction, the
+address layout, and the Table 3 small/medium/large graph selection.
+"""
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.vm.address_space import AddressSpace, Region
+from repro.workloads.base import Workload
+from repro.workloads.graph.generators import generate_power_law_graph, make_suite_graph
+from repro.workloads.graph.graph import CsrGraph
+
+WORD = 8  # all vertex properties and edge entries are 8-byte words
+
+
+class GraphLayout:
+    """Address layout of a CSR graph plus named vertex-property arrays."""
+
+    def __init__(self, space: AddressSpace, graph: CsrGraph, properties):
+        self.graph = graph
+        self.indptr_region = space.alloc("graph.indptr", (graph.n_vertices + 1) * WORD)
+        self.indices_region = space.alloc("graph.indices", max(graph.n_edges, 1) * WORD)
+        self.weights_region: Optional[Region] = None
+        if graph.weights is not None:
+            self.weights_region = space.alloc("graph.weights",
+                                              max(graph.n_edges, 1) * WORD)
+        self.property_regions: Dict[str, Region] = {
+            name: space.alloc(f"prop.{name}", graph.n_vertices * WORD)
+            for name in properties
+        }
+
+    def indptr_addr(self, v: int) -> int:
+        return self.indptr_region.base + v * WORD
+
+    def edge_addr(self, e: int) -> int:
+        return self.indices_region.base + e * WORD
+
+    def weight_addr(self, e: int) -> int:
+        return self.weights_region.base + e * WORD
+
+    def prop_addr(self, name: str, v: int) -> int:
+        return self.property_regions[name].base + v * WORD
+
+
+class GraphWorkloadBase(Workload):
+    """Base class: builds the graph, the layout, and the thread chunking.
+
+    Construct either with ``graph_name`` (one of the nine-graph suite used
+    by Table 3 and Figures 2/8) or with explicit ``n_vertices`` and
+    ``avg_degree`` for custom/tiny graphs, or with a prebuilt ``graph``.
+    """
+
+    #: Property arrays (name list) allocated by prepare(); set by subclasses.
+    properties = ()
+
+    def __init__(
+        self,
+        graph_name: Optional[str] = None,
+        n_vertices: Optional[int] = None,
+        avg_degree: Optional[float] = None,
+        graph: Optional[CsrGraph] = None,
+        seed: int = 42,
+    ):
+        super().__init__(seed=seed)
+        given = sum(x is not None for x in (graph_name, n_vertices, graph))
+        if given != 1:
+            raise ValueError(
+                "specify exactly one of graph_name, n_vertices(+avg_degree), graph"
+            )
+        if n_vertices is not None and avg_degree is None:
+            raise ValueError("avg_degree is required with n_vertices")
+        self.graph_name = graph_name
+        self._n_vertices = n_vertices
+        self._avg_degree = avg_degree
+        self._prebuilt = graph
+        self.graph: Optional[CsrGraph] = None
+        self.layout: Optional[GraphLayout] = None
+
+    def build_graph(self) -> CsrGraph:
+        if self._prebuilt is not None:
+            return self._prebuilt
+        if self.graph_name is not None:
+            return make_suite_graph(self.graph_name, seed=self.seed)
+        return generate_power_law_graph(self._n_vertices, self._avg_degree,
+                                        seed=self.seed)
+
+    def transform_graph(self, graph: CsrGraph) -> CsrGraph:
+        """Hook for subclasses (WCC symmetrizes here)."""
+        return graph
+
+    def prepare(self, space: AddressSpace) -> None:
+        self.space = space
+        self.graph = self.transform_graph(self.build_graph())
+        self.layout = GraphLayout(space, self.graph, self.properties)
+        self.init_data()
+
+    def init_data(self) -> None:
+        """Initialize property arrays (functional; part of the skipped
+        initialization phase, so it emits no operations)."""
+
+    # Convenience for subclasses ----------------------------------------
+
+    def vertex_range(self, thread: int, n_threads: int) -> range:
+        n = self.graph.n_vertices
+        return range((n * thread) // n_threads, (n * (thread + 1)) // n_threads)
+
+    @staticmethod
+    def chunk_of(items: np.ndarray, thread: int, n_threads: int) -> np.ndarray:
+        n = len(items)
+        return items[(n * thread) // n_threads:(n * (thread + 1)) // n_threads]

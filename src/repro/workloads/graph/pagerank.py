@@ -1,0 +1,96 @@
+"""Parallel PageRank (Figure 1 of the paper).
+
+The inner loop (line 10 of Figure 1) updates ``next_pagerank`` of every
+successor with the *double-precision floating-point add* PEI — the kernel
+whose host-vs-memory trade-off motivates the entire architecture (Figure 2).
+A pfence separates the scatter loop from the normal-instruction update loop,
+exactly where Section 3.2 places it.
+"""
+
+import numpy as np
+
+from repro.core.isa import FP_ADD
+from repro.cpu.trace import Barrier, Compute, Load, PFence, Pei, Store
+from repro.workloads.graph.layout import GraphWorkloadBase
+
+DAMPING = 0.85
+
+
+class PageRank(GraphWorkloadBase):
+    """Parallel PageRank: one FP-add PEI per edge (the Fig. 1 kernel)."""
+
+    name = "PR"
+    properties = ("pagerank", "next_pagerank")
+
+    def __init__(self, *args, iterations: int = 2, **kwargs):
+        super().__init__(*args, **kwargs)
+        if iterations <= 0:
+            raise ValueError(f"iteration count must be positive, got {iterations}")
+        self.iterations = iterations
+
+    def init_data(self) -> None:
+        n = self.graph.n_vertices
+        self.pagerank = np.full(n, 1.0 / n)
+        self.next_pagerank = np.full(n, (1.0 - DAMPING) / n)
+        self.out_degrees = np.maximum(self.graph.out_degrees(), 1)
+        self.diff = 0.0
+        self._diff_region = None
+
+    def prepare(self, space) -> None:
+        super().prepare(space)
+        self._diff_region = space.alloc("pr.diff", 64)
+
+    def make_threads(self, n_threads: int):
+        return [self._thread(t, n_threads) for t in range(n_threads)]
+
+    def _thread(self, thread: int, n_threads: int):
+        graph = self.graph
+        layout = self.layout
+        indptr = graph.indptr
+        indices = graph.indices
+        chunk = self.vertex_range(thread, n_threads)
+        base = (1.0 - DAMPING) / graph.n_vertices
+        for _ in range(self.iterations):
+            # Scatter phase: delta of v pushed to each successor via PEI.
+            for v in chunk:
+                yield Load(layout.prop_addr("pagerank", v))
+                yield Load(layout.indptr_addr(v))
+                yield Compute(4)  # delta = 0.85 * pagerank / out_degree
+                delta = DAMPING * self.pagerank[v] / self.out_degrees[v]
+                for e in range(indptr[v], indptr[v + 1]):
+                    w = indices[e]
+                    yield Load(layout.edge_addr(e))
+                    self.next_pagerank[w] += delta  # functional atomic add
+                    yield Pei(FP_ADD, layout.prop_addr("next_pagerank", w))
+            # Normal instructions read next_pagerank next: pfence required.
+            yield PFence()
+            yield Barrier()
+            # Update phase: swap ranks, accumulate the L1 difference locally
+            # and publish it once per thread with a single PEI.
+            local_diff = 0.0
+            for v in chunk:
+                yield Load(layout.prop_addr("next_pagerank", v))
+                yield Compute(3)
+                local_diff += abs(self.next_pagerank[v] - self.pagerank[v])
+                self.pagerank[v] = self.next_pagerank[v]
+                self.next_pagerank[v] = base
+                yield Store(layout.prop_addr("pagerank", v))
+                yield Store(layout.prop_addr("next_pagerank", v))
+            self.diff += local_diff
+            yield Pei(FP_ADD, self._diff_region.base)
+            yield PFence()
+            yield Barrier()
+            self.diff = 0.0  # reset for the next iteration (post-barrier)
+
+    def verify(self) -> None:
+        n = self.graph.n_vertices
+        expected = np.full(n, 1.0 / n)
+        degrees = self.out_degrees
+        for _ in range(self.iterations):
+            nxt = np.full(n, (1.0 - DAMPING) / n)
+            deltas = DAMPING * expected / degrees
+            np.add.at(nxt, self.graph.indices,
+                      np.repeat(deltas, np.diff(self.graph.indptr)))
+            expected = nxt
+        if not np.allclose(expected, self.pagerank, rtol=1e-9, atol=1e-12):
+            raise AssertionError("PageRank values diverge from reference")

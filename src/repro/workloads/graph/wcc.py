@@ -1,0 +1,83 @@
+"""Weakly Connected Components via parallel label propagation (Section 5.1).
+
+Each vertex starts with a unique label; labels collapse to the component
+minimum by propagating through edges with the *8-byte atomic integer min*
+PEI.  Edge direction is ignored for weak connectivity, so the workload runs
+on the symmetrized graph.
+"""
+
+import numpy as np
+
+from repro.core.isa import INT_MIN
+from repro.cpu.trace import Barrier, Compute, Load, PFence, Pei
+from repro.workloads.graph.graph import CsrGraph
+from repro.workloads.graph.layout import GraphWorkloadBase
+
+
+class WeaklyConnectedComponents(GraphWorkloadBase):
+    """Label propagation to the component minimum via atomic-min PEIs."""
+
+    name = "WCC"
+    properties = ("label",)
+
+    def transform_graph(self, graph: CsrGraph) -> CsrGraph:
+        return graph.symmetrized()
+
+    def init_data(self) -> None:
+        n = self.graph.n_vertices
+        self.label = np.arange(n, dtype=np.int64)
+        # Per-round change counters, shared across threads; a round with no
+        # label change terminates the propagation.
+        self._round_changes = {}
+
+    def make_threads(self, n_threads: int):
+        return [self._thread(t, n_threads) for t in range(n_threads)]
+
+    def _thread(self, thread: int, n_threads: int):
+        graph = self.graph
+        layout = self.layout
+        indptr = graph.indptr
+        indices = graph.indices
+        label = self.label
+        chunk = self.vertex_range(thread, n_threads)
+        rnd = 0
+        while True:
+            changes = 0
+            for v in chunk:
+                yield Load(layout.prop_addr("label", v))
+                yield Load(layout.indptr_addr(v))
+                lv = label[v]
+                for e in range(indptr[v], indptr[v + 1]):
+                    w = indices[e]
+                    yield Load(layout.edge_addr(e))
+                    if lv < label[w]:
+                        label[w] = lv  # functional atomic min
+                        changes += 1
+                    yield Pei(INT_MIN, layout.prop_addr("label", w))
+                yield Compute(1)
+            self._round_changes[rnd] = self._round_changes.get(rnd, 0) + changes
+            yield PFence()
+            yield Barrier()
+            if self._round_changes.get(rnd, 0) == 0:
+                return
+            rnd += 1
+
+    def verify(self) -> None:
+        # Labels must induce exactly the weakly connected components.
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import connected_components
+
+        n = self.graph.n_vertices
+        matrix = csr_matrix(
+            (np.ones(self.graph.n_edges, dtype=np.int8),
+             self.graph.indices, self.graph.indptr),
+            shape=(n, n),
+        )
+        n_components, membership = connected_components(matrix, directed=False)
+        if len(np.unique(self.label)) != n_components:
+            raise AssertionError("WCC produced the wrong number of components")
+        # Within one reference component every vertex must share one label.
+        for component in range(n_components):
+            labels = np.unique(self.label[membership == component])
+            if len(labels) != 1:
+                raise AssertionError("WCC split a connected component")

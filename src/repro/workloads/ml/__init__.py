@@ -1,0 +1,6 @@
+"""Machine learning and data mining workloads (Section 5.3)."""
+
+from repro.workloads.ml.streamcluster import Streamcluster
+from repro.workloads.ml.svm_rfe import SvmRfe
+
+__all__ = ["Streamcluster", "SvmRfe"]

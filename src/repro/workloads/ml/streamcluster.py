@@ -1,0 +1,95 @@
+"""Streamcluster (Section 5.3): online clustering of n-dimensional points.
+
+The bottleneck is the Euclidean distance between points and a few cluster
+centers.  The *Euclidean distance* PEI computes the distance contribution of
+one 16-dimensional single-precision chunk: the data-point chunk lives in the
+target cache block, the center chunk travels as a 64-byte input operand.
+Because each point is read once against every center while the centers stay
+in registers, the workload is read-dominated — the case that motivates
+balanced dispatch (Section 7.4).
+"""
+
+import numpy as np
+
+from repro.core.isa import EUCLIDEAN_DIST
+from repro.cpu.trace import Barrier, Compute, Pei
+from repro.util.rng import make_rng
+from repro.workloads.base import ThreadChunks, Workload
+
+CHUNK_DIMS = 16  # 16 float32 = one 64-byte cache block
+FLOAT_BYTES = 4
+
+
+class Streamcluster(Workload):
+    """Point-to-center assignment via Euclidean-distance PEIs."""
+
+    name = "SC"
+
+    def __init__(self, n_points: int = 512, dims: int = 32, n_centers: int = 8,
+                 seed: int = 42):
+        super().__init__(seed=seed)
+        if dims % CHUNK_DIMS:
+            raise ValueError(f"dims must be a multiple of {CHUNK_DIMS}, got {dims}")
+        if n_points <= n_centers:
+            raise ValueError("need more points than centers")
+        self.n_points = n_points
+        self.dims = dims
+        self.n_centers = n_centers
+        self.assignments = None
+
+    def prepare(self, space) -> None:
+        self.space = space
+        rng = make_rng(self.seed, "sc")
+        self.points = rng.normal(size=(self.n_points, self.dims)).astype(np.float32)
+        # Centers: a deterministic sample of the points, kept in their own
+        # region (they are PEI *input operands*, not target blocks).
+        center_idx = rng.choice(self.n_points, size=self.n_centers, replace=False)
+        self.centers = self.points[center_idx].copy()
+        self._points_region = space.alloc(
+            "sc.points", self.n_points * self.dims * FLOAT_BYTES
+        )
+        space.alloc("sc.centers", self.n_centers * self.dims * FLOAT_BYTES)
+        self.assignments = np.zeros(self.n_points, dtype=np.int64)
+
+    def point_chunk_addr(self, point: int, chunk: int) -> int:
+        offset = (point * self.dims + chunk * CHUNK_DIMS) * FLOAT_BYTES
+        return self._points_region.base + offset
+
+    def make_threads(self, n_threads: int):
+        return [self._thread(t, n_threads) for t in range(n_threads)]
+
+    def _thread(self, thread: int, n_threads: int):
+        # Center-outer loop order, as in the paper's kernel description:
+        # each cluster center is held in registers (it travels as the PEI's
+        # input operand) and swept against *all* data points, so large point
+        # sets are re-streamed from memory once per center.
+        chunks = ThreadChunks(self.n_points, n_threads)
+        n_chunks = self.dims // CHUNK_DIMS
+        points = self.points
+        centers = self.centers
+        best_dist = np.full(self.n_points, np.inf)
+        pei_index = 0
+        for c in range(self.n_centers):
+            for i in chunks.range(thread):
+                # One PEI per 16-dimensional chunk; partial distances are
+                # independent, so they overlap in the operand buffer.
+                for j in range(n_chunks):
+                    yield Pei(EUCLIDEAN_DIST, self.point_chunk_addr(i, j),
+                              chain=pei_index & 3)
+                    pei_index += 1
+                    yield Compute(2)
+                diff = points[i] - centers[c]
+                dist = float(np.dot(diff, diff))
+                if dist < best_dist[i]:
+                    best_dist[i] = dist
+                    self.assignments[i] = c
+                yield Compute(3)
+            yield Barrier()
+
+    def verify(self) -> None:
+        # argmin over exact pairwise squared distances.
+        deltas = self.points[:, None, :] - self.centers[None, :, :]
+        dists = np.einsum("pcd,pcd->pc", deltas, deltas)
+        expected = np.argmin(dists, axis=1)
+        if not np.array_equal(expected, self.assignments):
+            raise AssertionError("streamcluster assignments diverge from reference")

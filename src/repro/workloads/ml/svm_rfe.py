@@ -1,0 +1,81 @@
+"""SVM Recursive Feature Elimination kernel (Section 5.3).
+
+The hot kernel computes dot products between one hyperplane vector ``w`` and
+a very large number of input vectors ``x``.  The *dot product* PEI multiplies
+one 4-dimensional double-precision chunk of ``x`` (in the target block) with
+the matching chunk of ``w`` (32-byte input operand) and returns the 8-byte
+partial sum.  RFE iterates the kernel, so the instance matrix is swept
+multiple times — small data sets become cache-resident after the first pass.
+"""
+
+import numpy as np
+
+from repro.core.isa import DOT_PRODUCT
+from repro.cpu.trace import Barrier, Compute, Pei
+from repro.util.rng import make_rng
+from repro.workloads.base import ThreadChunks, Workload
+
+CHUNK_DIMS = 4  # 4 float64 = a 32-byte half block
+DOUBLE_BYTES = 8
+
+
+class SvmRfe(Workload):
+    """SVM-RFE dot-product kernel via 4-dim dot-product PEIs."""
+
+    name = "SVM"
+
+    def __init__(self, n_instances: int = 64, n_features: int = 256,
+                 passes: int = 2, seed: int = 42):
+        super().__init__(seed=seed)
+        if n_features % CHUNK_DIMS:
+            raise ValueError(f"features must be a multiple of {CHUNK_DIMS}")
+        if n_instances <= 0 or passes <= 0:
+            raise ValueError("instances and passes must be positive")
+        self.n_instances = n_instances
+        self.n_features = n_features
+        self.passes = passes
+        self.dots = None
+
+    def prepare(self, space) -> None:
+        self.space = space
+        rng = make_rng(self.seed, "svm")
+        self.x = rng.normal(size=(self.n_instances, self.n_features))
+        self.w = rng.normal(size=self.n_features)
+        self._x_region = space.alloc(
+            "svm.x", self.n_instances * self.n_features * DOUBLE_BYTES
+        )
+        space.alloc("svm.w", self.n_features * DOUBLE_BYTES)
+        self.dots = np.zeros(self.n_instances)
+
+    def chunk_addr(self, instance: int, chunk: int) -> int:
+        offset = (instance * self.n_features + chunk * CHUNK_DIMS) * DOUBLE_BYTES
+        return self._x_region.base + offset
+
+    def make_threads(self, n_threads: int):
+        return [self._thread(t, n_threads) for t in range(n_threads)]
+
+    def _thread(self, thread: int, n_threads: int):
+        chunks = ThreadChunks(self.n_instances, n_threads)
+        n_chunks = self.n_features // CHUNK_DIMS
+        x = self.x
+        w = self.w
+        pei_index = 0
+        for _ in range(self.passes):
+            for i in chunks.range(thread):
+                total = 0.0
+                for j in range(n_chunks):
+                    yield Pei(DOT_PRODUCT, self.chunk_addr(i, j),
+                              chain=pei_index & 3)
+                    pei_index += 1
+                    lo = j * CHUNK_DIMS
+                    total += float(np.dot(x[i, lo:lo + CHUNK_DIMS],
+                                          w[lo:lo + CHUNK_DIMS]))
+                    yield Compute(1)
+                self.dots[i] = total
+                yield Compute(2)
+            yield Barrier()
+
+    def verify(self) -> None:
+        expected = self.x @ self.w
+        if not np.allclose(expected, self.dots, rtol=1e-9, atol=1e-12):
+            raise AssertionError("SVM dot products diverge from reference")

@@ -1,0 +1,101 @@
+"""Workload registry: Table 3's input sets, scaled to the default machine.
+
+The paper's inputs are scaled down by the same factor as the default
+machine's caches (Section 6.2 / DESIGN.md): ``small`` inputs fit in the
+scaled last-level cache, ``medium`` inputs are a few multiples of it, and
+``large`` inputs exceed it by an order of magnitude — reproducing the three
+locality regimes of Figure 6.
+"""
+
+from typing import Dict
+
+from repro.workloads.analytics.hash_join import HashJoin
+from repro.workloads.analytics.histogram import Histogram
+from repro.workloads.analytics.radix_partition import RadixPartition
+from repro.workloads.base import Workload
+from repro.workloads.graph.atf import AverageTeenageFollower
+from repro.workloads.graph.bfs import BreadthFirstSearch
+from repro.workloads.graph.pagerank import PageRank
+from repro.workloads.graph.sssp import SingleSourceShortestPath
+from repro.workloads.graph.wcc import WeaklyConnectedComponents
+from repro.workloads.ml.streamcluster import Streamcluster
+from repro.workloads.ml.svm_rfe import SvmRfe
+
+_GRAPH_CLASSES = {
+    "ATF": AverageTeenageFollower,
+    "BFS": BreadthFirstSearch,
+    "PR": PageRank,
+    "SP": SingleSourceShortestPath,
+    "WCC": WeaklyConnectedComponents,
+}
+
+#: Table 3's graph inputs: soc-Slashdot0811 / frwiki-2013 / soc-LiveJournal1.
+_GRAPH_INPUTS = {
+    "small": "soc-Slashdot0811",
+    "medium": "frwiki-2013",
+    "large": "soc-LiveJournal1",
+}
+
+#: Parameters per workload and size (Table 3, scaled).
+INPUT_SIZES: Dict[str, Dict[str, dict]] = {
+    **{
+        name: {size: {"graph_name": graph} for size, graph in _GRAPH_INPUTS.items()}
+        for name in _GRAPH_CLASSES
+    },
+    "HJ": {
+        "small": {"build_rows": 4_096, "probe_rows": 16_384},
+        "medium": {"build_rows": 65_536, "probe_rows": 16_384},
+        "large": {"build_rows": 524_288, "probe_rows": 16_384},
+    },
+    "HG": {
+        "small": {"n_values": 100_000},
+        "medium": {"n_values": 1_000_000},
+        "large": {"n_values": 10_000_000},
+    },
+    "RP": {
+        "small": {"n_rows": 16_384, "passes": 3},
+        "medium": {"n_rows": 262_144, "passes": 3},
+        "large": {"n_rows": 2_097_152, "passes": 3},
+    },
+    "SC": {
+        "small": {"n_points": 512, "dims": 32},
+        "medium": {"n_points": 8_192, "dims": 64},
+        "large": {"n_points": 32_768, "dims": 64},
+    },
+    "SVM": {
+        "small": {"n_instances": 64, "n_features": 256},
+        "medium": {"n_instances": 128, "n_features": 2_048},
+        "large": {"n_instances": 256, "n_features": 8_192},
+    },
+}
+
+WORKLOAD_NAMES = tuple(INPUT_SIZES)
+
+_CLASSES = {
+    **_GRAPH_CLASSES,
+    "HJ": HashJoin,
+    "HG": Histogram,
+    "RP": RadixPartition,
+    "SC": Streamcluster,
+    "SVM": SvmRfe,
+}
+
+
+def make_workload(name: str, size: str = "small", seed: int = 42, **overrides) -> Workload:
+    """Instantiate one of the ten case-study workloads.
+
+    Args:
+        name: workload short name ("ATF", "BFS", "PR", "SP", "WCC", "HJ",
+            "HG", "RP", "SC", "SVM").
+        size: "small", "medium", or "large" (Table 3 regimes).
+        seed: deterministic data-generation seed.
+        overrides: parameter overrides merged over the registry defaults.
+    """
+    if name not in INPUT_SIZES:
+        raise KeyError(f"unknown workload '{name}'; choose from {WORKLOAD_NAMES}")
+    sizes = INPUT_SIZES[name]
+    if size not in sizes:
+        raise KeyError(f"unknown size '{size}'; choose from {tuple(sizes)}")
+    params = dict(sizes[size])
+    params.update(overrides)
+    return _CLASSES[name](seed=seed, **params)

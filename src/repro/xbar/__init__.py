@@ -1,0 +1,5 @@
+"""On-chip interconnect (Table 2: crossbar, 2 GHz, 144-bit links)."""
+
+from repro.xbar.crossbar import Crossbar
+
+__all__ = ["Crossbar"]

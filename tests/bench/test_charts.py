@@ -1,0 +1,35 @@
+"""Tests for ASCII chart rendering."""
+
+from repro.bench.charts import bar_chart
+
+
+class TestBarChart:
+    def test_contains_values_and_labels(self):
+        text = bar_chart(["PR", "HJ"], {"pim-only": [1.5, 0.5]})
+        assert "PR" in text and "HJ" in text
+        assert "1.500" in text and "0.500" in text
+
+    def test_longer_value_longer_bar(self):
+        text = bar_chart(["a", "b"], {"s": [2.0, 1.0]})
+        lines = [l for l in text.splitlines() if "█" in l]
+        assert len(lines[0]) >= len(lines[1])
+        assert lines[0].count("█") > lines[1].count("█")
+
+    def test_baseline_marker(self):
+        text = bar_chart(["a"], {"s": [0.5]}, baseline=1.0)
+        assert "|" in text
+        assert "baseline" in text
+
+    def test_multiple_series_grouped(self):
+        text = bar_chart(["a"], {"x": [1.0], "y": [2.0]})
+        assert "x" in text and "y" in text
+
+    def test_title(self):
+        assert bar_chart(["a"], {"s": [1.0]}, title="T").startswith("T")
+
+    def test_empty_series(self):
+        assert bar_chart([], {}, title="T") == "T"
+
+    def test_zero_values(self):
+        text = bar_chart(["a"], {"s": [0.0]})
+        assert "0.000" in text

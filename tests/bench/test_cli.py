@@ -1,0 +1,27 @@
+"""Tests for the benchmark CLI (python -m repro.bench)."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig2", "fig6", "fig12", "sec76"):
+            assert name in out
+
+    def test_experiment_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig2", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "fig11a", "fig11b", "sec76", "fig12",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

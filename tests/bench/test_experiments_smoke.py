@@ -1,0 +1,59 @@
+"""Smoke tests of the experiment definitions on reduced inputs.
+
+The full experiments run under ``pytest benchmarks/``; these only check
+that each definition produces a well-formed report (structure, normalized
+fields) on the smallest possible subset, so harness regressions surface in
+the fast suite.
+"""
+
+import pytest
+
+from repro.bench import runner
+from repro.bench.experiments import (
+    ExperimentReport,
+    SUITE_ORDER,
+    fig2_pagerank_potential,
+    fig10_balanced_dispatch,
+    fig11b_issue_width,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def small_runs():
+    """Shrink every run made by this module."""
+    original = runner.SETTINGS
+    runner.SETTINGS = runner.BenchSettings(max_ops_per_thread=1200,
+                                           n_mixes=1, seed=7)
+    runner.clear_cache()
+    yield
+    runner.SETTINGS = original
+    runner.clear_cache()
+
+
+class TestStructure:
+    def test_suite_order_matches_paper(self):
+        assert SUITE_ORDER[0] == "p2p-Gnutella31"
+        assert SUITE_ORDER[-1] == "ljournal-2008"
+        assert len(SUITE_ORDER) == 9
+
+    def test_report_str(self):
+        report = ExperimentReport("x", "body", {})
+        assert "== x ==" in str(report)
+        assert "body" in str(report)
+
+
+class TestSmoke:
+    def test_fig2_subset(self):
+        report = fig2_pagerank_potential(graphs=("p2p-Gnutella31",))
+        assert report.name == "fig2"
+        assert len(report.data["speedup"]) == 1
+        assert report.data["speedup"][0] > 0
+
+    def test_fig10_subset(self):
+        report = fig10_balanced_dispatch(workloads=("SVM",))
+        assert "SVM" in report.data
+        assert report.data["SVM"]["gain"] > 0
+
+    def test_fig11b_subset(self):
+        report = fig11b_issue_width(widths=(1, 2), workloads=("SVM",))
+        assert report.data["speedup"][0] == pytest.approx(1.0)

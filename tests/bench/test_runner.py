@@ -1,0 +1,62 @@
+"""Tests for the memoizing experiment runner."""
+
+import pytest
+
+from repro.bench import runner
+from repro.core.dispatch import DispatchPolicy
+from repro.system.config import tiny_config
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    runner.clear_cache()
+    yield
+    runner.clear_cache()
+
+
+TINY = dict(config=tiny_config(), max_ops_per_thread=300)
+
+
+class TestRunConfig:
+    def test_returns_result(self):
+        result = runner.run_config("HG", "small", DispatchPolicy.LOCALITY_AWARE,
+                                   n_values=2000, **TINY)
+        assert result.cycles > 0
+        assert result.workload == "HG"
+
+    def test_memoized(self):
+        a = runner.run_config("HG", "small", DispatchPolicy.LOCALITY_AWARE,
+                              n_values=2000, **TINY)
+        b = runner.run_config("HG", "small", DispatchPolicy.LOCALITY_AWARE,
+                              n_values=2000, **TINY)
+        assert a is b  # cache hit returns the same object
+
+    def test_policy_differentiates_cache_key(self):
+        a = runner.run_config("HG", "small", DispatchPolicy.HOST_ONLY,
+                              n_values=2000, **TINY)
+        b = runner.run_config("HG", "small", DispatchPolicy.PIM_ONLY,
+                              n_values=2000, **TINY)
+        assert a is not b
+        assert a.policy != b.policy
+
+    def test_overrides_differentiate_cache_key(self):
+        a = runner.run_config("HG", "small", DispatchPolicy.HOST_ONLY,
+                              n_values=2000, **TINY)
+        b = runner.run_config("HG", "small", DispatchPolicy.HOST_ONLY,
+                              n_values=4000, **TINY)
+        assert a is not b
+
+    def test_clear_cache(self):
+        a = runner.run_config("HG", "small", DispatchPolicy.HOST_ONLY,
+                              n_values=2000, **TINY)
+        runner.clear_cache()
+        b = runner.run_config("HG", "small", DispatchPolicy.HOST_ONLY,
+                              n_values=2000, **TINY)
+        assert a is not b
+
+
+class TestSettings:
+    def test_defaults(self):
+        settings = runner.BenchSettings()
+        assert settings.max_ops_per_thread > 0
+        assert settings.n_mixes > 0

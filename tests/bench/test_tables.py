@@ -1,0 +1,60 @@
+"""Tests for benchmark table formatting and aggregation."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench.tables import format_series, format_table, geometric_mean
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_ignores_nonpositive(self):
+        assert geometric_mean([4.0, 0.0, -1.0]) == pytest.approx(4.0)
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20))
+    def test_bounded_by_min_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20),
+           st.floats(0.1, 10.0))
+    def test_scale_equivariance(self, values, factor):
+        scaled = geometric_mean([v * factor for v in values])
+        assert scaled == pytest.approx(geometric_mean(values) * factor,
+                                       rel=1e-9)
+
+
+class TestFormatTable:
+    def test_contains_cells(self):
+        text = format_table(["a", "b"], [["x", 1.5]], title="T")
+        assert "T" in text
+        assert "x" in text
+        assert "1.500" in text
+
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["long-name", 1.0], ["s", 2.0]])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_separator_after_header(self):
+        lines = format_table(["h"], [["x"]]).splitlines()
+        assert set(lines[1]) <= {"-", "+"}
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        text = format_series("s", [1, 2], [0.5, 1.0])
+        assert "1=0.500" in text
+        assert "2=1.000" in text
+        assert text.startswith("s:")

@@ -1,0 +1,94 @@
+"""Tests for the pluggable replacement policies of SetAssocArray."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.array import REPLACEMENT_POLICIES, SetAssocArray
+
+
+class TestPolicySelection:
+    def test_known_policies(self):
+        for policy in REPLACEMENT_POLICIES:
+            SetAssocArray(4, 2, policy=policy)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssocArray(4, 2, policy="plru")
+
+    def test_default_is_lru(self):
+        assert SetAssocArray(4, 2).policy == "lru"
+
+
+class TestFifo:
+    def test_hit_does_not_promote(self):
+        array = SetAssocArray(1, 2, policy="fifo")
+        array.insert(0)
+        array.insert(1)
+        array.lookup(0)  # would save 0 under LRU
+        victim = array.insert(2)
+        assert victim == (0, False)  # FIFO still evicts the oldest insert
+
+    def test_reinsert_does_not_refresh_age(self):
+        array = SetAssocArray(1, 2, policy="fifo")
+        array.insert(0)
+        array.insert(1)
+        array.insert(0)  # already present: age unchanged
+        victim = array.insert(2)
+        assert victim == (0, False)
+
+
+class TestRandom:
+    def test_eviction_deterministic_per_instance_sequence(self):
+        def victims():
+            array = SetAssocArray(1, 4, policy="random")
+            out = []
+            for block in range(12):
+                victim = array.insert(block)
+                if victim is not None:
+                    out.append(victim[0])
+            return out
+
+        assert victims() == victims()
+
+    def test_evicts_from_different_positions(self):
+        # Unlike FIFO, random eviction sometimes removes a recent insert:
+        # the victim stream is not simply the insertion order shifted.
+        array = SetAssocArray(1, 4, policy="random")
+        victims = []
+        for block in range(50):
+            victim = array.insert(block)
+            if victim is not None:
+                victims.append(victim[0])
+        fifo_stream = list(range(50 - len(victims)))
+        assert victims != fifo_stream
+        assert array.occupancy() == 4
+
+    def test_dirty_bit_travels_with_victim(self):
+        array = SetAssocArray(1, 1, policy="random")
+        array.insert(7, dirty=True)
+        victim = array.insert(8)
+        assert victim == (7, True)
+
+
+@settings(max_examples=30)
+@given(st.sampled_from(REPLACEMENT_POLICIES),
+       st.lists(st.integers(0, 100), min_size=1, max_size=200))
+def test_all_policies_respect_capacity(policy, blocks):
+    array = SetAssocArray(4, 2, policy=policy)
+    for block in blocks:
+        if not array.lookup(block):
+            array.insert(block)
+    assert array.occupancy() <= 8
+    for line_set in array.sets:
+        assert len(line_set) <= 2
+
+
+@settings(max_examples=30)
+@given(st.sampled_from(REPLACEMENT_POLICIES),
+       st.lists(st.integers(0, 30), min_size=1, max_size=100))
+def test_most_recent_insert_always_resident(policy, blocks):
+    array = SetAssocArray(2, 2, policy=policy)
+    for block in blocks:
+        array.insert(block)
+    assert array.contains(blocks[-1])

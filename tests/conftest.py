@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.dispatch import DispatchPolicy
+from repro.system.config import tiny_config
+from repro.system.system import System
+
+
+@pytest.fixture
+def config():
+    """A miniature 4-core machine configuration."""
+    return tiny_config()
+
+
+@pytest.fixture
+def system(config):
+    """A locality-aware miniature system."""
+    return System(config, DispatchPolicy.LOCALITY_AWARE)
+
+
+def make_system(policy=DispatchPolicy.LOCALITY_AWARE, **overrides):
+    """Build a tiny system with the given policy and config overrides."""
+    return System(tiny_config(**overrides), policy)

@@ -1,0 +1,76 @@
+"""Tests for dispatch policies and balanced dispatch (Section 7.4)."""
+
+from repro.core.dispatch import DispatchPolicy, balanced_choice
+from repro.core.isa import EUCLIDEAN_DIST, FP_ADD, HISTOGRAM_BIN
+from repro.mem.link import OffChipChannel
+
+
+def make_channel():
+    return OffChipChannel(10.0, 10.0, ema_period=1e12)
+
+
+class TestPolicyFlags:
+    def test_monitor_users(self):
+        assert DispatchPolicy.LOCALITY_AWARE.uses_monitor
+        assert DispatchPolicy.LOCALITY_BALANCED.uses_monitor
+        assert not DispatchPolicy.HOST_ONLY.uses_monitor
+        assert not DispatchPolicy.PIM_ONLY.uses_monitor
+        assert not DispatchPolicy.IDEAL_HOST.uses_monitor
+
+    def test_balanced_flag(self):
+        assert DispatchPolicy.LOCALITY_BALANCED.is_balanced
+        assert not DispatchPolicy.LOCALITY_AWARE.is_balanced
+
+    def test_values_match_paper_names(self):
+        assert DispatchPolicy.HOST_ONLY.value == "host-only"
+        assert DispatchPolicy.PIM_ONLY.value == "pim-only"
+        assert DispatchPolicy.IDEAL_HOST.value == "ideal-host"
+        assert DispatchPolicy.LOCALITY_AWARE.value == "locality-aware"
+
+
+class TestBalancedChoice:
+    def test_response_heavy_traffic_prefers_memory(self):
+        # Host execution of FP_ADD would add an 80 B response; memory-side
+        # adds only a 32 B response.  With the response link busier, choose
+        # memory.
+        channel = make_channel()
+        channel.res_flits.add(0.0, 1000.0)
+        channel.req_flits.add(0.0, 10.0)
+        assert balanced_choice(FP_ADD, channel, 0.0) is False
+
+    def test_request_heavy_traffic_prefers_host(self):
+        # Host execution sends only a 16 B request; memory-side FP_ADD needs
+        # a 32 B request packet.  With the request link busier, choose host.
+        channel = make_channel()
+        channel.req_flits.add(0.0, 1000.0)
+        channel.res_flits.add(0.0, 10.0)
+        assert balanced_choice(FP_ADD, channel, 0.0) is True
+
+    def test_large_input_operand_prefers_host_under_request_pressure(self):
+        # SC's 64 B input operand makes memory-side requests expensive.
+        channel = make_channel()
+        channel.req_flits.add(0.0, 1000.0)
+        assert balanced_choice(EUCLIDEAN_DIST, channel, 0.0) is True
+
+    def test_response_pressure_with_small_output_prefers_memory(self):
+        channel = make_channel()
+        channel.res_flits.add(0.0, 1000.0)
+        assert balanced_choice(EUCLIDEAN_DIST, channel, 0.0) is False
+
+    def test_tie_counts_compare_request_side(self):
+        # Equal counters: the request direction is treated as the busier
+        # one; host's 16 B request beats memory's padded packet.
+        channel = make_channel()
+        assert balanced_choice(HISTOGRAM_BIN, channel, 0.0) is True
+
+    def test_ema_decay_changes_decision(self):
+        # Old response pressure fades: after many halvings the request side
+        # dominates again.
+        channel = OffChipChannel(10.0, 10.0, ema_period=10.0)
+        channel.res_flits.add(0.0, 1000.0)
+        channel.req_flits.add(0.0, 500.0)
+        assert balanced_choice(FP_ADD, channel, 0.0) is False
+        # Both decay equally, so relative order persists; add fresh request
+        # traffic to flip the balance.
+        channel.req_flits.add(1000.0, 100.0)
+        assert balanced_choice(FP_ADD, channel, 1000.0) is True

@@ -1,0 +1,155 @@
+"""Tests for end-to-end PEI execution (the sequences of Figs. 4 and 5)."""
+
+import pytest
+
+from repro.core.dispatch import DispatchPolicy
+from repro.core.isa import EUCLIDEAN_DIST, FP_ADD, HASH_PROBE, INT_INCREMENT
+from repro.system.builder import build_machine
+from repro.system.config import tiny_config
+
+
+def make(policy, **overrides):
+    return build_machine(tiny_config(**overrides), policy)
+
+
+VADDR = 0x40000
+
+
+class TestHostSidePath:
+    def test_host_pei_touches_caches_not_memory_when_resident(self):
+        m = make(DispatchPolicy.HOST_ONLY)
+        core = m.cores[0]
+        core.do_load(VADDR, False)  # warm caches
+        dram_before = m.stats["dram.reads"]
+        m.executor.execute(core, FP_ADD, VADDR, wait_output=False)
+        assert m.stats["dram.reads"] == dram_before
+        assert m.stats["pei.host_executed"] == 1
+
+    def test_writer_pei_dirties_block(self):
+        m = make(DispatchPolicy.HOST_ONLY)
+        core = m.cores[0]
+        m.executor.execute(core, FP_ADD, VADDR, wait_output=False)
+        block = m.hierarchy.block_of(m.page_table.translate(VADDR))
+        assert m.hierarchy.l1[0].is_dirty(block)
+
+    def test_fire_and_forget_does_not_block_core(self):
+        m = make(DispatchPolicy.HOST_ONLY)
+        core = m.cores[0]
+        completion = m.executor.execute(core, FP_ADD, VADDR, wait_output=False)
+        assert core.time < completion
+
+    def test_wait_output_blocks_core(self):
+        m = make(DispatchPolicy.HOST_ONLY)
+        core = m.cores[0]
+        completion = m.executor.execute(core, HASH_PROBE, VADDR, wait_output=True)
+        assert core.time >= completion
+
+
+class TestMemorySidePath:
+    def test_memory_pei_accesses_dram_locally(self):
+        m = make(DispatchPolicy.PIM_ONLY)
+        core = m.cores[0]
+        m.executor.execute(core, FP_ADD, VADDR, wait_output=False)
+        assert m.stats["dram.pim_reads"] == 1
+        assert m.stats["dram.pim_writes"] == 1
+        assert m.stats["pei.mem_executed"] == 1
+
+    def test_reader_pei_does_not_write_dram(self):
+        m = make(DispatchPolicy.PIM_ONLY)
+        m.executor.execute(m.cores[0], EUCLIDEAN_DIST, VADDR, wait_output=True)
+        assert m.stats["dram.pim_writes"] == 0
+
+    def test_offload_cleans_dirty_cached_copy(self):
+        m = make(DispatchPolicy.PIM_ONLY)
+        core = m.cores[0]
+        core.do_store(VADDR)  # dirty copy on chip
+        m.executor.execute(core, FP_ADD, VADDR, wait_output=False)
+        block = m.hierarchy.block_of(m.page_table.translate(VADDR))
+        assert not m.hierarchy.present(block)  # back-invalidated
+        assert m.stats["dram.writes"] >= 1  # dirty data reached memory first
+
+    def test_operand_bytes_on_offchip_links(self):
+        m = make(DispatchPolicy.PIM_ONLY)
+        m.executor.execute(m.cores[0], EUCLIDEAN_DIST, VADDR, wait_output=True)
+        channel = m.hmc.channel
+        # Request: 16 B header + 64 B center chunk; response: header + 4 B.
+        assert channel.request_bytes == 80
+        assert channel.response_bytes == 32
+
+    def test_no_output_pei_frees_host_entry_early(self):
+        m = make(DispatchPolicy.PIM_ONLY)
+        core = m.cores[0]
+        m.executor.execute(core, INT_INCREMENT, VADDR, wait_output=False)
+        buf = m.host_pcus[0].operand_buffer
+        # The single in-flight record completed at dispatch, so issuing 4
+        # more PEIs back-to-back does not stall on far-future completions.
+        t = core.time
+        for i in range(4):
+            m.executor.execute(core, INT_INCREMENT, VADDR + 64 * (i + 1),
+                               wait_output=False)
+        assert buf.stalls == 0 or core.time - t < 1000
+
+
+class TestChains:
+    def test_chained_peis_serialize_within_chain(self):
+        m = make(DispatchPolicy.PIM_ONLY)
+        core = m.cores[0]
+        c1 = m.executor.execute(core, HASH_PROBE, VADDR, False, chain=7)
+        t_before = core.time
+        m.executor.execute(core, HASH_PROBE, VADDR + 4096, False, chain=7)
+        # The second hop could not be issued before the first completed.
+        assert core.time >= c1 or core.chain_completions[7] > c1
+
+    def test_different_chains_overlap(self):
+        m = make(DispatchPolicy.PIM_ONLY)
+        core = m.cores[0]
+        m.executor.execute(core, HASH_PROBE, VADDR, False, chain=0)
+        t = core.time
+        m.executor.execute(core, HASH_PROBE, VADDR + 4096, False, chain=1)
+        # Issuing on another chain does not wait for chain 0's completion.
+        assert core.time - t < core.chain_completions[0]
+
+
+class TestIdealHost:
+    def test_ideal_faster_than_host_only(self):
+        for policy in (DispatchPolicy.IDEAL_HOST, DispatchPolicy.HOST_ONLY):
+            m = make(policy)
+            core = m.cores[0]
+            for i in range(32):
+                m.executor.execute(core, FP_ADD, VADDR + 64 * (i % 4), False)
+            core.drain()
+            if policy is DispatchPolicy.IDEAL_HOST:
+                ideal_time = core.time
+            else:
+                host_time = core.time
+        assert ideal_time <= host_time
+
+    def test_ideal_never_offloads(self):
+        m = make(DispatchPolicy.IDEAL_HOST)
+        m.executor.execute(m.cores[0], FP_ADD, VADDR, False)
+        assert m.stats["pei.mem_executed"] == 0
+        assert m.stats["dram.pim_reads"] == 0
+
+
+class TestFence:
+    def test_fence_waits_for_inflight_writers(self):
+        m = make(DispatchPolicy.PIM_ONLY)
+        core = m.cores[0]
+        completion = m.executor.execute(core, FP_ADD, VADDR, False)
+        assert core.time < completion
+        m.executor.fence(core)
+        assert core.time >= completion
+
+    def test_fence_counts_instruction(self):
+        m = make(DispatchPolicy.HOST_ONLY)
+        core = m.cores[0]
+        before = core.instructions
+        m.executor.fence(core)
+        assert core.instructions == before + 1
+
+
+class TestStatistics:
+    def test_issue_counter(self):
+        m = make(DispatchPolicy.LOCALITY_AWARE)
+        m.executor.execute(m.cores[0], FP_ADD, VADDR, False)
+        assert m.stats["pei.issued"] == 1

@@ -1,0 +1,91 @@
+"""Per-operation off-chip traffic accounting for memory-side execution.
+
+Pins the packet cost of every Table 1 operation when offloaded: request =
+16 B header + input operand (padded to 16 B flits), response = 16 B header +
+output operand (padded).  These numbers drive Figs. 7 and 10, so they are
+asserted operation by operation.
+"""
+
+import pytest
+
+from repro.core.dispatch import DispatchPolicy
+from repro.core.isa import (
+    DOT_PRODUCT,
+    EUCLIDEAN_DIST,
+    FP_ADD,
+    HASH_PROBE,
+    HISTOGRAM_BIN,
+    INT_INCREMENT,
+    INT_MIN,
+    PIM_OPS,
+)
+from repro.system.builder import build_machine
+from repro.system.config import tiny_config
+from repro.util.bitops import align_up
+
+VADDR = 0x80000
+
+#: op -> (expected request bytes, expected response bytes)
+EXPECTED = {
+    op.mnemonic: (
+        align_up(16 + op.input_bytes, 16),
+        align_up(16 + op.output_bytes, 16),
+    )
+    for op in PIM_OPS.values()
+}
+
+
+@pytest.mark.parametrize("op", list(PIM_OPS.values()),
+                         ids=[op.mnemonic for op in PIM_OPS.values()])
+def test_offloaded_packet_sizes(op):
+    m = build_machine(tiny_config(), DispatchPolicy.PIM_ONLY)
+    m.executor.execute(m.cores[0], op, VADDR, wait_output=op.output_bytes > 0)
+    req, res = EXPECTED[op.mnemonic]
+    assert m.hmc.channel.request_bytes == req
+    assert m.hmc.channel.response_bytes == res
+
+
+def test_increment_is_the_cheapest_packet(op=INT_INCREMENT):
+    # ATF's increment ships no operands at all: two bare headers.
+    req, res = EXPECTED[op.mnemonic]
+    assert (req, res) == (16, 16)
+
+
+def test_euclidean_ships_a_full_block_up():
+    # SC sends the 64 B center chunk: request-heavy, response-light —
+    # the traffic inversion behind Section 7.4.
+    req, res = EXPECTED[EUCLIDEAN_DIST.mnemonic]
+    assert req == 80
+    assert res == 32
+    host_fetch_req, host_fetch_res = 16, 80
+    assert req > host_fetch_req and res < host_fetch_res
+
+
+@pytest.mark.parametrize("op,writes_dram", [
+    (INT_INCREMENT, True), (INT_MIN, True), (FP_ADD, True),
+    (HASH_PROBE, False), (HISTOGRAM_BIN, False),
+    (EUCLIDEAN_DIST, False), (DOT_PRODUCT, False),
+], ids=[o.mnemonic for o, _ in [
+    (INT_INCREMENT, 1), (INT_MIN, 1), (FP_ADD, 1), (HASH_PROBE, 0),
+    (HISTOGRAM_BIN, 0), (EUCLIDEAN_DIST, 0), (DOT_PRODUCT, 0)]])
+def test_writer_column_controls_dram_writeback(op, writes_dram):
+    m = build_machine(tiny_config(), DispatchPolicy.PIM_ONLY)
+    m.executor.execute(m.cores[0], op, VADDR, wait_output=op.output_bytes > 0)
+    assert m.stats["dram.pim_reads"] == 1
+    assert m.stats["dram.pim_writes"] == (1 if writes_dram else 0)
+
+
+def test_host_side_execution_produces_no_pim_packets():
+    m = build_machine(tiny_config(), DispatchPolicy.HOST_ONLY)
+    m.cores[0].do_load(VADDR, False)  # cache the block
+    before = m.hmc.channel.total_bytes
+    m.executor.execute(m.cores[0], FP_ADD, VADDR, wait_output=False)
+    assert m.hmc.channel.total_bytes == before
+
+
+def test_tsv_bytes_counted_per_offload():
+    m = build_machine(tiny_config(), DispatchPolicy.PIM_ONLY)
+    vault = m.hmc.vault_for(m.page_table.translate(VADDR))
+    m.executor.execute(m.cores[0], FP_ADD, VADDR, wait_output=False)
+    # 64 B block crosses the TSVs twice (read + write-back).
+    assert vault.tsv.bytes_transferred == 128

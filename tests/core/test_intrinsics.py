@@ -1,0 +1,68 @@
+"""Tests for the programmer-facing PEI intrinsics."""
+
+import numpy as np
+
+from repro.core import intrinsics
+from repro.core.isa import (
+    DOT_PRODUCT,
+    EUCLIDEAN_DIST,
+    FP_ADD,
+    HASH_PROBE,
+    HISTOGRAM_BIN,
+    INT_INCREMENT,
+    INT_MIN,
+)
+from repro.cpu.trace import KIND_FENCE, KIND_PEI
+
+
+class TestRmwIntrinsics:
+    def test_pim_inc(self):
+        values = np.zeros(4, dtype=np.int64)
+        op = intrinsics.pim_inc(values, 2, 0x1000)
+        assert values[2] == 1
+        assert op.kind == KIND_PEI
+        assert op.op is INT_INCREMENT
+        assert op.addr == 0x1000
+        assert op.wait_output is False
+
+    def test_pim_int_min_takes_smaller(self):
+        values = np.full(4, 100, dtype=np.int64)
+        intrinsics.pim_int_min(values, 1, 0x40, 7)
+        assert values[1] == 7
+        intrinsics.pim_int_min(values, 1, 0x40, 50)
+        assert values[1] == 7  # larger operand ignored
+
+    def test_pim_int_min_op(self):
+        op = intrinsics.pim_int_min([10], 0, 0x80, 3)
+        assert op.op is INT_MIN
+
+    def test_pim_fadd(self):
+        values = np.zeros(2)
+        op = intrinsics.pim_fadd(values, 0, 0xC0, 0.25)
+        assert values[0] == 0.25
+        assert op.op is FP_ADD
+
+
+class TestReaderIntrinsics:
+    def test_probe_is_chained(self):
+        op = intrinsics.pim_hash_probe(0x100, chain=2)
+        assert op.op is HASH_PROBE
+        assert op.chain == 2
+        assert op.wait_output is False  # chained
+
+    def test_unchained_probe_waits(self):
+        assert intrinsics.pim_hash_probe(0x100).wait_output is True
+
+    def test_histogram(self):
+        assert intrinsics.pim_hist_bin(0x140).op is HISTOGRAM_BIN
+
+    def test_euclidean(self):
+        assert intrinsics.pim_euclidean_dist(0x180).op is EUCLIDEAN_DIST
+
+    def test_dot(self):
+        assert intrinsics.pim_dot_product(0x1C0).op is DOT_PRODUCT
+
+
+class TestFence:
+    def test_pfence(self):
+        assert intrinsics.pfence().kind == KIND_FENCE

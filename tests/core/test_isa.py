@@ -1,0 +1,104 @@
+"""Tests asserting Table 1 of the paper verbatim."""
+
+import pytest
+
+from repro.core.isa import (
+    DOT_PRODUCT,
+    EUCLIDEAN_DIST,
+    FP_ADD,
+    HASH_PROBE,
+    HISTOGRAM_BIN,
+    INT_INCREMENT,
+    INT_MIN,
+    PIM_OPS,
+    PimOp,
+    apply_rmw,
+)
+
+#: (op, reads, writes, input bytes, output bytes, applications) — Table 1.
+TABLE_1 = [
+    (INT_INCREMENT, True, True, 0, 0, ("ATF",)),
+    (INT_MIN, True, True, 8, 0, ("BFS", "SP", "WCC")),
+    (FP_ADD, True, True, 8, 0, ("PR",)),
+    (HASH_PROBE, True, False, 8, 9, ("HJ",)),
+    (HISTOGRAM_BIN, True, False, 1, 16, ("HG", "RP")),
+    (EUCLIDEAN_DIST, True, False, 64, 4, ("SC",)),
+    (DOT_PRODUCT, True, False, 32, 8, ("SVM",)),
+]
+
+
+class TestTable1:
+    @pytest.mark.parametrize("op,r,w,inb,outb,apps", TABLE_1,
+                             ids=[row[0].mnemonic for row in TABLE_1])
+    def test_row(self, op, r, w, inb, outb, apps):
+        assert op.reads == r
+        assert op.writes == w
+        assert op.input_bytes == inb
+        assert op.output_bytes == outb
+        assert op.applications == apps
+
+    def test_exactly_seven_operations(self):
+        assert len(PIM_OPS) == 7
+
+    def test_registry_keyed_by_mnemonic(self):
+        for mnemonic, op in PIM_OPS.items():
+            assert op.mnemonic == mnemonic
+
+    def test_writers_also_read(self):
+        for op in PIM_OPS.values():
+            if op.writes:
+                assert op.reads
+
+    def test_every_case_study_workload_covered(self):
+        apps = {a for op in PIM_OPS.values() for a in op.applications}
+        assert apps == {"ATF", "BFS", "SP", "WCC", "PR", "HJ", "HG", "RP",
+                        "SC", "SVM"}
+
+
+class TestSingleCacheBlockRestriction:
+    def test_operands_bounded_by_block(self):
+        for op in PIM_OPS.values():
+            assert op.input_bytes <= 64
+            assert op.output_bytes <= 64
+
+    def test_constructor_enforces_bound(self):
+        with pytest.raises(ValueError):
+            PimOp("too big", "pim.big", True, False, 128, 0, 1.0, ())
+
+    def test_constructor_rejects_negative_operands(self):
+        with pytest.raises(ValueError):
+            PimOp("bad", "pim.bad", True, False, -1, 0, 1.0, ())
+
+    def test_constructor_rejects_write_only(self):
+        with pytest.raises(ValueError):
+            PimOp("bad", "pim.bad", False, True, 0, 0, 1.0, ())
+
+
+class TestReferenceSemantics:
+    def test_increment(self):
+        assert apply_rmw(INT_INCREMENT, 41, None) == 42
+
+    def test_min_takes_smaller(self):
+        assert apply_rmw(INT_MIN, 10, 3) == 3
+        assert apply_rmw(INT_MIN, 3, 10) == 3
+        assert apply_rmw(INT_MIN, 3, 3) == 3
+
+    def test_fp_add(self):
+        assert apply_rmw(FP_ADD, 1.5, 2.25) == pytest.approx(3.75)
+
+    def test_reader_ops_rejected(self):
+        with pytest.raises(ValueError):
+            apply_rmw(HASH_PROBE, 0, 0)
+
+
+class TestMisc:
+    def test_is_writer(self):
+        assert FP_ADD.is_writer
+        assert not DOT_PRODUCT.is_writer
+
+    def test_str_is_mnemonic(self):
+        assert str(FP_ADD) == "pim.fadd"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            FP_ADD.input_bytes = 16

@@ -1,0 +1,150 @@
+"""Tests for the locality monitor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.locality_monitor import LocalityMonitor
+
+
+def make_monitor(n_sets=4, n_ways=2, **kwargs):
+    return LocalityMonitor(n_sets=n_sets, n_ways=n_ways, **kwargs)
+
+
+class TestConstruction:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            make_monitor(n_sets=3)
+        with pytest.raises(ValueError):
+            make_monitor(n_ways=0)
+        with pytest.raises(ValueError):
+            make_monitor(partial_tag_bits=0)
+
+    def test_section61_storage_cost(self):
+        # 16384 sets x 16 ways x 16 bits = 512 KB (Section 6.1).
+        monitor = LocalityMonitor(n_sets=16384, n_ways=16)
+        assert monitor.storage_bits / 8 / 1024 == pytest.approx(512.0)
+
+
+class TestAdvice:
+    def test_unknown_block_advised_to_memory(self):
+        monitor = make_monitor()
+        assert monitor.advise_host(7) is False
+
+    def test_llc_touched_block_advised_to_host(self):
+        monitor = make_monitor()
+        monitor.observe_llc_access(7)
+        assert monitor.advise_host(7) is True
+
+    def test_ignore_flag_skips_first_hit(self):
+        # A block only ever touched by in-memory PIM operations must hit
+        # the monitor twice before being considered local.
+        monitor = make_monitor()
+        monitor.note_pim_issue(7)
+        assert monitor.advise_host(7) is False  # first hit ignored
+        assert monitor.advise_host(7) is True  # second hit counts
+
+    def test_ignore_flag_disabled(self):
+        monitor = make_monitor(use_ignore_flag=False)
+        monitor.note_pim_issue(7)
+        assert monitor.advise_host(7) is True
+
+    def test_llc_access_clears_ignore_flag(self):
+        monitor = make_monitor()
+        monitor.note_pim_issue(7)
+        monitor.observe_llc_access(7)
+        assert monitor.advise_host(7) is True
+
+
+class TestReplacement:
+    def test_lru_eviction_forgets_block(self):
+        monitor = make_monitor(n_sets=1, n_ways=2)
+        for block in (0, 1, 2):  # all map to set 0
+            monitor.observe_llc_access(block)
+        assert monitor.advise_host(0) is False  # evicted
+        assert monitor.advise_host(2) is True
+
+    def test_advice_promotes_entry(self):
+        monitor = make_monitor(n_sets=1, n_ways=2)
+        monitor.observe_llc_access(0)
+        monitor.observe_llc_access(1)
+        monitor.advise_host(0)  # promotes 0
+        monitor.observe_llc_access(2)  # evicts 1, not 0
+        assert monitor.contains(0)
+        assert not monitor.contains(1)
+
+    def test_pim_issue_promotes(self):
+        monitor = make_monitor(n_sets=1, n_ways=2)
+        monitor.observe_llc_access(0)
+        monitor.observe_llc_access(1)
+        monitor.note_pim_issue(0)
+        monitor.observe_llc_access(2)
+        assert monitor.contains(0)
+
+    def test_capacity_bounded(self):
+        monitor = make_monitor(n_sets=2, n_ways=2)
+        for block in range(100):
+            monitor.observe_llc_access(block)
+        total = sum(len(s) for s in monitor._sets)
+        assert total <= 4
+
+
+class TestPartialTags:
+    def test_partial_tag_width(self):
+        monitor = make_monitor(partial_tag_bits=10)
+        for block in (0, 1, 2**20, 2**30 + 12345):
+            assert 0 <= monitor.partial_tag(block) < 1024
+
+    def test_aliasing_gives_false_locality(self):
+        # Section 7.6: two blocks in the same set with equal partial tags
+        # alias; the monitor then reports false locality — safe, only a
+        # performance effect.
+        monitor = make_monitor(n_sets=1, n_ways=4, partial_tag_bits=2)
+        alias = None
+        for candidate in range(1, 10000):
+            if (monitor.partial_tag(candidate) == monitor.partial_tag(0)
+                    and monitor.set_index(candidate) == monitor.set_index(0)):
+                alias = candidate
+                break
+        assert alias is not None
+        monitor.observe_llc_access(0)
+        assert monitor.advise_host(alias) is True  # false hit
+
+    def test_wide_tags_do_not_alias_small_blocks(self):
+        monitor = make_monitor(partial_tag_bits=30)
+        tags = {monitor.partial_tag(b) for b in range(0, 4096, 4)}
+        assert len(tags) == len(range(0, 4096, 4))
+
+
+class TestStatistics:
+    def test_counters(self):
+        monitor = make_monitor()
+        monitor.observe_llc_access(1)
+        monitor.advise_host(1)
+        monitor.advise_host(2)
+        assert monitor.stats["locality_monitor.accesses"] == 2
+        assert monitor.stats["locality_monitor.host_advice"] == 1
+        assert monitor.stats["locality_monitor.miss_advice"] == 1
+
+    def test_ignored_hits_counted(self):
+        monitor = make_monitor()
+        monitor.note_pim_issue(1)
+        monitor.advise_host(1)
+        assert monitor.stats["locality_monitor.ignored_first_hits"] == 1
+
+
+@settings(max_examples=40)
+@given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 30)),
+                min_size=1, max_size=150))
+def test_monitor_never_crashes_and_stays_bounded(events):
+    """Any interleaving of update sources keeps the monitor consistent."""
+    monitor = make_monitor(n_sets=2, n_ways=2)
+    for kind, block in events:
+        if kind == 0:
+            monitor.observe_llc_access(block)
+        elif kind == 1:
+            monitor.note_pim_issue(block)
+        else:
+            monitor.advise_host(block)
+    for line_set in monitor._sets:
+        assert len(line_set) <= 2

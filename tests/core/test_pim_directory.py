@@ -1,0 +1,183 @@
+"""Tests for the PIM directory's reader-writer lock semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pim_directory import PimDirectory
+
+
+class TestIndexing:
+    def test_same_block_same_entry(self):
+        d = PimDirectory(entries=2048)
+        assert d.index_of(12345) == d.index_of(12345)
+
+    def test_entry_within_range(self):
+        d = PimDirectory(entries=2048)
+        for block in (0, 1, 2**30, 2**40 + 17):
+            assert 0 <= d.index_of(block) < 2048
+
+    def test_false_positives_exist(self):
+        # The table is tag-less: some pair of distinct blocks shares an entry.
+        d = PimDirectory(entries=16)
+        entries = {d.index_of(b) for b in range(1000)}
+        assert len(entries) <= 16
+
+    def test_ideal_has_no_aliasing(self):
+        d = PimDirectory(ideal=True)
+        entries = {d.index_of(b) for b in range(1000)}
+        assert len(entries) == 1000
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            PimDirectory(entries=1000)
+
+
+class TestLockProtocol:
+    def test_uncontended_writer_granted_after_latency(self):
+        d = PimDirectory(latency=2.0)
+        _, grant = d.acquire(5, is_writer=True, time=10.0)
+        assert grant == 12.0
+
+    def test_writer_blocks_writer_same_block(self):
+        d = PimDirectory(latency=0.0, handoff_penalty=0.0)
+        entry, g1 = d.acquire(5, True, 0.0)
+        d.release(entry, True, 100.0)
+        _, g2 = d.acquire(5, True, 0.0)
+        assert g2 == 100.0  # serialized behind the first writer
+
+    def test_writer_blocks_reader_same_block(self):
+        d = PimDirectory(latency=0.0, handoff_penalty=0.0)
+        entry, _ = d.acquire(5, True, 0.0)
+        d.release(entry, True, 100.0)
+        _, grant = d.acquire(5, False, 0.0)
+        assert grant == 100.0
+
+    def test_readers_overlap(self):
+        d = PimDirectory(latency=0.0, handoff_penalty=0.0)
+        e1, g1 = d.acquire(5, False, 0.0)
+        d.release(e1, False, 100.0)
+        _, g2 = d.acquire(5, False, 0.0)
+        assert g2 == 0.0  # concurrent readers allowed
+
+    def test_writer_waits_for_readers(self):
+        d = PimDirectory(latency=0.0, handoff_penalty=0.0)
+        e, _ = d.acquire(5, False, 0.0)
+        d.release(e, False, 80.0)
+        _, grant = d.acquire(5, True, 0.0)
+        assert grant == 80.0
+
+    def test_different_blocks_do_not_conflict(self):
+        d = PimDirectory(entries=2048, latency=0.0, handoff_penalty=0.0)
+        e, _ = d.acquire(0, True, 0.0)
+        d.release(e, True, 1000.0)
+        # Block 1 maps to a different entry in a 2048-entry table.
+        _, grant = d.acquire(1, True, 0.0)
+        assert grant == 0.0
+
+    def test_false_positive_serializes_but_is_safe(self):
+        d = PimDirectory(entries=2, latency=0.0, handoff_penalty=0.0)
+        # Find two distinct blocks that alias.
+        a, b = 0, None
+        for candidate in range(1, 100):
+            if d.index_of(candidate) == d.index_of(a):
+                b = candidate
+                break
+        assert b is not None
+        e, _ = d.acquire(a, True, 0.0)
+        d.release(e, True, 50.0)
+        _, grant = d.acquire(b, True, 0.0)
+        assert grant == 50.0  # needless but harmless serialization
+
+    def test_conflict_statistics(self):
+        d = PimDirectory(latency=0.0, handoff_penalty=0.0)
+        e, _ = d.acquire(5, True, 0.0)
+        d.release(e, True, 100.0)
+        d.acquire(5, True, 0.0)
+        assert d.stats["pim_directory.conflicts"] == 1
+        assert d.stats["pim_directory.wait_cycles"] == 100.0
+
+
+class TestFence:
+    def test_fence_waits_for_writers(self):
+        d = PimDirectory(latency=0.0, handoff_penalty=0.0)
+        e, _ = d.acquire(5, True, 0.0)
+        d.release(e, True, 250.0)
+        assert d.fence_time(10.0) == 250.0
+
+    def test_fence_ignores_readers(self):
+        # pfence orders normal instructions after *writer* PEIs.
+        d = PimDirectory(latency=0.0, handoff_penalty=0.0)
+        e, _ = d.acquire(5, False, 0.0)
+        d.release(e, False, 250.0)
+        assert d.fence_time(10.0) == 10.0
+
+    def test_quiesce_includes_readers(self):
+        d = PimDirectory(latency=0.0, handoff_penalty=0.0)
+        e, _ = d.acquire(5, False, 0.0)
+        d.release(e, False, 250.0)
+        assert d.quiesce_time(10.0) == 250.0
+
+    def test_fence_never_in_past(self):
+        d = PimDirectory(latency=0.0, handoff_penalty=0.0)
+        assert d.fence_time(42.0) == 42.0
+
+
+class TestStorage:
+    def test_section61_storage_cost(self):
+        # 2048 entries x 13 bits = 3.25 KB.
+        d = PimDirectory(entries=2048)
+        assert d.storage_bits == 2048 * 13
+        assert d.storage_bits / 8 / 1024 == pytest.approx(3.25)
+
+    def test_ideal_costs_nothing(self):
+        assert PimDirectory(ideal=True).storage_bits == 0
+
+
+@settings(max_examples=40)
+@given(st.lists(st.tuples(st.integers(0, 30), st.booleans(),
+                          st.floats(0, 1000), st.floats(1, 100)),
+                min_size=1, max_size=60))
+def test_no_overlapping_writers_per_block(ops):
+    """Atomicity: writer lock spans never overlap for the same block.
+
+    Simulates acquire/release pairs and checks that, per block, every
+    writer's [grant, completion] interval is disjoint from every other
+    writer's and from every reader's.
+    """
+    d = PimDirectory(entries=16, latency=0.0, handoff_penalty=0.0)
+    spans = []
+    for block, is_writer, time, hold in ops:
+        entry, grant = d.acquire(block, is_writer, time)
+        completion = grant + hold
+        d.release(entry, is_writer, completion)
+        spans.append((d.index_of(block), is_writer, grant, completion))
+    for i, (e1, w1, g1, c1) in enumerate(spans):
+        for e2, w2, g2, c2 in spans[i + 1:]:
+            if e1 != e2 or not (w1 or w2):
+                continue  # different entries or reader-reader: may overlap
+            # Writer intervals must not strictly overlap anything else.
+            assert g1 >= c2 or g2 >= c1, "writer span overlap detected"
+
+
+class TestHandoffPenalty:
+    def test_contended_writer_pays_handoff(self):
+        d = PimDirectory(latency=0.0, handoff_penalty=10.0)
+        e, _ = d.acquire(5, True, 0.0)
+        d.release(e, True, 100.0)
+        _, grant = d.acquire(5, True, 0.0)
+        assert grant == 110.0  # completion + ownership handoff
+
+    def test_uncontended_writer_pays_nothing(self):
+        d = PimDirectory(latency=0.0, handoff_penalty=10.0)
+        e, _ = d.acquire(5, True, 0.0)
+        d.release(e, True, 100.0)
+        _, grant = d.acquire(5, True, 500.0)
+        assert grant == 500.0
+
+    def test_reader_after_writer_pays_handoff(self):
+        d = PimDirectory(latency=0.0, handoff_penalty=10.0)
+        e, _ = d.acquire(5, True, 0.0)
+        d.release(e, True, 100.0)
+        _, grant = d.acquire(5, False, 0.0)
+        assert grant == 110.0

@@ -1,0 +1,80 @@
+"""Tests for the per-PEI tracer."""
+
+import pytest
+
+from repro.core.dispatch import DispatchPolicy
+from repro.core.isa import FP_ADD
+from repro.core.tracer import PeiTrace, PeiTracer
+from repro.system.builder import build_machine
+from repro.system.config import tiny_config
+
+VADDR = 0x90000
+
+
+def traced_machine(policy=DispatchPolicy.LOCALITY_AWARE, **tracer_kwargs):
+    machine = build_machine(tiny_config(), policy)
+    tracer = PeiTracer(**tracer_kwargs)
+    machine.executor.tracer = tracer
+    return machine, tracer
+
+
+class TestPeiTrace:
+    def test_derived_metrics(self):
+        trace = PeiTrace(core=0, op="pim.fadd", block=5, on_host=True,
+                         issue_time=10.0, grant_time=15.0, completion=40.0)
+        assert trace.latency == 30.0
+        assert trace.lock_wait == 5.0
+
+    def test_lock_wait_clamped(self):
+        trace = PeiTrace(0, "pim.fadd", 5, True, 10.0, 10.0, 40.0)
+        assert trace.lock_wait == 0.0
+
+
+class TestPeiTracer:
+    def test_records_every_pei(self):
+        machine, tracer = traced_machine()
+        for i in range(5):
+            machine.executor.execute(machine.cores[0], FP_ADD,
+                                     VADDR + 64 * i, False)
+        assert len(tracer) == 5
+        assert all(t.op == "pim.fadd" for t in tracer.records)
+
+    def test_records_execution_location(self):
+        machine, tracer = traced_machine(DispatchPolicy.PIM_ONLY)
+        machine.executor.execute(machine.cores[0], FP_ADD, VADDR, False)
+        assert tracer.records[0].on_host is False
+        assert tracer.host_fraction() == 0.0
+
+    def test_capacity_drops_excess(self):
+        machine, tracer = traced_machine(capacity=2)
+        for i in range(5):
+            machine.executor.execute(machine.cores[0], FP_ADD,
+                                     VADDR + 64 * i, False)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_callback_invoked(self):
+        seen = []
+        machine, tracer = traced_machine(callback=seen.append)
+        machine.executor.execute(machine.cores[0], FP_ADD, VADDR, False)
+        assert len(seen) == 1
+
+    def test_hottest_blocks(self):
+        machine, tracer = traced_machine()
+        for _ in range(3):
+            machine.executor.execute(machine.cores[0], FP_ADD, VADDR, False)
+        machine.executor.execute(machine.cores[0], FP_ADD, VADDR + 4096, False)
+        (top_block, count), *_ = tracer.hottest_blocks()
+        assert count == 3
+
+    def test_mean_latency_filtering(self):
+        machine, tracer = traced_machine()
+        machine.executor.execute(machine.cores[0], FP_ADD, VADDR, False)
+        assert tracer.mean_latency() > 0
+        assert tracer.mean_latency(on_host=not tracer.records[0].on_host) == 0.0
+
+    def test_timestamps_ordered(self):
+        machine, tracer = traced_machine()
+        machine.executor.execute(machine.cores[0], FP_ADD, VADDR, False)
+        t = tracer.records[0]
+        assert t.issue_time <= t.grant_time <= t.completion

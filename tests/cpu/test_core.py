@@ -1,0 +1,121 @@
+"""Tests for the trace-driven core model."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cpu.core import CoreModel
+from repro.mem.address_map import AddressMap
+from repro.mem.dram import DramTimings
+from repro.mem.hmc import HmcSystem
+from repro.mem.link import OffChipChannel
+from repro.sim.stats import Stats
+from repro.vm.page_table import PageTable
+from repro.vm.tlb import Tlb
+from repro.xbar.crossbar import Crossbar
+
+
+def make_core(issue_width=4, mlp=2):
+    stats = Stats()
+    hmc = HmcSystem(
+        AddressMap(n_hmcs=2, vaults_per_hmc=4, banks_per_vault=4),
+        DramTimings.from_ns(),
+        OffChipChannel(10.0, 10.0),
+        tsv_bytes_per_cycle=4.0,
+        stats=stats,
+    )
+    hierarchy = CacheHierarchy(
+        n_cores=1, block_size=64,
+        l1_sets=4, l1_ways=2, l2_sets=8, l2_ways=2, l3_sets=16, l3_ways=4,
+        l1_latency=4, l2_latency=12, l3_latency=30,
+        l3_banks=2, l3_bank_occupancy=2.0,
+        crossbar=Crossbar(3, 9.0, 6.0), hmc=hmc, stats=stats,
+    )
+    tlb = Tlb(PageTable(), entries=64, walk_latency=100.0)
+    return CoreModel(0, issue_width, mlp, tlb, hierarchy, stats), stats
+
+
+class TestCompute:
+    def test_advances_at_issue_width(self):
+        core, _ = make_core(issue_width=4)
+        core.do_compute(8)
+        assert core.time == pytest.approx(2.0)
+        assert core.instructions == 8
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            make_core(issue_width=0)
+        with pytest.raises(ValueError):
+            make_core(mlp=0)
+
+
+class TestLoads:
+    def test_load_does_not_block_core(self):
+        core, _ = make_core(mlp=4)
+        core.do_load(0x10000, dep=False)
+        # Core time advanced only by the issue slot and the TLB walk.
+        assert core.time == pytest.approx(0.25 + 100.0)
+
+    def test_window_full_stalls(self):
+        core, _ = make_core(mlp=1)
+        core.do_load(0x10000, dep=False)
+        t_after_first = core.time
+        core.do_load(0x20000, dep=False)
+        # Second load had to wait for the first load's completion.
+        assert core.time > t_after_first + 200.0
+
+    def test_dependent_load_serializes(self):
+        core, _ = make_core(mlp=8)
+        core.do_load(0x10000, dep=False)
+        t = core.time
+        core.do_load(0x20000, dep=True)
+        assert core.time >= core.last_load_completion - 1e9  # completed later
+        assert core.time > t + 100.0
+
+    def test_independent_loads_overlap(self):
+        dep_core, _ = make_core(mlp=8)
+        ser_core, _ = make_core(mlp=8)
+        for i in range(4):
+            dep_core.do_load(0x10000 + i * 4096, dep=False)
+            ser_core.do_load(0x10000 + i * 4096, dep=True)
+        assert dep_core.time < ser_core.time
+
+    def test_load_counts_instruction(self):
+        core, stats = make_core()
+        core.do_load(0x10000, False)
+        assert core.instructions == 1
+        assert stats["core.loads"] == 1
+
+
+class TestStores:
+    def test_store_is_posted(self):
+        core, stats = make_core(mlp=4)
+        core.do_store(0x10000)
+        assert core.time == pytest.approx(0.25 + 100.0)
+        assert stats["core.stores"] == 1
+
+    def test_store_marks_block_dirty(self):
+        core, _ = make_core()
+        core.do_store(0x10000)
+        block = core.hierarchy.block_of(core.tlb.page_table.translate(0x10000))
+        assert core.hierarchy.l1[0].is_dirty(block)
+
+
+class TestDrain:
+    def test_drain_waits_for_all(self):
+        core, _ = make_core(mlp=8)
+        core.do_load(0x10000, False)
+        t = core.time
+        core.drain()
+        assert core.time > t
+        core.drain()  # idempotent
+
+
+class TestIpc:
+    def test_ipc(self):
+        core, _ = make_core()
+        core.do_compute(40)
+        assert core.ipc == pytest.approx(4.0)
+
+    def test_zero_time(self):
+        core, _ = make_core()
+        assert core.ipc == 0.0

@@ -1,0 +1,67 @@
+"""Tests for the trace operation records."""
+
+from repro.core.isa import FP_ADD, HASH_PROBE, INT_INCREMENT
+from repro.cpu.trace import (
+    KIND_BARRIER,
+    KIND_COMPUTE,
+    KIND_FENCE,
+    KIND_LOAD,
+    KIND_PEI,
+    KIND_STORE,
+    Barrier,
+    Compute,
+    Load,
+    PFence,
+    Pei,
+    Store,
+)
+
+
+class TestKinds:
+    def test_kinds_distinct(self):
+        kinds = {KIND_COMPUTE, KIND_LOAD, KIND_STORE, KIND_PEI, KIND_FENCE,
+                 KIND_BARRIER}
+        assert len(kinds) == 6
+
+    def test_op_kind_fields(self):
+        assert Compute(1).kind == KIND_COMPUTE
+        assert Load(0).kind == KIND_LOAD
+        assert Store(0).kind == KIND_STORE
+        assert Pei(FP_ADD, 0).kind == KIND_PEI
+        assert PFence().kind == KIND_FENCE
+        assert Barrier().kind == KIND_BARRIER
+
+
+class TestPeiDefaults:
+    def test_rmw_op_does_not_wait(self):
+        assert Pei(INT_INCREMENT, 0).wait_output is False
+        assert Pei(FP_ADD, 0).wait_output is False
+
+    def test_output_op_waits(self):
+        assert Pei(HASH_PROBE, 0).wait_output is True
+
+    def test_chained_output_op_does_not_block(self):
+        # Chained dependent probes overlap via the chain mechanism instead
+        # of blocking the core.
+        assert Pei(HASH_PROBE, 0, chain=1).wait_output is False
+
+    def test_explicit_override(self):
+        assert Pei(HASH_PROBE, 0, wait_output=False).wait_output is False
+
+
+class TestMisc:
+    def test_load_dep_default(self):
+        assert Load(0).dep is False
+        assert Load(0, dep=True).dep is True
+
+    def test_barrier_group_default(self):
+        assert Barrier().group == 0
+        assert Barrier(group=3).group == 3
+
+    def test_reprs(self):
+        assert "Compute" in repr(Compute(5))
+        assert "dep" in repr(Load(0x40, dep=True))
+        assert "pim.fadd" in repr(Pei(FP_ADD, 0x40))
+        assert "group=2" in repr(Barrier(group=2))
+        assert "Store" in repr(Store(0x40))
+        assert "PFence" in repr(PFence())

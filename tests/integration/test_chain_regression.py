@@ -1,0 +1,46 @@
+"""Regression guard: the default single-hop channel and the hop-aware API
+agree, so enabling chain modeling only ever adds latency, never changes
+traffic accounting or functional behaviour."""
+
+import pytest
+
+from repro.core.dispatch import DispatchPolicy
+from repro.system.config import tiny_config
+from repro.system.system import System
+from repro.workloads.graph.pagerank import PageRank
+
+P = DispatchPolicy
+
+
+def run(model_chain_hops):
+    system = System(tiny_config(model_chain_hops=model_chain_hops), P.PIM_ONLY)
+    workload = PageRank(n_vertices=200, avg_degree=4.0, iterations=1, seed=5)
+    result = system.run(workload)
+    workload.verify()
+    return result
+
+
+class TestChainRegression:
+    def test_traffic_identical(self):
+        flat, chained = run(False), run(True)
+        assert flat.offchip_bytes == chained.offchip_bytes
+        assert flat.dram_accesses == chained.dram_accesses
+
+    def test_chain_only_adds_latency(self):
+        # Extra hops add latency on average; contention reshuffling under
+        # the perturbed timings can shave a hair off, so allow 2% slack.
+        flat, chained = run(False), run(True)
+        assert chained.cycles >= flat.cycles * 0.98
+
+    def test_zero_hop_latency_nearly_flat(self):
+        system = System(
+            tiny_config(model_chain_hops=True, chain_hop_latency=0.0),
+            P.PIM_ONLY,
+        )
+        workload = PageRank(n_vertices=200, avg_degree=4.0, iterations=1,
+                            seed=5)
+        result = system.run(workload)
+        flat = run(False)
+        # Remaining delta is only per-hop serialization of lightly loaded
+        # links: small.
+        assert result.cycles <= flat.cycles * 1.10

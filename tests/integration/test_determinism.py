@@ -1,0 +1,48 @@
+"""Integration: runs are bit-deterministic given a seed and configuration."""
+
+import pytest
+
+from repro.core.dispatch import DispatchPolicy
+from repro.system.config import tiny_config
+from repro.system.system import System
+from repro.workloads.graph.pagerank import PageRank
+from repro.workloads.analytics.hash_join import HashJoin
+
+
+def run_once(policy, seed):
+    system = System(tiny_config(), policy)
+    workload = PageRank(n_vertices=200, avg_degree=4.0, iterations=1, seed=seed)
+    result = system.run(workload, max_ops_per_thread=3000)
+    return result
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy", [DispatchPolicy.LOCALITY_AWARE,
+                                        DispatchPolicy.PIM_ONLY])
+    def test_cycles_reproducible(self, policy):
+        a = run_once(policy, seed=42)
+        b = run_once(policy, seed=42)
+        assert a.cycles == b.cycles
+        assert a.instructions == b.instructions
+        assert a.stats == b.stats
+
+    def test_seed_changes_timing(self):
+        a = run_once(DispatchPolicy.LOCALITY_AWARE, seed=1)
+        b = run_once(DispatchPolicy.LOCALITY_AWARE, seed=2)
+        assert a.cycles != b.cycles
+
+    def test_policy_does_not_change_instruction_stream_work(self):
+        # Identical workload, different execution locations: the issued PEI
+        # count must match exactly (the op cap cuts identical work).
+        a = run_once(DispatchPolicy.HOST_ONLY, seed=42)
+        b = run_once(DispatchPolicy.PIM_ONLY, seed=42)
+        assert a.stats["pei.issued"] == b.stats["pei.issued"]
+        assert a.stats["core.loads"] == b.stats["core.loads"]
+
+    def test_hash_join_deterministic(self):
+        results = []
+        for _ in range(2):
+            system = System(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+            workload = HashJoin(build_rows=256, probe_rows=512, seed=42)
+            results.append(system.run(workload).cycles)
+        assert results[0] == results[1]

@@ -1,0 +1,117 @@
+"""Integration: qualitative cross-configuration behaviour from Section 7.
+
+These assertions encode the paper's *shape* claims on a miniature machine:
+which configuration wins in which locality regime, traffic directions, and
+the adaptivity of Locality-Aware.
+"""
+
+import pytest
+
+from repro.core.dispatch import DispatchPolicy
+from repro.system.config import tiny_config
+from repro.system.system import System
+from repro.workloads.graph.pagerank import PageRank
+from repro.workloads.analytics.histogram import Histogram
+
+P = DispatchPolicy
+CAP = 4000
+
+
+def run_pr(policy, n_vertices, avg_degree=6.0):
+    system = System(tiny_config(), policy)
+    workload = PageRank(n_vertices=n_vertices, avg_degree=avg_degree,
+                        iterations=3, seed=21)
+    return system.run(workload, max_ops_per_thread=CAP)
+
+
+# tiny_config L3 = 64 KB = 1024 blocks; "cached" PR at 300 vertices (2.4 KB
+# of PEI targets), "oversized" at 40000 vertices (320 KB of PEI targets).
+CACHED, OVERSIZED = 300, 40_000
+
+
+class TestLocalityRegimes:
+    def test_pim_only_loses_when_data_fits_in_cache(self):
+        ideal = run_pr(P.IDEAL_HOST, CACHED)
+        pim = run_pr(P.PIM_ONLY, CACHED)
+        assert pim.cycles > ideal.cycles
+
+    def test_pim_only_wins_when_data_exceeds_cache(self):
+        ideal = run_pr(P.IDEAL_HOST, OVERSIZED)
+        pim = run_pr(P.PIM_ONLY, OVERSIZED)
+        assert pim.cycles < ideal.cycles
+
+    def test_locality_aware_tracks_host_on_cached_data(self):
+        host = run_pr(P.HOST_ONLY, CACHED)
+        aware = run_pr(P.LOCALITY_AWARE, CACHED)
+        pim = run_pr(P.PIM_ONLY, CACHED)
+        assert aware.cycles < pim.cycles
+        assert aware.cycles < 1.25 * host.cycles
+
+    def test_locality_aware_tracks_pim_on_oversized_data(self):
+        host = run_pr(P.HOST_ONLY, OVERSIZED)
+        aware = run_pr(P.LOCALITY_AWARE, OVERSIZED)
+        assert aware.cycles < host.cycles
+
+    def test_ideal_host_at_least_as_fast_as_host_only(self):
+        for size in (CACHED, OVERSIZED):
+            ideal = run_pr(P.IDEAL_HOST, size)
+            host = run_pr(P.HOST_ONLY, size)
+            assert ideal.cycles <= host.cycles * 1.01
+
+
+class TestAdaptivity:
+    def test_pim_fraction_grows_with_input_size(self):
+        """Fig. 8's core claim: offload fraction rises with graph size."""
+        small = run_pr(P.LOCALITY_AWARE, CACHED)
+        large = run_pr(P.LOCALITY_AWARE, OVERSIZED)
+        assert small.pim_fraction < 0.2
+        assert large.pim_fraction > 0.5
+        assert large.pim_fraction > small.pim_fraction
+
+    def test_host_only_and_pim_only_ignore_monitor(self):
+        host = run_pr(P.HOST_ONLY, OVERSIZED)
+        pim = run_pr(P.PIM_ONLY, OVERSIZED)
+        assert host.pim_fraction == 0.0
+        assert pim.pim_fraction == 1.0
+
+
+class TestOffchipTraffic:
+    def test_pim_only_reduces_traffic_on_oversized_data(self):
+        """Fig. 7: in-memory execution cuts off-chip transfer for large
+        inputs."""
+        ideal = run_pr(P.IDEAL_HOST, OVERSIZED)
+        pim = run_pr(P.PIM_ONLY, OVERSIZED)
+        assert pim.offchip_bytes < ideal.offchip_bytes
+
+    def test_pim_only_inflates_traffic_on_cached_data(self):
+        """Fig. 7: always-offloading wastes bandwidth when data is cached."""
+        ideal = run_pr(P.IDEAL_HOST, CACHED)
+        pim = run_pr(P.PIM_ONLY, CACHED)
+        assert pim.offchip_bytes > 2 * ideal.offchip_bytes
+
+    def test_pim_only_inflates_dram_accesses_on_cached_data(self):
+        """Section 7.1: PIM-Only always accesses DRAM (17x on small)."""
+        ideal = run_pr(P.IDEAL_HOST, CACHED)
+        pim = run_pr(P.PIM_ONLY, CACHED)
+        assert pim.dram_accesses > 5 * max(ideal.dram_accesses, 1)
+
+
+class TestEnergy:
+    def test_locality_aware_not_worse_than_pim_only_on_cached_data(self):
+        """Fig. 12: adaptive execution avoids PIM-Only's DRAM energy blowup
+        on cache-resident inputs."""
+        aware = run_pr(P.LOCALITY_AWARE, CACHED)
+        pim = run_pr(P.PIM_ONLY, CACHED)
+        assert aware.energy.total_pj < pim.energy.total_pj
+
+
+class TestStreamingWorkload:
+    def test_histogram_streams_prefer_memory_side(self):
+        """HG's single-pass streams have no reuse: the monitor offloads a
+        large share even at small sizes (the Section 7.1 'HG excluded'
+        remark)."""
+        system = System(tiny_config(), P.LOCALITY_AWARE)
+        # 4x the tiny L3 so the stream cannot be cache-resident.
+        workload = Histogram(n_values=64_000, seed=5)
+        result = system.run(workload, max_ops_per_thread=CAP)
+        assert result.pim_fraction > 0.5

@@ -1,0 +1,62 @@
+"""Integration: every workload's functional result is correct end-to-end,
+under every dispatch policy — the core PEI contract that the execution
+location is invisible to software."""
+
+import pytest
+
+from repro.core.dispatch import DispatchPolicy
+from repro.system.config import tiny_config
+from repro.system.system import System
+from repro.workloads.analytics.hash_join import HashJoin
+from repro.workloads.analytics.histogram import Histogram
+from repro.workloads.analytics.radix_partition import RadixPartition
+from repro.workloads.graph.atf import AverageTeenageFollower
+from repro.workloads.graph.bfs import BreadthFirstSearch
+from repro.workloads.graph.pagerank import PageRank
+from repro.workloads.graph.sssp import SingleSourceShortestPath
+from repro.workloads.graph.wcc import WeaklyConnectedComponents
+from repro.workloads.ml.streamcluster import Streamcluster
+from repro.workloads.ml.svm_rfe import SvmRfe
+
+GRAPH = dict(n_vertices=150, avg_degree=3.0, seed=13)
+
+FACTORIES = {
+    "ATF": lambda: AverageTeenageFollower(**GRAPH),
+    "BFS": lambda: BreadthFirstSearch(**GRAPH),
+    "PR": lambda: PageRank(**GRAPH, iterations=1),
+    "SP": lambda: SingleSourceShortestPath(**GRAPH),
+    "WCC": lambda: WeaklyConnectedComponents(**GRAPH),
+    "HJ": lambda: HashJoin(build_rows=128, probe_rows=256, seed=13),
+    "HG": lambda: Histogram(n_values=2000, seed=13),
+    "RP": lambda: RadixPartition(n_rows=1024, passes=1, seed=13),
+    "SC": lambda: Streamcluster(n_points=48, dims=16, n_centers=4, seed=13),
+    "SVM": lambda: SvmRfe(n_instances=12, n_features=16, passes=1, seed=13),
+}
+
+POLICIES = [
+    DispatchPolicy.IDEAL_HOST,
+    DispatchPolicy.HOST_ONLY,
+    DispatchPolicy.PIM_ONLY,
+    DispatchPolicy.LOCALITY_AWARE,
+    DispatchPolicy.LOCALITY_BALANCED,
+]
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=[p.value for p in POLICIES])
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_workload_verifies_under_policy(name, policy):
+    workload = FACTORIES[name]()
+    system = System(tiny_config(), policy)
+    result = system.run(workload)
+    workload.verify()
+    assert result.cycles > 0
+    assert result.instructions > 0
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_cache_invariants_after_full_run(name):
+    workload = FACTORIES[name]()
+    system = System(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+    system.run(workload)
+    assert system.hierarchy.check_inclusion() == []
+    assert system.hierarchy.check_single_writer() == []

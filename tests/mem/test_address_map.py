@@ -1,0 +1,64 @@
+"""Tests for physical address interleaving."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.address_map import AddressMap
+
+
+def default_map():
+    return AddressMap(block_size=64, n_hmcs=8, vaults_per_hmc=16,
+                      banks_per_vault=16, row_bytes=2048)
+
+
+class TestAddressMap:
+    def test_geometry(self):
+        amap = default_map()
+        assert amap.total_vaults == 128
+        assert amap.total_banks == 2048
+
+    def test_consecutive_blocks_hit_different_vaults(self):
+        amap = default_map()
+        vaults = [amap.locate(block * 64).vault for block in range(128)]
+        assert len(set(vaults)) == 128  # perfect block interleave
+
+    def test_same_block_same_location(self):
+        amap = default_map()
+        assert amap.locate(1024) == amap.locate(1024 + 63)  # same 64 B block
+
+    def test_hmc_derived_from_vault(self):
+        amap = default_map()
+        loc = amap.locate(64 * 17)
+        assert loc.hmc == loc.vault // 16
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_fields_in_range(self, addr):
+        amap = default_map()
+        loc = amap.locate(addr)
+        assert 0 <= loc.hmc < 8
+        assert 0 <= loc.vault < 128
+        assert 0 <= loc.bank < 16
+        assert loc.row >= 0
+
+    @given(st.integers(min_value=0, max_value=2**34))
+    def test_vault_of_matches_locate(self, addr):
+        amap = default_map()
+        assert amap.vault_of(addr) == amap.locate(addr).vault
+
+    def test_row_changes_after_row_bytes_of_blocks(self):
+        amap = default_map()
+        # Within one (vault, bank), blocks are row_bytes/block_size apart in
+        # consecutive rows.
+        stride = 64 * amap.total_vaults * amap.banks_per_vault
+        blocks_per_row = amap.row_bytes // 64
+        first = amap.locate(0)
+        same_row = amap.locate(stride * (blocks_per_row - 1))
+        next_row = amap.locate(stride * blocks_per_row)
+        assert first.row == same_row.row
+        assert next_row.row == first.row + 1
+
+    def test_block_number(self):
+        amap = default_map()
+        assert amap.block_number(0) == 0
+        assert amap.block_number(64) == 1
+        assert amap.block_number(127) == 1

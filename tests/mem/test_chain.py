@@ -1,0 +1,95 @@
+"""Tests for opt-in per-cube daisy-chain modeling."""
+
+import pytest
+
+from repro.core.dispatch import DispatchPolicy
+from repro.mem.chain import DaisyChainChannel
+from repro.system.builder import build_machine
+from repro.system.config import tiny_config
+from repro.system.system import System
+from repro.workloads.analytics.histogram import Histogram
+
+
+def make_channel(**kwargs):
+    defaults = dict(n_hops=4, request_bytes_per_cycle=10.0,
+                    response_bytes_per_cycle=10.0, serdes_latency=0.0,
+                    hop_latency=5.0)
+    defaults.update(kwargs)
+    return DaisyChainChannel(**defaults)
+
+
+class TestDaisyChainChannel:
+    def test_rejects_empty_chain(self):
+        with pytest.raises(ValueError):
+            make_channel(n_hops=0)
+
+    def test_nearest_cube_matches_base_model(self):
+        chain = make_channel()
+        flat = make_channel()
+        assert chain.send_request_to(0.0, 0, hop=0) == \
+            flat.send_request(0.0, 0)
+
+    def test_farther_cubes_pay_more_latency(self):
+        chain = make_channel()
+        times = [make_channel().send_request_to(0.0, 0, hop=h)
+                 for h in range(4)]
+        assert times == sorted(times)
+        assert times[3] > times[0]
+
+    def test_hop_cost_is_per_hop(self):
+        t0 = make_channel().send_request_to(0.0, 0, hop=0)
+        t2 = make_channel().send_request_to(0.0, 0, hop=2)
+        # Two extra hops: 2 x (transfer 1.6 + hop latency 5).
+        assert t2 - t0 == pytest.approx(2 * (1.6 + 5.0))
+
+    def test_responses_mirror_requests(self):
+        chain = make_channel()
+        near = chain.send_response_from(0.0, 64, hop=0)
+        far = make_channel().send_response_from(0.0, 64, hop=3)
+        assert far > near
+
+    def test_host_hop_still_aggregates_all_traffic(self):
+        chain = make_channel()
+        chain.send_request_to(0.0, 0, hop=0)
+        chain.send_request_to(0.0, 0, hop=3)
+        # Both packets crossed the host-side hop: aggregate counters intact.
+        assert chain.request_bytes == 32
+
+    def test_reset_clears_hops(self):
+        chain = make_channel()
+        chain.send_request_to(0.0, 0, hop=3)
+        chain.reset()
+        assert chain.request_bytes == 0
+        assert chain.send_request_to(0.0, 0, hop=3) == pytest.approx(
+            1.6 + 3 * (1.6 + 5.0))
+
+
+class TestSystemIntegration:
+    def test_builder_selects_chain_channel(self):
+        machine = build_machine(tiny_config(model_chain_hops=True),
+                                DispatchPolicy.LOCALITY_AWARE)
+        assert isinstance(machine.hmc.channel, DaisyChainChannel)
+        flat = build_machine(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+        assert not isinstance(flat.hmc.channel, DaisyChainChannel)
+
+    def test_end_to_end_run_with_chain_hops(self):
+        system = System(tiny_config(model_chain_hops=True),
+                        DispatchPolicy.PIM_ONLY)
+        workload = Histogram(n_values=5000, seed=4)
+        result = system.run(workload)
+        workload.verify()
+        assert result.cycles > 0
+
+    def test_chain_hops_cost_time_not_results(self):
+        def run(flag):
+            system = System(tiny_config(model_chain_hops=flag),
+                            DispatchPolicy.PIM_ONLY)
+            workload = Histogram(n_values=5000, seed=4)
+            result = system.run(workload)
+            workload.verify()
+            return result
+
+        flat = run(False)
+        chained = run(True)
+        assert chained.cycles >= flat.cycles  # extra hop latency
+        assert chained.stats["pei.issued"] == flat.stats["pei.issued"]

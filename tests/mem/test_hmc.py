@@ -1,0 +1,91 @@
+"""Tests for the HMC memory system and vaults."""
+
+import pytest
+
+from repro.mem.address_map import AddressMap
+from repro.mem.dram import DramTimings
+from repro.mem.hmc import HmcSystem
+from repro.mem.link import OffChipChannel
+from repro.mem.vault import Vault
+from repro.sim.stats import Stats
+
+
+def make_hmc():
+    stats = Stats()
+    amap = AddressMap(n_hmcs=2, vaults_per_hmc=4, banks_per_vault=4)
+    channel = OffChipChannel(10.0, 10.0)
+    hmc = HmcSystem(amap, DramTimings.from_ns(), channel,
+                    tsv_bytes_per_cycle=4.0, stats=stats)
+    return hmc, stats, channel
+
+
+class TestVault:
+    def test_read_includes_tsv_transfer(self):
+        vault = Vault(0, 2, DramTimings.from_ns(), tsv_bytes_per_cycle=4.0,
+                      controller_latency=8.0)
+        finish = vault.read_block(0.0, bank=0, row=0)
+        # controller + (tRCD + tCL + burst) + 64 B over TSVs at 4 B/cycle
+        assert finish == pytest.approx(8 + 126 + 16)
+
+    def test_write_moves_data_then_accesses_bank(self):
+        vault = Vault(0, 2, DramTimings.from_ns(), tsv_bytes_per_cycle=4.0,
+                      controller_latency=8.0)
+        finish = vault.write_block(0.0, bank=0, row=0)
+        assert finish == pytest.approx(8 + 16 + 126)
+
+    def test_dram_access_counter(self):
+        vault = Vault(0, 2, DramTimings.from_ns(), 4.0)
+        vault.read_block(0.0, 0, 0)
+        vault.write_block(500.0, 1, 0)
+        assert vault.dram_accesses == 2
+
+
+class TestHmcSystem:
+    def test_vault_count(self):
+        hmc, _, _ = make_hmc()
+        assert len(hmc.vaults) == 8
+
+    def test_read_block_traffic(self):
+        hmc, stats, channel = make_hmc()
+        hmc.read_block(0.0, 0x1000)
+        assert channel.request_bytes == 16
+        assert channel.response_bytes == 80
+        assert stats["dram.reads"] == 1
+
+    def test_write_block_traffic(self):
+        hmc, stats, channel = make_hmc()
+        hmc.write_block(0.0, 0x1000)
+        assert channel.request_bytes == 80
+        assert channel.response_bytes == 0
+        assert stats["dram.writes"] == 1
+
+    def test_pim_request_payload(self):
+        hmc, stats, channel = make_hmc()
+        hmc.pim_send_request(0.0, input_bytes=8)
+        assert channel.request_bytes == 32  # 16 B header + 8 B padded to 16
+
+    def test_pim_block_ops_stay_on_tsvs(self):
+        hmc, stats, channel = make_hmc()
+        hmc.pim_read_block(0.0, 0x40)
+        hmc.pim_write_block(100.0, 0x40)
+        assert channel.total_bytes == 0  # vault-local, no off-chip transfer
+        assert stats["dram.pim_reads"] == 1
+        assert stats["dram.pim_writes"] == 1
+
+    def test_vault_for_is_consistent(self):
+        hmc, _, _ = make_hmc()
+        vault = hmc.vault_for(0x40)
+        assert vault.index == hmc.address_map.vault_of(0x40)
+
+    def test_dram_accesses_aggregate(self):
+        hmc, _, _ = make_hmc()
+        hmc.read_block(0.0, 0)
+        hmc.read_block(0.0, 64)
+        assert hmc.dram_accesses == 2
+
+    def test_reset(self):
+        hmc, _, channel = make_hmc()
+        hmc.read_block(0.0, 0)
+        hmc.reset()
+        assert channel.total_bytes == 0
+        assert hmc.dram_accesses == 0

@@ -1,0 +1,57 @@
+"""Tests for the statistics registry."""
+
+from repro.sim.stats import Stats
+
+
+class TestStats:
+    def test_default_zero(self):
+        stats = Stats()
+        assert stats["anything"] == 0.0
+        assert stats.get("other", 5.0) == 5.0
+
+    def test_add(self):
+        stats = Stats()
+        stats.add("x")
+        stats.add("x", 2.5)
+        assert stats["x"] == 3.5
+
+    def test_set_overwrites(self):
+        stats = Stats()
+        stats.add("x", 10)
+        stats.set("x", 3)
+        assert stats["x"] == 3
+
+    def test_contains(self):
+        stats = Stats()
+        assert "x" not in stats
+        stats.add("x")
+        assert "x" in stats
+
+    def test_merge(self):
+        a, b = Stats(), Stats()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a["x"] == 3
+        assert a["y"] == 3
+
+    def test_scaled(self):
+        stats = Stats()
+        stats.add("x", 4)
+        doubled = stats.scaled(2.0)
+        assert doubled["x"] == 8
+        assert stats["x"] == 4  # original untouched
+
+    def test_items_sorted(self):
+        stats = Stats()
+        stats.add("b")
+        stats.add("a")
+        assert [k for k, _ in stats.items()] == ["a", "b"]
+
+    def test_to_dict_and_clear(self):
+        stats = Stats()
+        stats.add("x", 1)
+        assert stats.to_dict() == {"x": 1}
+        stats.clear()
+        assert stats.to_dict() == {}

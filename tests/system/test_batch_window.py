@@ -1,0 +1,45 @@
+"""The engine's batch window is a performance knob, not a semantics knob."""
+
+import pytest
+
+from repro.core.dispatch import DispatchPolicy
+from repro.system.config import tiny_config
+from repro.system.system import System
+from repro.workloads.analytics.histogram import Histogram
+from repro.workloads.graph.pagerank import PageRank
+
+
+def run_with_window(batch_window):
+    system = System(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+    workload = Histogram(n_values=20_000, seed=3)
+    result = system.run(workload, batch_window=batch_window)
+    workload.verify()
+    return result
+
+
+class TestBatchWindow:
+    def test_functional_results_window_independent(self):
+        # verify() inside run_with_window already checks correctness.
+        for window in (32.0, 256.0, 2048.0):
+            run_with_window(window)
+
+    def test_timing_approximately_window_independent(self):
+        # Different interleaving granularity perturbs contention ordering
+        # slightly; the measured time must stay within a narrow band.
+        cycles = [run_with_window(w).cycles for w in (32.0, 256.0, 2048.0)]
+        assert max(cycles) / min(cycles) < 1.15
+
+    def test_op_counts_exactly_window_independent(self):
+        counts = set()
+        for window in (32.0, 1024.0):
+            result = run_with_window(window)
+            counts.add((result.instructions,
+                        result.stats.get("pei.issued", 0)))
+        assert len(counts) == 1
+
+    def test_graph_workload_with_barriers(self):
+        for window in (64.0, 512.0):
+            system = System(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+            workload = PageRank(n_vertices=150, avg_degree=3.0, iterations=1)
+            system.run(workload, batch_window=window)
+            workload.verify()

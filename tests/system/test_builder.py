@@ -1,0 +1,55 @@
+"""Tests for machine construction."""
+
+from repro.core.dispatch import DispatchPolicy
+from repro.system.builder import build_machine
+from repro.system.config import tiny_config
+
+
+class TestBuildMachine:
+    def test_component_counts(self):
+        cfg = tiny_config()
+        m = build_machine(cfg, DispatchPolicy.LOCALITY_AWARE)
+        assert len(m.cores) == cfg.n_cores
+        assert len(m.host_pcus) == cfg.n_cores
+        assert len(m.tlbs) == cfg.n_cores
+        assert len(m.hmc.vaults) == cfg.total_vaults
+
+    def test_every_vault_has_a_pcu(self):
+        m = build_machine(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+        for vault in m.hmc.vaults:
+            assert vault.pcu is not None
+
+    def test_memory_pcus_run_at_2ghz(self):
+        m = build_machine(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+        assert m.hmc.vaults[0].pcu.clock.freq_ghz == 2.0
+        assert m.host_pcus[0].clock.freq_ghz == 4.0
+
+    def test_monitor_mirrors_l3_geometry(self):
+        cfg = tiny_config()
+        m = build_machine(cfg, DispatchPolicy.LOCALITY_AWARE)
+        assert m.monitor.n_sets == cfg.l3_sets
+        assert m.monitor.n_ways == cfg.l3_ways
+
+    def test_monitor_hooked_into_l3_for_locality_policies(self):
+        aware = build_machine(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+        assert aware.hierarchy.l3_observer is not None
+        host = build_machine(tiny_config(), DispatchPolicy.HOST_ONLY)
+        assert host.hierarchy.l3_observer is None
+
+    def test_ideal_host_gets_ideal_directory(self):
+        m = build_machine(tiny_config(), DispatchPolicy.IDEAL_HOST)
+        assert m.directory.ideal
+        assert m.directory.latency == 0.0
+
+    def test_ablation_flags(self):
+        cfg = tiny_config(ideal_pim_directory=True, ideal_locality_monitor=True)
+        m = build_machine(cfg, DispatchPolicy.LOCALITY_AWARE)
+        assert m.directory.ideal
+        assert m.monitor.latency == 0.0
+        assert m.monitor.partial_tag_bits > 32  # effectively full tags
+
+    def test_stats_shared_across_components(self):
+        m = build_machine(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+        assert m.pmu.stats is m.stats
+        assert m.hierarchy.stats is m.stats
+        assert m.directory.stats is m.stats

@@ -1,0 +1,103 @@
+"""Tests for system configuration, including the Table 2 preset."""
+
+import pytest
+
+from repro.system.config import SystemConfig, paper_config, scaled_config, tiny_config
+
+
+class TestTable2Preset:
+    """The paper preset reproduces Table 2's baseline configuration."""
+
+    def test_cores(self):
+        cfg = paper_config()
+        assert cfg.n_cores == 16
+        assert cfg.core_freq_ghz == 4.0
+        assert cfg.issue_width == 4
+
+    def test_cache_sizes(self):
+        cfg = paper_config()
+        assert cfg.l1_size == 32 * 1024 and cfg.l1_ways == 8
+        assert cfg.l2_size == 256 * 1024 and cfg.l2_ways == 8
+        assert cfg.l3_size == 16 * 1024 * 1024 and cfg.l3_ways == 16
+        assert cfg.block_size == 64
+
+    def test_l3_geometry_matches_locality_monitor(self):
+        # Section 6.1: the locality monitor has 16,384 sets and 16 ways.
+        cfg = paper_config()
+        assert cfg.l3_sets == 16384
+        assert cfg.l3_ways == 16
+
+    def test_memory_system(self):
+        cfg = paper_config()
+        assert cfg.n_hmcs == 8
+        assert cfg.vaults_per_hmc == 16
+        assert cfg.total_vaults == 128
+        assert cfg.banks_per_vault * cfg.vaults_per_hmc == 256  # banks/HMC
+        assert cfg.dram_t_cl_ns == 13.75
+        assert cfg.dram_t_rcd_ns == 13.75
+        assert cfg.dram_t_rp_ns == 13.75
+
+    def test_32gb_of_physical_memory(self):
+        cfg = paper_config()
+        assert cfg.physical_frames * cfg.page_size == 32 * 1024**3
+
+    def test_pei_hardware(self):
+        cfg = paper_config()
+        assert cfg.pcu_operand_buffer_entries == 4
+        assert cfg.pcu_issue_width == 1
+        assert cfg.host_pcu_freq_ghz == 4.0
+        assert cfg.mem_pcu_freq_ghz == 2.0
+        assert cfg.pim_directory_entries == 2048
+        assert cfg.pim_directory_latency == 2.0
+        assert cfg.locality_monitor_latency == 3.0
+        assert cfg.locality_monitor_partial_tag_bits == 10
+
+    def test_576_operand_buffers(self):
+        # Section 6.1 footnote: 16 x 4 + 128 x 4 = 576 in-flight PEIs.
+        assert paper_config().total_operand_buffers == 576
+
+
+class TestScaledPreset:
+    def test_capacities_scaled_16x(self):
+        paper, scaled = paper_config(), scaled_config()
+        assert paper.l3_size == 16 * scaled.l3_size
+        assert scaled.l3_ways == paper.l3_ways
+        assert scaled.block_size == paper.block_size
+
+    def test_timing_not_scaled(self):
+        paper, scaled = paper_config(), scaled_config()
+        assert scaled.dram_t_cl_ns == paper.dram_t_cl_ns
+        assert scaled.offchip_request_bytes_per_cycle == (
+            paper.offchip_request_bytes_per_cycle)
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two_caches(self):
+        with pytest.raises(ValueError):
+            SystemConfig(l3_size=1000)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            SystemConfig(n_cores=0)
+
+    def test_rejects_uneven_geometry(self):
+        with pytest.raises(ValueError):
+            SystemConfig(l1_size=1024, l1_ways=7)
+
+
+class TestDerived:
+    def test_set_counts(self):
+        cfg = SystemConfig()
+        assert cfg.l1_sets == cfg.l1_size // (cfg.l1_ways * 64)
+        assert cfg.l3_sets * cfg.l3_ways * 64 == cfg.l3_size
+
+    def test_with_overrides(self):
+        cfg = scaled_config()
+        swept = cfg.with_overrides(pcu_operand_buffer_entries=8)
+        assert swept.pcu_operand_buffer_entries == 8
+        assert cfg.pcu_operand_buffer_entries == 4  # original frozen
+
+    def test_tiny_is_small(self):
+        cfg = tiny_config()
+        assert cfg.n_cores == 4
+        assert cfg.l3_size < scaled_config().l3_size

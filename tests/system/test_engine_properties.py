@@ -1,0 +1,101 @@
+"""Property-based tests for the run engine.
+
+Hypothesis generates random multi-threaded operation scripts (with aligned
+barrier phases) and checks the engine's global invariants: termination,
+monotonic time, conservation of operation counts, and barrier correctness.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dispatch import DispatchPolicy
+from repro.core.isa import FP_ADD, INT_MIN
+from repro.cpu.trace import Barrier, Compute, Load, PFence, Pei, Store
+from repro.system.config import tiny_config
+from repro.system.system import System
+from repro.workloads.base import Workload
+
+BASE = 0x40000
+
+
+class GeneratedWorkload(Workload):
+    name = "generated"
+
+    def __init__(self, phases):
+        super().__init__()
+        self.phases = phases  # phases[p][t] = list of ops for thread t
+
+    def prepare(self, space):
+        self.space = space
+        space.alloc("data", 1 << 16)
+
+    def make_threads(self, n_threads):
+        def thread(t):
+            for phase in self.phases:
+                ops = phase[t % len(phase)]
+                for op in ops:
+                    yield op
+                yield Barrier()
+        return [thread(t) for t in range(n_threads)]
+
+
+def op_strategy():
+    addr = st.integers(0, 255).map(lambda i: BASE + 64 * i)
+    return st.one_of(
+        st.builds(Compute, st.integers(1, 8)),
+        st.builds(Load, addr, st.booleans()),
+        st.builds(Store, addr),
+        addr.map(lambda a: Pei(FP_ADD, a)),
+        addr.map(lambda a: Pei(INT_MIN, a)),
+        st.just(PFence()),
+    )
+
+
+phase_strategy = st.lists(  # one phase: 4 scripts of 0..12 ops
+    st.lists(op_strategy(), min_size=0, max_size=12),
+    min_size=4, max_size=4,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(phase_strategy, min_size=1, max_size=3))
+def test_engine_terminates_with_consistent_state(phases):
+    system = System(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+    workload = GeneratedWorkload(phases)
+    result = system.run(workload)
+    # Termination with every core at a finite, non-negative time.
+    assert all(core.time >= 0 for core in system.cores)
+    assert result.cycles >= 0
+    # Conservation: every emitted memory op and PEI was accounted.
+    expected_loads = sum(sum(1 for op in phase[t] if isinstance(op, Load))
+                         for phase in phases for t in range(4))
+    expected_peis = sum(sum(1 for op in phase[t] if isinstance(op, Pei))
+                        for phase in phases for t in range(4))
+    assert result.stats.get("core.loads", 0) == expected_loads
+    assert result.stats.get("pei.issued", 0) == expected_peis
+    # Cache invariants survive arbitrary interleavings.
+    assert system.hierarchy.check_inclusion() == []
+    assert system.hierarchy.check_single_writer() == []
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(phase_strategy, min_size=1, max_size=2),
+       st.integers(1, 10))
+def test_op_cap_never_deadlocks(phases, cap):
+    """Capping threads mid-phase must release barrier waiters, not hang."""
+    system = System(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+    result = system.run(GeneratedWorkload(phases), max_ops_per_thread=cap)
+    assert result.cycles >= 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(phase_strategy, min_size=1, max_size=2))
+def test_policies_preserve_op_counts(phases):
+    """The execution policy never changes how much work the cap admits."""
+    counts = []
+    for policy in (DispatchPolicy.HOST_ONLY, DispatchPolicy.PIM_ONLY):
+        system = System(tiny_config(), policy)
+        result = system.run(GeneratedWorkload(phases), max_ops_per_thread=20)
+        counts.append((result.stats.get("core.loads", 0),
+                       result.stats.get("pei.issued", 0)))
+    assert counts[0] == counts[1]

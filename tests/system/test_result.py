@@ -1,0 +1,51 @@
+"""Tests for RunResult derived metrics."""
+
+import pytest
+
+from repro.energy.model import EnergyBreakdown
+from repro.system.result import RunResult
+
+
+def make_result(cycles=1000.0, stats=None, per_core=None):
+    return RunResult(
+        workload="PR",
+        policy="locality-aware",
+        cycles=cycles,
+        instructions=sum(per_core or [400]),
+        per_core_instructions=per_core or [400],
+        stats=stats or {},
+        energy=EnergyBreakdown(0, 0, 0, 0, 0, 0, 0),
+    )
+
+
+class TestDerivedMetrics:
+    def test_ipc_sum(self):
+        result = make_result(cycles=100.0, per_core=[200, 100])
+        assert result.ipc_sum == pytest.approx(3.0)
+
+    def test_ipc_zero_cycles(self):
+        assert make_result(cycles=0.0).ipc_sum == 0.0
+
+    def test_offchip_bytes(self):
+        result = make_result(stats={"offchip.request_bytes": 100,
+                                    "offchip.response_bytes": 50})
+        assert result.offchip_bytes == 150
+
+    def test_dram_accesses(self):
+        result = make_result(stats={"dram.reads": 1, "dram.writes": 2,
+                                    "dram.pim_reads": 3, "dram.pim_writes": 4})
+        assert result.dram_accesses == 10
+
+    def test_pim_fraction(self):
+        result = make_result(stats={"pei.host_executed": 30,
+                                    "pei.mem_executed": 70})
+        assert result.pim_fraction == pytest.approx(0.7)
+
+    def test_pim_fraction_no_peis(self):
+        assert make_result().pim_fraction == 0.0
+
+    def test_speedup_over(self):
+        fast = make_result(cycles=500.0)
+        slow = make_result(cycles=1000.0)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+        assert slow.speedup_over(fast) == pytest.approx(0.5)

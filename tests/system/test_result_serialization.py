@@ -1,0 +1,44 @@
+"""Round-trip tests for RunResult serialization."""
+
+import pytest
+
+from repro.core.dispatch import DispatchPolicy
+from repro.system.config import tiny_config
+from repro.system.result import RunResult
+from repro.system.system import System
+from repro.workloads.analytics.histogram import Histogram
+
+
+@pytest.fixture(scope="module")
+def result():
+    system = System(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+    return system.run(Histogram(n_values=2000))
+
+
+class TestSerialization:
+    def test_json_round_trip(self, result):
+        restored = RunResult.from_json(result.to_json())
+        assert restored.cycles == result.cycles
+        assert restored.instructions == result.instructions
+        assert restored.stats == result.stats
+        assert restored.policy == result.policy
+
+    def test_derived_metrics_survive(self, result):
+        restored = RunResult.from_json(result.to_json())
+        assert restored.pim_fraction == result.pim_fraction
+        assert restored.offchip_bytes == result.offchip_bytes
+        assert restored.ipc_sum == pytest.approx(result.ipc_sum)
+
+    def test_energy_round_trips(self, result):
+        restored = RunResult.from_json(result.to_json())
+        assert restored.energy.total_pj == pytest.approx(result.energy.total_pj)
+        assert restored.energy.dram_pj == pytest.approx(result.energy.dram_pj)
+
+    def test_to_dict_is_json_safe(self, result):
+        import json
+        json.dumps(result.to_dict())  # must not raise
+
+    def test_metadata_filtered_to_scalars(self, result):
+        payload = result.to_dict()
+        for value in payload["metadata"].values():
+            assert isinstance(value, (str, int, float, bool, type(None)))

@@ -1,0 +1,192 @@
+"""Tests for the run engine: scheduling, barriers, caps, collection."""
+
+import pytest
+
+from repro.core.dispatch import DispatchPolicy
+from repro.core.isa import FP_ADD
+from repro.cpu.trace import Barrier, Compute, Load, PFence, Pei, Store
+from repro.system.config import tiny_config
+from repro.system.system import System
+from repro.workloads.base import Workload
+
+
+class ScriptedWorkload(Workload):
+    """A workload built from explicit per-thread op scripts."""
+
+    name = "scripted"
+
+    def __init__(self, scripts, groups=None, footprint=4096):
+        super().__init__()
+        self._scripts = scripts
+        self._groups = groups
+        self._size = footprint
+
+    def prepare(self, space):
+        self.space = space
+        space.alloc("data", self._size)
+
+    def make_threads(self, n_threads):
+        scripts = self._scripts
+        if len(scripts) < n_threads:
+            scripts = scripts + [[] for _ in range(n_threads - len(scripts))]
+        return [iter(list(script)) for script in scripts[:n_threads]]
+
+    def barrier_groups(self, n_threads):
+        if self._groups is None:
+            return [0] * n_threads
+        return list(self._groups[:n_threads]) + [0] * (n_threads - len(self._groups))
+
+
+def run(scripts, policy=DispatchPolicy.LOCALITY_AWARE, **kwargs):
+    system = System(tiny_config(), policy)
+    workload = ScriptedWorkload(scripts, groups=kwargs.pop("groups", None))
+    result = system.run(workload, **kwargs)
+    return system, result
+
+
+BASE = 0x10000
+
+
+class TestBasicExecution:
+    def test_compute_only(self):
+        _, result = run([[Compute(400)]])
+        assert result.instructions == 400
+        assert result.cycles == pytest.approx(100.0)
+
+    def test_loads_and_stores_counted(self):
+        _, result = run([[Load(BASE), Store(BASE + 64)]])
+        assert result.stats["core.loads"] == 1
+        assert result.stats["core.stores"] == 1
+
+    def test_pei_counted(self):
+        _, result = run([[Pei(FP_ADD, BASE)]])
+        assert result.stats["pei.issued"] == 1
+        assert result.peis_executed == 1
+
+    def test_cycles_is_max_over_cores(self):
+        _, result = run([[Compute(400)], [Compute(4000)]])
+        assert result.cycles == pytest.approx(1000.0)
+
+    def test_empty_workload(self):
+        _, result = run([[], [], [], []])
+        assert result.cycles == 0.0
+
+
+class TestBarriers:
+    def test_barrier_synchronizes_threads(self):
+        system, _ = run([
+            [Compute(4000), Barrier(), Compute(4)],
+            [Compute(4), Barrier(), Compute(4)],
+        ])
+        # Thread 1 resumed at thread 0's arrival time.
+        assert system.cores[1].time >= 1000.0
+
+    def test_barrier_groups_independent(self):
+        system, _ = run(
+            [
+                [Compute(4000), Barrier(group=0)],
+                [Compute(4), Barrier(group=0)],
+                [Compute(4), Barrier(group=1)],
+                [Compute(4), Barrier(group=1)],
+            ],
+            groups=[0, 0, 1, 1],
+        )
+        # Group 1 never waited on group 0's slow thread.
+        assert system.cores[2].time < 100.0
+        assert system.cores[3].time < 100.0
+
+    def test_finished_thread_releases_barrier(self):
+        # Thread 1 ends (op cap) without reaching the barrier; thread 0
+        # must still be released rather than deadlocking.
+        _, result = run(
+            [[Compute(4), Barrier(), Compute(4)],
+             [Compute(4), Compute(4), Compute(4)]],
+            max_ops_per_thread=2,
+        )
+        assert result.cycles > 0
+
+    def test_repeated_barriers(self):
+        scripts = [[Compute(4), Barrier(), Compute(4), Barrier()]
+                   for _ in range(4)]
+        _, result = run(scripts)
+        assert result.cycles > 0
+
+
+class TestOpCap:
+    def test_cap_limits_work(self):
+        _, capped = run([[Compute(1)] * 100], max_ops_per_thread=10)
+        assert capped.instructions == 10
+
+    def test_cap_cuts_identical_work_across_policies(self):
+        insts = []
+        for policy in (DispatchPolicy.HOST_ONLY, DispatchPolicy.PIM_ONLY):
+            script = [[Pei(FP_ADD, BASE + 64 * i) for i in range(20)]]
+            _, result = run(script, policy, max_ops_per_thread=5)
+            insts.append(result.stats["pei.issued"])
+        assert insts[0] == insts[1] == 5
+
+
+class TestThreadMapping:
+    def test_too_many_threads_rejected(self):
+        system = System(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+        workload = ScriptedWorkload([[]] * 8)
+        with pytest.raises(ValueError):
+            system.run(workload, n_threads=8)
+
+    def test_fewer_threads_than_cores(self):
+        _, result = run([[Compute(4)]], n_threads=1)
+        assert result.cycles > 0
+
+
+class TestWarmStart:
+    def test_warm_start_prefills_l3(self):
+        system = System(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+        workload = ScriptedWorkload([[Load(BASE)]])
+        result = system.run(workload)
+        # The data region was warmed: the load hits on chip.
+        assert result.stats.get("dram.reads", 0) == 0
+
+    def test_cold_start_misses(self):
+        system = System(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+        workload = ScriptedWorkload([[Load(BASE)]])
+        result = system.run(workload, warm_start=False)
+        assert result.stats["dram.reads"] == 1
+
+
+class TestFenceInEngine:
+    def test_pfence_orders_after_pei(self):
+        system, _ = run([[Pei(FP_ADD, BASE), PFence()]])
+        assert system.stats["pei.pfences"] == 1
+
+
+class TestResultCollection:
+    def test_offchip_bytes_collected(self):
+        _, result = run([[Load(BASE + 1 << 20)]], max_ops_per_thread=None,
+                        warm_start=False)
+        assert result.offchip_bytes > 0
+        assert result.stats["offchip.request_bytes"] > 0
+
+    def test_metadata(self):
+        _, result = run([[Compute(1)]])
+        assert result.metadata["n_threads"] == 4
+        assert result.metadata["footprint_bytes"] == 4096
+
+    def test_per_core_instructions(self):
+        _, result = run([[Compute(8)], [Compute(4)]])
+        assert result.per_core_instructions[0] == 8
+        assert result.per_core_instructions[1] == 4
+
+    def test_energy_attached(self):
+        _, result = run([[Load(BASE), Compute(4)]], warm_start=False)
+        assert result.energy.total_pj > 0
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_cycles(self):
+        script = [[Load(BASE + 64 * i) for i in range(50)],
+                  [Pei(FP_ADD, BASE + 64 * i) for i in range(50)]]
+        results = []
+        for _ in range(2):
+            _, result = run([list(s) for s in script])
+            results.append(result.cycles)
+        assert results[0] == results[1]

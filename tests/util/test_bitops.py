@@ -1,0 +1,129 @@
+"""Unit and property tests for bit-manipulation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    align_down,
+    align_up,
+    block_address,
+    block_index,
+    ilog2,
+    is_power_of_two,
+    mask,
+    xor_fold,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for exp in range(20):
+            assert is_power_of_two(1 << exp)
+
+    def test_non_powers(self):
+        for value in (0, -1, -2, 3, 5, 6, 7, 9, 100, 1023):
+            assert not is_power_of_two(value)
+
+
+class TestIlog2:
+    def test_exact(self):
+        for exp in range(30):
+            assert ilog2(1 << exp) == exp
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            ilog2(3)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+
+class TestMask:
+    def test_values(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+        assert mask(10) == 0x3FF
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestXorFold:
+    def test_small_value_unchanged(self):
+        assert xor_fold(0x2A, 10) == 0x2A
+
+    def test_folds_high_bits(self):
+        # 0b1_0000000001 folds the 11th bit onto bit 0.
+        assert xor_fold((1 << 10) | 1, 10) == 0
+
+    def test_zero(self):
+        assert xor_fold(0, 10) == 0
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            xor_fold(5, 0)
+
+    def test_rejects_negative_value(self):
+        with pytest.raises(ValueError):
+            xor_fold(-1, 4)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=1, max_value=16))
+    def test_result_within_width(self, value, bits):
+        assert 0 <= xor_fold(value, bits) < (1 << bits)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=1, max_value=16))
+    def test_deterministic(self, value, bits):
+        assert xor_fold(value, bits) == xor_fold(value, bits)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    def test_no_false_negatives_for_directory(self, a, b):
+        # The atomicity guarantee: equal blocks always map to equal entries.
+        if a == b:
+            assert xor_fold(a, 11) == xor_fold(b, 11)
+
+
+class TestBlockHelpers:
+    def test_block_address(self):
+        assert block_address(0, 64) == 0
+        assert block_address(63, 64) == 0
+        assert block_address(64, 64) == 64
+        assert block_address(130, 64) == 128
+
+    def test_block_index(self):
+        assert block_index(0, 64) == 0
+        assert block_index(64, 64) == 1
+        assert block_index(6400, 64) == 100
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    def test_block_address_aligned(self, addr):
+        base = block_address(addr, 64)
+        assert base % 64 == 0
+        assert base <= addr < base + 64
+
+
+class TestAlign:
+    def test_align_down(self):
+        assert align_down(100, 64) == 64
+        assert align_down(64, 64) == 64
+
+    def test_align_up(self):
+        assert align_up(100, 64) == 128
+        assert align_up(64, 64) == 64
+        assert align_up(0, 64) == 0
+
+    @given(st.integers(min_value=0, max_value=2**40),
+           st.sampled_from([1, 2, 4, 64, 4096]))
+    def test_round_trip(self, addr, alignment):
+        down = align_down(addr, alignment)
+        up = align_up(addr, alignment)
+        assert down <= addr <= up
+        assert down % alignment == 0
+        assert up % alignment == 0
+        assert up - down in (0, alignment)

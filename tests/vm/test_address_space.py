@@ -1,0 +1,48 @@
+"""Tests for the address-space allocator."""
+
+import pytest
+
+from repro.vm.address_space import AddressSpace
+
+
+class TestAddressSpace:
+    def test_allocations_page_aligned(self):
+        space = AddressSpace(page_size=4096)
+        region = space.alloc("a", 100)
+        assert region.base % 4096 == 0
+
+    def test_allocations_disjoint(self):
+        space = AddressSpace()
+        a = space.alloc("a", 10_000)
+        b = space.alloc("b", 10_000)
+        assert a.end <= b.base or b.end <= a.base
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.alloc("a", 64)
+        with pytest.raises(ValueError):
+            space.alloc("a", 64)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace().alloc("a", 0)
+
+    def test_footprint_sums_regions(self):
+        space = AddressSpace()
+        space.alloc("a", 100)
+        space.alloc("b", 200)
+        assert space.footprint == 300
+
+    def test_region_addr_bounds_checked(self):
+        space = AddressSpace()
+        region = space.alloc("a", 64)
+        assert region.addr(0) == region.base
+        assert region.addr(63) == region.base + 63
+        with pytest.raises(IndexError):
+            region.addr(64)
+        with pytest.raises(IndexError):
+            region.addr(-1)
+
+    def test_base_above_null(self):
+        region = AddressSpace().alloc("a", 64)
+        assert region.base > 0

@@ -1,0 +1,44 @@
+"""Tests for the Workload base class contract."""
+
+import pytest
+
+from repro.vm.address_space import AddressSpace
+from repro.workloads.base import Workload
+
+
+class Minimal(Workload):
+    name = "minimal"
+
+    def prepare(self, space):
+        self.space = space
+        space.alloc("x", 128)
+
+    def make_threads(self, n_threads):
+        return [iter(()) for _ in range(n_threads)]
+
+
+class TestWorkloadContract:
+    def test_footprint_after_prepare(self):
+        w = Minimal()
+        w.prepare(AddressSpace())
+        assert w.footprint == 128
+
+    def test_footprint_before_prepare_raises(self):
+        with pytest.raises(RuntimeError):
+            _ = Minimal().footprint
+
+    def test_default_barrier_groups(self):
+        assert Minimal().barrier_groups(4) == [0, 0, 0, 0]
+
+    def test_default_verify_is_noop(self):
+        Minimal().verify()
+
+    def test_repr_mentions_name(self):
+        assert "minimal" in repr(Minimal())
+
+    def test_abstract_methods_required(self):
+        with pytest.raises(TypeError):
+            Workload()  # abstract
+
+    def test_seed_stored(self):
+        assert Minimal(seed=7).seed == 7

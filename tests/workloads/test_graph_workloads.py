@@ -1,0 +1,203 @@
+"""Functional tests for the five graph workloads.
+
+Each workload runs end-to-end on a miniature system under a locality-aware
+policy and must produce bit-identical results to its reference algorithm —
+the simulator's execution location must never change the answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dispatch import DispatchPolicy
+from repro.core.isa import FP_ADD, INT_INCREMENT, INT_MIN
+from repro.cpu.trace import KIND_BARRIER, KIND_FENCE, KIND_PEI
+from repro.system.config import tiny_config
+from repro.system.system import System
+from repro.workloads.graph.atf import AverageTeenageFollower
+from repro.workloads.graph.bfs import INFINITY, BreadthFirstSearch
+from repro.workloads.graph.pagerank import PageRank
+from repro.workloads.graph.sssp import SingleSourceShortestPath
+from repro.workloads.graph.wcc import WeaklyConnectedComponents
+
+TINY = dict(n_vertices=200, avg_degree=4.0, seed=11)
+
+
+def run(workload, policy=DispatchPolicy.LOCALITY_AWARE, **kwargs):
+    system = System(tiny_config(), policy)
+    result = system.run(workload, **kwargs)
+    return system, result
+
+
+@pytest.mark.parametrize("policy", [
+    DispatchPolicy.IDEAL_HOST,
+    DispatchPolicy.PIM_ONLY,
+    DispatchPolicy.LOCALITY_AWARE,
+])
+class TestFunctionalAcrossPolicies:
+    """Execution location never changes results (the PEI contract)."""
+
+    def test_atf(self, policy):
+        w = AverageTeenageFollower(**TINY)
+        run(w, policy)
+        w.verify()
+
+    def test_pagerank(self, policy):
+        w = PageRank(**TINY, iterations=2)
+        run(w, policy)
+        w.verify()
+
+    def test_bfs(self, policy):
+        w = BreadthFirstSearch(**TINY)
+        run(w, policy)
+        w.verify()
+
+
+class TestAtf:
+    def test_follower_counts_nonnegative(self):
+        w = AverageTeenageFollower(**TINY)
+        run(w)
+        assert (w.followers >= 0).all()
+        assert w.followers.sum() > 0
+
+    def test_uses_increment_pei(self):
+        w = AverageTeenageFollower(**TINY)
+        system = System(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+        space_ops = []
+        w.prepare(__import__("repro.vm.address_space", fromlist=["AddressSpace"]).AddressSpace())
+        for op in w.make_threads(1)[0]:
+            if op.kind == KIND_PEI:
+                space_ops.append(op)
+        assert space_ops
+        assert all(op.op is INT_INCREMENT for op in space_ops)
+
+    def test_fence_before_barrier(self):
+        w = AverageTeenageFollower(**TINY)
+        from repro.vm.address_space import AddressSpace
+        w.prepare(AddressSpace())
+        kinds = [op.kind for op in w.make_threads(1)[0]]
+        assert kinds[-2:] == [KIND_FENCE, KIND_BARRIER]
+
+
+class TestBfs:
+    def test_source_level_zero(self):
+        w = BreadthFirstSearch(**TINY, source=3)
+        run(w)
+        assert w.level[3] == 0
+
+    def test_unreachable_stay_infinite(self):
+        # Vertex 1 unreachable from vertex 0 in a two-vertex edgeless pair.
+        from repro.workloads.graph.graph import CsrGraph
+        g = CsrGraph.from_edges(4, [0], [1])
+        w = BreadthFirstSearch(graph=g, source=0)
+        run(w)
+        assert w.level[1] == 1
+        assert w.level[2] == INFINITY
+        w.verify()
+
+    def test_rejects_bad_source(self):
+        w = BreadthFirstSearch(**TINY, source=10_000)
+        with pytest.raises(ValueError):
+            run(w)
+
+    def test_min_pei_used(self):
+        w = BreadthFirstSearch(**TINY)
+        from repro.vm.address_space import AddressSpace
+        w.prepare(AddressSpace())
+        peis = [op for op in w.make_threads(1)[0] if op.kind == KIND_PEI]
+        assert peis and all(op.op is INT_MIN for op in peis)
+
+
+class TestPageRank:
+    def test_ranks_sum_to_one(self):
+        w = PageRank(**TINY, iterations=3)
+        run(w)
+        # Ranks form a probability-like distribution over vertices (the
+        # dangling-vertex mass keeps the sum near one at low iteration
+        # counts because every vertex has out-degree >= 1).
+        assert w.pagerank.sum() == pytest.approx(1.0, abs=0.05)
+
+    def test_verify_across_iterations(self):
+        for iterations in (1, 2):
+            w = PageRank(**TINY, iterations=iterations)
+            run(w)
+            w.verify()
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            PageRank(**TINY, iterations=0)
+
+    def test_uses_fp_add(self):
+        w = PageRank(**TINY, iterations=1)
+        from repro.vm.address_space import AddressSpace
+        w.prepare(AddressSpace())
+        peis = [op for op in w.make_threads(1)[0] if op.kind == KIND_PEI]
+        assert peis and all(op.op is FP_ADD for op in peis)
+
+
+class TestSssp:
+    def test_distances_verify(self):
+        w = SingleSourceShortestPath(**TINY)
+        run(w)
+        w.verify()
+
+    def test_source_distance_zero(self):
+        w = SingleSourceShortestPath(**TINY, source=5)
+        run(w)
+        assert w.distance[5] == 0
+
+    def test_triangle_inequality_on_edges(self):
+        w = SingleSourceShortestPath(**TINY)
+        run(w)
+        g = w.graph
+        for v in range(g.n_vertices):
+            dv = w.distance[v]
+            if dv >= np.iinfo(np.int64).max // 2:
+                continue
+            for e in range(g.indptr[v], g.indptr[v + 1]):
+                assert w.distance[g.indices[e]] <= dv + g.weights[e]
+
+    def test_requires_weights(self):
+        from repro.workloads.graph.graph import CsrGraph
+        g = CsrGraph.from_edges(3, [0], [1])  # no weights
+        w = SingleSourceShortestPath(graph=g)
+        with pytest.raises(ValueError):
+            run(w)
+
+
+class TestWcc:
+    def test_components_verify(self):
+        w = WeaklyConnectedComponents(**TINY)
+        run(w)
+        w.verify()
+
+    def test_two_island_graph(self):
+        from repro.workloads.graph.graph import CsrGraph
+        g = CsrGraph.from_edges(4, [0, 2], [1, 3])
+        w = WeaklyConnectedComponents(graph=g)
+        run(w)
+        assert w.label[0] == w.label[1]
+        assert w.label[2] == w.label[3]
+        assert w.label[0] != w.label[2]
+        w.verify()
+
+    def test_labels_are_component_minimum(self):
+        from repro.workloads.graph.graph import CsrGraph
+        g = CsrGraph.from_edges(3, [2, 1], [1, 0])
+        w = WeaklyConnectedComponents(graph=g)
+        run(w)
+        assert list(w.label) == [0, 0, 0]
+
+
+class TestGraphWorkloadBase:
+    def test_requires_exactly_one_graph_source(self):
+        with pytest.raises(ValueError):
+            PageRank()  # nothing specified
+        with pytest.raises(ValueError):
+            PageRank(graph_name="frwiki-2013", n_vertices=10, avg_degree=2.0)
+        with pytest.raises(ValueError):
+            PageRank(n_vertices=10)  # avg_degree missing
+
+    def test_footprint_requires_prepare(self):
+        w = PageRank(**TINY)
+        with pytest.raises(RuntimeError):
+            _ = w.footprint

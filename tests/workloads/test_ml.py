@@ -1,0 +1,90 @@
+"""Functional tests for the machine-learning workloads."""
+
+import pytest
+
+from repro.core.dispatch import DispatchPolicy
+from repro.core.isa import DOT_PRODUCT, EUCLIDEAN_DIST
+from repro.cpu.trace import KIND_PEI
+from repro.system.config import tiny_config
+from repro.system.system import System
+from repro.vm.address_space import AddressSpace
+from repro.workloads.ml.streamcluster import Streamcluster
+from repro.workloads.ml.svm_rfe import SvmRfe
+
+
+def run(workload, policy=DispatchPolicy.LOCALITY_AWARE):
+    system = System(tiny_config(), policy)
+    return system, system.run(workload)
+
+
+class TestStreamcluster:
+    def test_verify(self):
+        w = Streamcluster(n_points=64, dims=16, n_centers=4, seed=2)
+        run(w)
+        w.verify()
+
+    def test_verify_under_pim_only(self):
+        w = Streamcluster(n_points=64, dims=16, n_centers=4, seed=2)
+        run(w, DispatchPolicy.PIM_ONLY)
+        w.verify()
+
+    def test_assignments_in_range(self):
+        w = Streamcluster(n_points=64, dims=16, n_centers=4)
+        run(w)
+        assert ((w.assignments >= 0) & (w.assignments < 4)).all()
+
+    def test_one_pei_per_chunk_per_center(self):
+        w = Streamcluster(n_points=32, dims=32, n_centers=2)
+        w.prepare(AddressSpace())
+        peis = [op for op in w.make_threads(1)[0] if op.kind == KIND_PEI]
+        # 32 points x 2 chunks x 2 centers.
+        assert len(peis) == 32 * 2 * 2
+        assert all(op.op is EUCLIDEAN_DIST for op in peis)
+
+    def test_pei_targets_point_region(self):
+        w = Streamcluster(n_points=16, dims=16, n_centers=2)
+        space = AddressSpace()
+        w.prepare(space)
+        region = space.regions["sc.points"]
+        for op in w.make_threads(1)[0]:
+            if op.kind == KIND_PEI:
+                assert region.base <= op.addr < region.end
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Streamcluster(n_points=32, dims=20)
+        with pytest.raises(ValueError):
+            Streamcluster(n_points=4, dims=16, n_centers=8)
+
+
+class TestSvmRfe:
+    def test_verify(self):
+        w = SvmRfe(n_instances=16, n_features=32, passes=1, seed=8)
+        run(w)
+        w.verify()
+
+    def test_verify_under_pim_only(self):
+        w = SvmRfe(n_instances=16, n_features=32, passes=2, seed=8)
+        run(w, DispatchPolicy.PIM_ONLY)
+        w.verify()
+
+    def test_pei_count(self):
+        w = SvmRfe(n_instances=8, n_features=16, passes=2)
+        w.prepare(AddressSpace())
+        peis = [op for op in w.make_threads(1)[0] if op.kind == KIND_PEI]
+        # 8 instances x 4 chunks x 2 passes.
+        assert len(peis) == 8 * 4 * 2
+        assert all(op.op is DOT_PRODUCT for op in peis)
+
+    def test_chunk_addresses_32_byte_aligned(self):
+        w = SvmRfe(n_instances=4, n_features=16)
+        w.prepare(AddressSpace())
+        for op in w.make_threads(1)[0]:
+            if op.kind == KIND_PEI:
+                assert op.addr % 32 == 0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SvmRfe(n_instances=4, n_features=10)  # not multiple of 4
+        with pytest.raises(ValueError):
+            SvmRfe(n_instances=0, n_features=16)

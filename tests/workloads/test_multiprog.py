@@ -1,0 +1,78 @@
+"""Tests for multiprogrammed workload mixes (Section 7.3)."""
+
+import pytest
+
+from repro.core.dispatch import DispatchPolicy
+from repro.system.config import tiny_config
+from repro.system.system import System
+from repro.vm.address_space import AddressSpace
+from repro.workloads.analytics.histogram import Histogram
+from repro.workloads.graph.pagerank import PageRank
+from repro.workloads.multiprog import MultiprogrammedWorkload
+
+
+def make_mix():
+    first = PageRank(n_vertices=120, avg_degree=3.0, iterations=1, seed=1)
+    second = Histogram(n_values=2000, seed=2)
+    return MultiprogrammedWorkload(first, second)
+
+
+class TestMultiprogrammed:
+    def test_name_combines(self):
+        assert make_mix().name == "PR+HG"
+
+    def test_runs_and_both_verify(self):
+        system = System(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+        mix = make_mix()
+        result = system.run(mix)
+        mix.verify()
+        assert result.cycles > 0
+
+    def test_barrier_groups_split(self):
+        mix = make_mix()
+        assert mix.barrier_groups(4) == [0, 0, 1, 1]
+        assert mix.barrier_groups(5) == [0, 0, 1, 1, 1]
+
+    def test_thread_split(self):
+        mix = make_mix()
+        mix.prepare(AddressSpace())
+        assert len(mix.make_threads(4)) == 4
+
+    def test_region_names_namespaced(self):
+        mix = make_mix()
+        space = AddressSpace()
+        mix.prepare(space)
+        assert any(name.startswith("app0.") for name in space.regions)
+        assert any(name.startswith("app1.") for name in space.regions)
+
+    def test_two_graph_apps_coexist(self):
+        # Both allocate "graph.indptr" etc.; namespacing must prevent clashes.
+        mix = MultiprogrammedWorkload(
+            PageRank(n_vertices=100, avg_degree=3.0, iterations=1, seed=1),
+            PageRank(n_vertices=100, avg_degree=3.0, iterations=1, seed=2),
+        )
+        system = System(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+        system.run(mix)
+        mix.verify()
+
+    def test_barriers_retagged(self):
+        from repro.cpu.trace import KIND_BARRIER
+        mix = make_mix()
+        mix.prepare(AddressSpace())
+        threads = mix.make_threads(4)
+        groups = set()
+        for gen in threads:
+            for op in gen:
+                if op.kind == KIND_BARRIER:
+                    groups.add(op.group)
+        assert groups == {0, 1}
+
+    def test_needs_two_threads(self):
+        mix = make_mix()
+        with pytest.raises(ValueError):
+            mix.barrier_groups(1)
+
+    def test_ipc_sum_metric(self):
+        system = System(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+        result = system.run(make_mix())
+        assert result.ipc_sum > 0

@@ -1,0 +1,66 @@
+"""Tests for the workload registry (Table 3, scaled)."""
+
+import pytest
+
+from repro.system.config import scaled_config
+from repro.vm.address_space import AddressSpace
+from repro.workloads.registry import INPUT_SIZES, WORKLOAD_NAMES, make_workload
+
+
+class TestRegistryShape:
+    def test_ten_workloads(self):
+        assert len(WORKLOAD_NAMES) == 10
+        assert set(WORKLOAD_NAMES) == {"ATF", "BFS", "PR", "SP", "WCC",
+                                       "HJ", "HG", "RP", "SC", "SVM"}
+
+    def test_three_sizes_each(self):
+        for sizes in INPUT_SIZES.values():
+            assert set(sizes) == {"small", "medium", "large"}
+
+    def test_table3_graph_inputs(self):
+        # Table 3: soc-Slashdot0811 / frwiki-2013 / soc-LiveJournal1.
+        for name in ("ATF", "BFS", "PR", "SP", "WCC"):
+            assert INPUT_SIZES[name]["small"]["graph_name"] == "soc-Slashdot0811"
+            assert INPUT_SIZES[name]["medium"]["graph_name"] == "frwiki-2013"
+            assert INPUT_SIZES[name]["large"]["graph_name"] == "soc-LiveJournal1"
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(KeyError):
+            make_workload("XX")
+        with pytest.raises(KeyError):
+            make_workload("PR", "tiny")
+
+
+class TestInstantiation:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_small_instantiates(self, name):
+        workload = make_workload(name, "small")
+        assert workload.name == name
+
+    def test_overrides_applied(self):
+        workload = make_workload("HG", "small", n_values=123)
+        assert workload.n_values == 123
+
+    def test_seed_forwarded(self):
+        assert make_workload("PR", "small", seed=7).seed == 7
+
+
+class TestLocalityRegimes:
+    """Small inputs fit the scaled L3; large inputs exceed it by ~10x."""
+
+    @pytest.mark.parametrize("name", ["HJ", "HG", "RP", "SC", "SVM"])
+    def test_footprints_ordered(self, name):
+        l3 = scaled_config().l3_size
+        footprints = {}
+        for size in ("small", "medium", "large"):
+            workload = make_workload(name, size)
+            workload.prepare(AddressSpace())
+            footprints[size] = workload.footprint
+        assert footprints["small"] < footprints["medium"] < footprints["large"]
+        assert footprints["small"] <= 2 * l3
+        assert footprints["large"] >= 4 * l3
+
+    def test_graph_small_near_llc(self):
+        workload = make_workload("PR", "small")
+        workload.prepare(AddressSpace())
+        assert workload.footprint < 2 * scaled_config().l3_size

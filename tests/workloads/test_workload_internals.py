@@ -1,0 +1,158 @@
+"""Deeper tests of workload-internal mechanisms: frontier caching, round
+bookkeeping, hash-table geometry, partition cursor math, chunk schedules."""
+
+import numpy as np
+import pytest
+
+from repro.vm.address_space import AddressSpace
+from repro.workloads.analytics.hash_join import (
+    KEYS_PER_NODE,
+    HashJoin,
+    bucket_hash,
+)
+from repro.workloads.analytics.radix_partition import RadixPartition
+from repro.workloads.base import ThreadChunks
+from repro.workloads.graph.bfs import BreadthFirstSearch
+from repro.workloads.graph.graph import CsrGraph
+from repro.workloads.graph.layout import GraphLayout, GraphWorkloadBase
+from repro.workloads.graph.sssp import SingleSourceShortestPath
+
+
+class TestThreadChunks:
+    def test_covers_everything_once(self):
+        chunks = ThreadChunks(103, 8)
+        seen = []
+        for t in range(8):
+            seen.extend(chunks.range(t))
+        assert seen == list(range(103))
+
+    def test_balanced_within_one(self):
+        chunks = ThreadChunks(103, 8)
+        sizes = [chunks.end(t) - chunks.start(t) for t in range(8)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_threads_than_items(self):
+        chunks = ThreadChunks(2, 8)
+        total = sum(len(chunks.range(t)) for t in range(8))
+        assert total == 2
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ThreadChunks(10, 0)
+        with pytest.raises(ValueError):
+            ThreadChunks(-1, 4)
+
+
+class TestGraphLayout:
+    def make(self):
+        graph = CsrGraph.from_edges(4, [0, 1], [1, 2],
+                                    weights=np.array([3, 4]))
+        space = AddressSpace()
+        return GraphLayout(space, graph, ("level",)), space
+
+    def test_regions_allocated(self):
+        layout, space = self.make()
+        assert "graph.indptr" in space.regions
+        assert "graph.indices" in space.regions
+        assert "graph.weights" in space.regions
+        assert "prop.level" in space.regions
+
+    def test_addresses_are_8_byte_strided(self):
+        layout, _ = self.make()
+        assert layout.prop_addr("level", 1) - layout.prop_addr("level", 0) == 8
+        assert layout.edge_addr(1) - layout.edge_addr(0) == 8
+        assert layout.indptr_addr(2) - layout.indptr_addr(0) == 16
+
+    def test_addresses_within_regions(self):
+        layout, space = self.make()
+        region = space.regions["prop.level"]
+        for v in range(4):
+            assert region.base <= layout.prop_addr("level", v) < region.end
+
+
+class TestBfsInternals:
+    def make(self):
+        # 0 -> 1 -> 2, 0 -> 3
+        graph = CsrGraph.from_edges(5, [0, 1, 0], [1, 2, 3])
+        w = BreadthFirstSearch(graph=graph, source=0)
+        w.prepare(AddressSpace())
+        return w
+
+    def test_frontier_cache_by_depth(self):
+        w = self.make()
+        assert list(w._frontier(0)) == [0]
+        # Simulate discovering depth-1 vertices.
+        w.level[1] = 1
+        w.level[3] = 1
+        assert sorted(w._frontier(1)) == [1, 3]
+        # Cached: later level changes do not alter an already-built frontier.
+        w.level[4] = 1
+        assert sorted(w._frontier(1)) == [1, 3]
+
+    def test_empty_frontier_terminates(self):
+        w = self.make()
+        assert len(w._frontier(7)) == 0
+
+
+class TestSsspInternals:
+    def test_active_set_round_bookkeeping(self):
+        graph = CsrGraph.from_edges(3, [0, 1], [1, 2],
+                                    weights=np.array([5, 5]))
+        w = SingleSourceShortestPath(graph=graph, source=0)
+        w.prepare(AddressSpace())
+        assert list(w._active_for(0)) == [0]
+        w.distance[1] = 5
+        w._changed_round[1] = 1
+        assert list(w._active_for(1)) == [1]
+        # Cached.
+        w._changed_round[2] = 1
+        assert list(w._active_for(1)) == [1]
+
+
+class TestHashJoinGeometry:
+    def test_bucket_count_is_power_of_two_with_headroom(self):
+        w = HashJoin(build_rows=1000, probe_rows=10)
+        w.prepare(AddressSpace())
+        assert w.n_buckets & (w.n_buckets - 1) == 0
+        assert w.n_buckets * KEYS_PER_NODE >= 2 * w.build_rows
+
+    def test_every_build_key_findable(self):
+        w = HashJoin(build_rows=500, probe_rows=10, seed=3)
+        w.prepare(AddressSpace())
+        for key in w.r_keys[:100]:
+            chain = w._chain_for(int(key))
+            b = bucket_hash(int(key), w._bucket_mask)
+            assert int(key) in w._node_keys[b][len(chain) - 1]
+
+    def test_chain_nodes_hold_at_most_four_keys(self):
+        w = HashJoin(build_rows=500, probe_rows=10)
+        w.prepare(AddressSpace())
+        for nodes in w._node_keys.values():
+            assert all(len(node) <= KEYS_PER_NODE for node in nodes)
+
+    def test_node_addresses_block_aligned_and_unique(self):
+        w = HashJoin(build_rows=500, probe_rows=10)
+        w.prepare(AddressSpace())
+        addrs = [a for chain in w._node_addrs.values() for a in chain]
+        assert len(addrs) == len(set(addrs))
+        assert all(a % 64 == 0 for a in addrs)
+
+
+class TestRadixPartitionCursors:
+    def test_cursor_plan_is_exclusive_prefix_sum(self):
+        w = RadixPartition(n_rows=1024, passes=1, seed=6)
+        w.prepare(AddressSpace())
+        threads = w.make_threads(4)
+        # Exhaust generators to fill the output.
+        for gen in threads:
+            for _ in gen:
+                pass
+        # Every row landed exactly once.
+        assert sorted(w.output) == sorted(w.keys)
+
+
+class TestGraphBaseChunking:
+    def test_chunk_of_partitions_array(self):
+        items = np.arange(10)
+        parts = [GraphWorkloadBase.chunk_of(items, t, 3) for t in range(3)]
+        assert np.concatenate(parts).tolist() == list(range(10))

@@ -1,0 +1,48 @@
+"""Tests for the on-chip crossbar."""
+
+import pytest
+
+from repro.xbar.crossbar import Crossbar
+
+
+class TestCrossbar:
+    def test_latency_applied(self):
+        xbar = Crossbar(4, bytes_per_cycle=9.0, latency=6.0)
+        assert xbar.traverse(0, 0.0, 18) == pytest.approx(2.0 + 6.0)
+
+    def test_ports_are_independent(self):
+        xbar = Crossbar(2, 9.0, 6.0)
+        xbar.traverse(0, 0.0, 90)
+        # Port 1 is idle even though port 0 is busy.
+        assert xbar.traverse(1, 0.0, 9) == pytest.approx(1.0 + 6.0)
+
+    def test_same_port_serializes(self):
+        xbar = Crossbar(2, 9.0, 0.0)
+        first = xbar.traverse(0, 0.0, 90)
+        second = xbar.traverse(0, 0.0, 90)
+        assert second == pytest.approx(first + 10.0)
+
+    def test_port_index_wraps(self):
+        xbar = Crossbar(2, 9.0, 0.0)
+        xbar.traverse(0, 0.0, 90)
+        # Port 2 aliases port 0 and queues behind it.
+        assert xbar.traverse(2, 0.0, 9) > 10.0 - 1e-9
+
+    def test_byte_accounting(self):
+        xbar = Crossbar(2, 9.0, 6.0)
+        xbar.traverse(0, 0.0, 16)
+        xbar.traverse(1, 0.0, 80)
+        assert xbar.bytes_transferred == 96
+
+    def test_len(self):
+        assert len(Crossbar(18, 9.0, 6.0)) == 18
+
+    def test_rejects_no_ports(self):
+        with pytest.raises(ValueError):
+            Crossbar(0, 9.0, 6.0)
+
+    def test_reset(self):
+        xbar = Crossbar(2, 9.0, 6.0)
+        xbar.traverse(0, 0.0, 90)
+        xbar.reset()
+        assert xbar.bytes_transferred == 0
