@@ -1,12 +1,25 @@
 # Convenience targets for the PEI reproduction.
 
-.PHONY: install test bench experiments quick clean
+.PHONY: install test lint sanitize bench experiments quick clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+# Static analysis: the in-tree simulator linter always runs; ruff/mypy run
+# only where installed (the offline test container does not ship them).
+lint:
+	PYTHONPATH=src python -m repro.analysis lint src/repro
+	@if command -v ruff >/dev/null 2>&1; then ruff check src tests; \
+	else echo "ruff not installed; skipping"; fi
+	@if command -v mypy >/dev/null 2>&1; then mypy src/repro; \
+	else echo "mypy not installed; skipping"; fi
+
+# Run the PEI protocol sanitizer over a fig10-sized sweep (~1 min).
+sanitize:
+	PYTHONPATH=src python -m repro.analysis sanitize
 
 # Regenerate every table and figure (writes benchmarks/results/).
 bench:

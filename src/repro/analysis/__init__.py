@@ -1,0 +1,40 @@
+"""Machine-checked guardrails for the PEI reproduction.
+
+Two halves:
+
+* :mod:`repro.analysis.simlint` — an AST-based static-analysis pass
+  enforcing simulator discipline (determinism, timestamp hygiene, unit
+  discipline, ISA registry completeness) across ``src/repro``;
+* :mod:`repro.analysis.simsan` — a runtime sanitizer that replays a
+  :class:`~repro.core.tracer.PeiTracer` event stream against the paper's
+  Section 4.3 atomicity/coherence protocol.
+
+Command line: ``python -m repro.analysis lint|sanitize`` (see
+``docs/analysis.md``).
+"""
+
+from repro.analysis.simlint import (
+    RULES,
+    LintViolation,
+    format_violations,
+    lint_paths,
+)
+from repro.analysis.simsan import (
+    CHECKS,
+    SanitizerReport,
+    SanViolation,
+    sanitize_events,
+    sanitize_tracer,
+)
+
+__all__ = [
+    "RULES",
+    "CHECKS",
+    "LintViolation",
+    "SanViolation",
+    "SanitizerReport",
+    "lint_paths",
+    "format_violations",
+    "sanitize_events",
+    "sanitize_tracer",
+]

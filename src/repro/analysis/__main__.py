@@ -1,0 +1,151 @@
+"""Command-line entry points for the analysis subsystem.
+
+``python -m repro.analysis lint [paths...]``
+    Run the :mod:`~repro.analysis.simlint` static pass (defaults to the
+    installed ``repro`` source tree); exits non-zero on violations.
+
+``python -m repro.analysis sanitize [options]``
+    Run registry workloads with a :class:`~repro.core.tracer.PeiTracer`
+    attached and check the collected event stream with
+    :mod:`~repro.analysis.simsan`; exits non-zero on protocol violations.
+    The default run set mirrors the Figure 10 experiment (SC, SVM, PR, HJ
+    on large inputs under the locality-aware and balanced policies).
+"""
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.simlint import RULES, format_violations, lint_paths
+from repro.analysis.simsan import CHECKS, sanitize_tracer
+
+#: Default sanitize run set: the Figure 10 workloads.
+FIG10_WORKLOADS = ("SC", "SVM", "PR", "HJ")
+DEFAULT_POLICIES = ("locality-aware", "locality-balanced")
+
+
+def _default_lint_root() -> Path:
+    """The installed repro package source (``src/repro``)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for code in sorted(RULES):
+            rule = RULES[code]
+            print(f"{code}  {rule.title}")
+            print(f"       {rule.rationale}")
+        return 0
+    paths = [Path(p) for p in args.paths] or [_default_lint_root()]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"error: no such file or directory: {p}", file=sys.stderr)
+        return 2
+    select = [c.strip().upper() for c in args.select.split(",")] if args.select else None
+    if select:
+        unknown = [c for c in select if c not in RULES]
+        if unknown:
+            print(f"error: unknown rule code(s): {', '.join(unknown)} "
+                  f"(known: {', '.join(sorted(RULES))})", file=sys.stderr)
+            return 2
+    violations = lint_paths(paths, select=select)
+    print(format_violations(violations))
+    return 1 if violations else 0
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    # Imported lazily: the lint half must not require numpy.
+    from repro.core.dispatch import DispatchPolicy
+    from repro.core.tracer import PeiTracer
+    from repro.system.config import scaled_config, tiny_config
+    from repro.system.system import System
+    from repro.workloads.registry import make_workload
+
+    workloads = args.workload or list(FIG10_WORKLOADS)
+    policies = args.policy or list(DEFAULT_POLICIES)
+    config_fn = tiny_config if args.config == "tiny" else scaled_config
+    failures = 0
+    total_peis = 0
+    for name in workloads:
+        for policy_name in policies:
+            try:
+                policy = DispatchPolicy(policy_name)
+                workload = make_workload(name, args.size, seed=args.seed)
+            except (KeyError, ValueError) as exc:
+                message = exc.args[0] if exc.args else exc
+                print(f"error: {message}", file=sys.stderr)
+                return 2
+            system = System(config_fn(), policy)
+            tracer = PeiTracer()
+            system.executor.tracer = tracer
+            system.run(workload, max_ops_per_thread=args.ops)
+            report = sanitize_tracer(
+                tracer,
+                operand_buffer_entries=system.config.pcu_operand_buffer_entries,
+            )
+            total_peis += report.peis_checked
+            status = "clean" if report.ok else f"{len(report.violations)} violation(s)"
+            print(f"sanitize {name:>4} / {policy.value:<17} "
+                  f"{report.peis_checked:>7} PEIs, "
+                  f"{report.fences_checked:>4} pfences: {status}")
+            if not report.ok:
+                failures += len(report.violations)
+                for violation in report.violations:
+                    print(f"  {violation}")
+    verdict = "clean" if failures == 0 else f"{failures} violation(s)"
+    print(f"simsan: {total_peis} PEIs across "
+          f"{len(workloads) * len(policies)} run(s): {verdict}")
+    return 1 if failures else 0
+
+
+def _cmd_checks(_args: argparse.Namespace) -> int:
+    for code in sorted(CHECKS):
+        print(f"{code}  {CHECKS[code]}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Simulator lint pass and PEI protocol sanitizer.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="static simulator-discipline checks")
+    lint.add_argument("paths", nargs="*", help="files/directories to lint "
+                      "(default: the installed repro source tree)")
+    lint.add_argument("--select", help="comma-separated rule codes to run")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+    lint.set_defaults(func=_cmd_lint)
+
+    sanitize = sub.add_parser(
+        "sanitize", help="run workloads under the PEI protocol sanitizer")
+    sanitize.add_argument("--workload", "-w", action="append",
+                          help="registry workload name (repeatable; default: "
+                          f"{', '.join(FIG10_WORKLOADS)})")
+    sanitize.add_argument("--policy", "-p", action="append",
+                          help="dispatch policy value (repeatable; default: "
+                          f"{', '.join(DEFAULT_POLICIES)})")
+    sanitize.add_argument("--size", default="large",
+                          choices=("small", "medium", "large"),
+                          help="input regime (default: large, the Fig. 10 size)")
+    sanitize.add_argument("--config", default="scaled",
+                          choices=("scaled", "tiny"),
+                          help="machine preset (default: scaled)")
+    sanitize.add_argument("--ops", type=int, default=8000,
+                          help="operations per thread (default: 8000)")
+    sanitize.add_argument("--seed", type=int, default=42)
+    sanitize.set_defaults(func=_cmd_sanitize)
+
+    checks = sub.add_parser("checks", help="print the sanitizer check catalogue")
+    checks.set_defaults(func=_cmd_checks)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,594 @@
+"""``simlint``: static analysis enforcing simulator discipline.
+
+The reproduction's correctness rests on invariants the code only enforces
+implicitly: bit-for-bit replayability (every random draw routed through
+:mod:`repro.util.rng`), a single notion of simulated time (monotonic float
+timestamps in host-core cycles, converted from physical units only inside
+:class:`~repro.sim.clock.ClockDomain` and the parameter tables), and a
+complete ISA registry.  ``simlint`` is an AST pass (stdlib ``ast``, no
+third-party dependencies) that machine-checks those conventions across
+``src/repro`` so aggressive refactors cannot silently break them.
+
+Rules are identified by ``SIMxxx`` codes.  A violation can be waived with an
+inline pragma **carrying a justification**::
+
+    t_retrain_ns = 50.0  # simlint: ignore[SIM005] -- vendor-quoted retrain time
+
+A waiver comment on its own line applies to the following line.  Waivers
+without a justification are themselves reported (``SIM000``) so the tree can
+never silently accumulate unexplained exemptions.
+
+Use :func:`lint_paths` programmatically or ``python -m repro.analysis lint``
+from the command line; see ``docs/analysis.md`` for the rule catalogue.
+"""
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "LintViolation",
+    "Module",
+    "Project",
+    "RULES",
+    "lint_paths",
+    "format_violations",
+]
+
+
+# ----------------------------------------------------------------------
+# Data model
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule violation at one source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class Waiver:
+    """An inline ``# simlint: ignore[...]`` pragma."""
+
+    line: int           # line the waiver applies to
+    codes: Tuple[str, ...]
+    justification: str  # text after the code list; empty = unjustified
+    pragma_line: int    # line the comment physically sits on
+
+
+@dataclass
+class Module:
+    """One parsed source file plus its waiver pragmas."""
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
+    waivers: List[Waiver] = field(default_factory=list)
+
+
+class Project:
+    """All modules of one lint invocation (rules may check across files)."""
+
+    def __init__(self, modules: Sequence[Module]):
+        self.modules = list(modules)
+
+    def find(self, rel_suffix: str) -> Optional[Module]:
+        for module in self.modules:
+            if module.rel.endswith(rel_suffix):
+                return module
+        return None
+
+
+# ----------------------------------------------------------------------
+# Waiver parsing
+# ----------------------------------------------------------------------
+
+_WAIVER_RE = re.compile(
+    r"#\s*simlint:\s*ignore\[([A-Za-z0-9_,\s]+)\]\s*(?:(?:--|—|–|-|:)?\s*(\S.*))?$"
+)
+
+
+def _parse_waivers(source: str) -> List[Waiver]:
+    waivers = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _WAIVER_RE.search(line)
+        if match is None:
+            continue
+        codes = tuple(c.strip().upper() for c in match.group(1).split(",") if c.strip())
+        justification = (match.group(2) or "").strip()
+        before = line[: match.start()].strip()
+        # A bare comment line waives the *next* source line.
+        target = lineno + 1 if not before else lineno
+        waivers.append(Waiver(line=target, codes=codes,
+                              justification=justification, pragma_line=lineno))
+    return waivers
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """Return ``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _terminal_identifier(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _annotation_allows_none(annotation: ast.AST) -> bool:
+    """Does the annotation admit ``None`` (Optional/| None/Any/object)?"""
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        text = annotation.value
+        return "None" in text or "Optional" in text or "Any" in text
+    if isinstance(annotation, ast.Name):
+        return annotation.id in ("Any", "object", "None")
+    if isinstance(annotation, ast.Constant) and annotation.value is None:
+        return True
+    if isinstance(annotation, ast.Subscript):
+        base = _terminal_identifier(annotation.value)
+        if base == "Optional":
+            return True
+        if base == "Union":
+            elems = annotation.slice
+            if isinstance(elems, ast.Tuple):
+                return any(_annotation_allows_none(e) for e in elems.elts)
+            return _annotation_allows_none(elems)
+        return False
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return (_annotation_allows_none(annotation.left)
+                or _annotation_allows_none(annotation.right))
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in ("Any",)
+    return False
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+
+
+class Rule:
+    """Base class: one coded check over a module (or the whole project)."""
+
+    code = "SIM999"
+    title = "unnamed rule"
+    rationale = ""
+
+    def check_project(self, project: Project) -> Iterator[LintViolation]:
+        for module in project.modules:
+            yield from self.check_module(module)
+
+    def check_module(self, module: Module) -> Iterator[LintViolation]:
+        return iter(())
+
+    # Helper ------------------------------------------------------------
+
+    def _violation(self, module: Module, node: ast.AST, message: str) -> LintViolation:
+        return LintViolation(
+            code=self.code,
+            message=message,
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+class WallClockRule(Rule):
+    """SIM001: no wall-clock time sources inside the simulator."""
+
+    code = "SIM001"
+    title = "wall-clock time source"
+    rationale = ("Simulated time is a deterministic function of the input; "
+                 "reading the host's clock breaks bit-for-bit replayability "
+                 "(tests/integration/test_determinism.py).")
+
+    _FORBIDDEN = {
+        "time.time", "time.monotonic", "time.monotonic_ns", "time.perf_counter",
+        "time.perf_counter_ns", "time.process_time", "time.time_ns",
+        "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+    }
+
+    def check_module(self, module: Module) -> Iterator[LintViolation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            tail2 = ".".join(dotted.split(".")[-2:])
+            if dotted in self._FORBIDDEN or tail2 in self._FORBIDDEN:
+                yield self._violation(
+                    module, node,
+                    f"wall-clock call `{dotted}()` — simulator code must use "
+                    f"simulated timestamps only")
+
+
+class UnseededRandomnessRule(Rule):
+    """SIM002: all randomness must flow through repro.util.rng."""
+
+    code = "SIM002"
+    title = "unseeded randomness"
+    rationale = ("Replayability requires every random stream to derive from "
+                 "an explicit seed via derive_seed/make_rng; bare random.* or "
+                 "np.random.* calls use hidden global state.")
+
+    #: The one sanctioned home of np.random calls.
+    ALLOWED_MODULES = ("util/rng.py",)
+
+    def check_module(self, module: Module) -> Iterator[LintViolation]:
+        if module.rel.endswith(self.ALLOWED_MODULES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if parts[0] == "random" and len(parts) > 1:
+                yield self._violation(
+                    module, node,
+                    f"`{dotted}()` draws from the global `random` module — "
+                    f"route randomness through repro.util.rng.make_rng")
+            elif "random" in parts[:-1] and parts[0] in ("np", "numpy"):
+                yield self._violation(
+                    module, node,
+                    f"`{dotted}()` bypasses the seed derivation tree — use "
+                    f"repro.util.rng.make_rng / derive_seed")
+
+
+class TimestampEqualityRule(Rule):
+    """SIM003: no float ==/!= on timestamps."""
+
+    code = "SIM003"
+    title = "float equality on timestamps"
+    rationale = ("Timestamps are floats in host cycles; exact equality is "
+                 "brittle under refactors that reassociate arithmetic. "
+                 "Order comparisons (<, <=) are the only meaningful tests.")
+
+    _TIME_TOKENS = {"time", "timestamp", "completion", "horizon",
+                    "deadline", "grant", "arrival"}
+
+    def _is_time_like(self, node: ast.AST) -> bool:
+        name = _terminal_identifier(node)
+        if name is None:
+            return False
+        return bool(self._TIME_TOKENS.intersection(name.lower().split("_")))
+
+    def check_module(self, module: Module) -> Iterator[LintViolation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                for side in (left, right):
+                    if self._is_time_like(side):
+                        yield self._violation(
+                            module, node,
+                            f"`==`/`!=` on timestamp-like operand "
+                            f"`{_terminal_identifier(side)}` — compare "
+                            f"timestamps with ordering, not equality")
+                        break
+
+
+class DefaultArgumentRule(Rule):
+    """SIM004: no mutable defaults and no type-lying None defaults."""
+
+    code = "SIM004"
+    title = "mutable or type-lying default"
+    rationale = ("A mutable default is shared across calls; an annotation "
+                 "like `stats: Stats = None` lies to every reader and type "
+                 "checker about what the parameter accepts.")
+
+    _MUTABLE = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                ast.SetComp, ast.GeneratorExp)
+
+    def check_module(self, module: Module) -> Iterator[LintViolation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_signature(module, node)
+            elif isinstance(node, ast.AnnAssign):
+                if (node.value is not None
+                        and isinstance(node.value, ast.Constant)
+                        and node.value.value is None
+                        and node.annotation is not None
+                        and not _annotation_allows_none(node.annotation)):
+                    target = _terminal_identifier(node.target) or "<target>"
+                    yield self._violation(
+                        module, node,
+                        f"`{target}` is annotated non-Optional but assigned "
+                        f"None — use `Optional[...]` (or `| None`)")
+
+    def _check_signature(self, module, node) -> Iterator[LintViolation]:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        pairs = list(zip(positional[len(positional) - len(args.defaults):],
+                         args.defaults))
+        pairs += [(a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)
+                  if d is not None]
+        for arg, default in pairs:
+            if isinstance(default, self._MUTABLE):
+                yield self._violation(
+                    module, default,
+                    f"mutable default for `{arg.arg}` in `{node.name}()` — "
+                    f"default to None and build inside the function")
+            elif (isinstance(default, ast.Constant) and default.value is None
+                    and arg.annotation is not None
+                    and not _annotation_allows_none(arg.annotation)):
+                yield self._violation(
+                    module, default,
+                    f"`{arg.arg}` in `{node.name}()` is annotated "
+                    f"non-Optional but defaults to None — annotate "
+                    f"`Optional[...]` and normalize explicitly")
+
+
+class RawUnitLiteralRule(Rule):
+    """SIM005: raw ns/GHz literals only in the sanctioned parameter tables."""
+
+    code = "SIM005"
+    title = "raw physical-unit literal"
+    rationale = ("Global time is host-core cycles; nanosecond and GHz "
+                 "quantities must be declared in the parameter tables "
+                 "(SystemConfig, ClockDomain defaults, repro.energy.params) "
+                 "and converted through ClockDomain, or every scaling sweep "
+                 "silently desynchronizes.")
+
+    #: Unit-bearing parameter tables where physical constants belong.
+    ALLOWED_MODULES = ("sim/clock.py", "energy/params.py", "system/config.py")
+
+    _SUFFIXES = ("_ns", "_ghz", "_mhz", "_ps")
+
+    def _suffixed(self, name: Optional[str]) -> bool:
+        return name is not None and name.lower().endswith(self._SUFFIXES)
+
+    def check_module(self, module: Module) -> Iterator[LintViolation]:
+        if module.rel.endswith(self.ALLOWED_MODULES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.keyword):
+                if self._suffixed(node.arg) and self._is_numeric(node.value):
+                    yield self._violation(
+                        module, node.value,
+                        f"raw unit literal for `{node.arg}=` — take the value "
+                        f"from SystemConfig / repro.energy.params instead")
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    name = _terminal_identifier(target)
+                    if self._suffixed(name) and self._is_numeric(node.value):
+                        yield self._violation(
+                            module, node,
+                            f"raw unit literal assigned to `{name}` — move it "
+                            f"into a parameter table")
+            elif isinstance(node, ast.AnnAssign):
+                name = _terminal_identifier(node.target)
+                if self._suffixed(name) and self._is_numeric(node.value):
+                    yield self._violation(
+                        module, node,
+                        f"raw unit literal assigned to `{name}` — move it "
+                        f"into a parameter table")
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                positional = args.posonlyargs + args.args
+                pairs = list(zip(
+                    positional[len(positional) - len(args.defaults):],
+                    args.defaults))
+                pairs += [(a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)
+                          if d is not None]
+                for arg, default in pairs:
+                    if self._suffixed(arg.arg) and self._is_numeric(default):
+                        yield self._violation(
+                            module, default,
+                            f"raw unit default for `{arg.arg}` in "
+                            f"`{node.name}()` — require the caller to pass a "
+                            f"parameter-table value")
+
+    @staticmethod
+    def _is_numeric(node: Optional[ast.AST]) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            node = node.operand
+        return (isinstance(node, ast.Constant)
+                and isinstance(node.value, (int, float))
+                and not isinstance(node.value, bool))
+
+
+class IntrinsicRegistryRule(Rule):
+    """SIM006: every pim_* intrinsic uses an ISA-registered operation."""
+
+    code = "SIM006"
+    title = "unregistered PEI intrinsic"
+    rationale = ("The dispatch tables, energy model, and Table 1 checks all "
+                 "key on PIM_OPS; an intrinsic wrapping an op missing from "
+                 "the registry would simulate an instruction the machine "
+                 "does not decode.")
+
+    def check_project(self, project: Project) -> Iterator[LintViolation]:
+        isa = project.find("core/isa.py")
+        intrinsics = project.find("core/intrinsics.py")
+        if isa is None or intrinsics is None:
+            return
+        registered = self._registered_ops(isa)
+        for func in ast.walk(intrinsics.tree):
+            if not isinstance(func, ast.FunctionDef):
+                continue
+            if not func.name.startswith("pim_"):
+                continue
+            ops = self._ops_constructed(func)
+            if not ops:
+                yield self._violation(
+                    intrinsics, func,
+                    f"intrinsic `{func.name}()` constructs no `Pei(...)` "
+                    f"record — every pim_* intrinsic must emit exactly one")
+                continue
+            for name, node in ops:
+                if name not in registered:
+                    yield self._violation(
+                        intrinsics, node,
+                        f"intrinsic `{func.name}()` uses `{name}`, which is "
+                        f"not registered in repro.core.isa.PIM_OPS")
+
+    @staticmethod
+    def _registered_ops(isa: Module) -> Set[str]:
+        """Names listed in the PIM_OPS registry construction."""
+        registered: Set[str] = set()
+        for node in ast.walk(isa.tree):
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = [t for t in node.targets if isinstance(t, ast.Name)]
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                targets = [node.target]
+            if not any(t.id == "PIM_OPS" for t in targets):
+                continue
+            value = node.value
+            if value is None:
+                continue
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Name) and sub.id.isupper():
+                    registered.add(sub.id)
+        return registered
+
+    @staticmethod
+    def _ops_constructed(func: ast.FunctionDef) -> List[Tuple[str, ast.AST]]:
+        ops = []
+        for node in ast.walk(func):
+            if (isinstance(node, ast.Call)
+                    and _terminal_identifier(node.func) == "Pei"
+                    and node.args):
+                first = node.args[0]
+                name = _terminal_identifier(first)
+                if name is not None:
+                    ops.append((name, first))
+        return ops
+
+
+#: The rule registry, keyed by code.
+RULES: Dict[str, Rule] = {
+    rule.code: rule
+    for rule in (
+        WallClockRule(),
+        UnseededRandomnessRule(),
+        TimestampEqualityRule(),
+        DefaultArgumentRule(),
+        RawUnitLiteralRule(),
+        IntrinsicRegistryRule(),
+    )
+}
+
+#: Waiver hygiene pseudo-rule (not waivable itself).
+WAIVER_CODE = "SIM000"
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+def _collect_files(paths: Iterable[Path]) -> List[Tuple[Path, str]]:
+    """(file, rel) pairs for every .py under the given roots."""
+    out: List[Tuple[Path, str]] = []
+    for root in paths:
+        root = Path(root)
+        if root.is_file():
+            out.append((root, root.name))
+        else:
+            for file in sorted(root.rglob("*.py")):
+                out.append((file, file.relative_to(root).as_posix()))
+    return out
+
+
+def _parse_project(paths: Iterable[Path]) -> Tuple[Project, List[LintViolation]]:
+    modules = []
+    errors = []
+    for file, rel in _collect_files(paths):
+        source = file.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(file))
+        except SyntaxError as exc:
+            errors.append(LintViolation(
+                code="SIM999", message=f"syntax error: {exc.msg}",
+                path=str(file), line=exc.lineno or 1, col=exc.offset or 0))
+            continue
+        modules.append(Module(path=file, rel=rel, source=source, tree=tree,
+                              waivers=_parse_waivers(source)))
+    return Project(modules), errors
+
+
+def lint_paths(
+    paths: Sequence,
+    select: Optional[Iterable[str]] = None,
+) -> List[LintViolation]:
+    """Lint every Python file under ``paths``; return surviving violations.
+
+    ``select`` restricts checking to the given rule codes (waiver hygiene is
+    always checked).  Violations waived by a justified inline pragma are
+    suppressed; unjustified pragmas surface as ``SIM000``.
+    """
+    project, violations = _parse_project([Path(p) for p in paths])
+    active = [RULES[c] for c in select] if select is not None else list(RULES.values())
+    raw: List[LintViolation] = list(violations)
+    for rule in active:
+        raw.extend(rule.check_project(project))
+
+    waivers_by_path: Dict[str, List[Waiver]] = {
+        str(m.path): m.waivers for m in project.modules
+    }
+    kept: List[LintViolation] = []
+    for violation in raw:
+        waived = False
+        for waiver in waivers_by_path.get(violation.path, ()):
+            if (violation.line == waiver.line
+                    and violation.code in waiver.codes
+                    and waiver.justification):
+                waived = True
+                break
+        if not waived:
+            kept.append(violation)
+
+    # Waiver hygiene: every pragma must carry a justification.
+    for module in project.modules:
+        for waiver in module.waivers:
+            if not waiver.justification:
+                kept.append(LintViolation(
+                    code=WAIVER_CODE,
+                    message=("waiver without justification — write "
+                             "`# simlint: ignore[CODE] -- <reason>`"),
+                    path=str(module.path),
+                    line=waiver.pragma_line))
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return kept
+
+
+def format_violations(violations: Sequence[LintViolation]) -> str:
+    if not violations:
+        return "simlint: clean"
+    lines = [str(v) for v in violations]
+    lines.append(f"simlint: {len(violations)} violation(s)")
+    return "\n".join(lines)

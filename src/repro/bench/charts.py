@@ -5,7 +5,7 @@ the same way makes shape comparisons (who wins, where the crossover falls)
 readable directly in a terminal or a results file.
 """
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 FULL, PARTIALS = "█", " ▏▎▍▌▋▊▉"
 
@@ -26,7 +26,7 @@ def bar_chart(
     labels: Sequence[str],
     series: Dict[str, Sequence[float]],
     width: int = 40,
-    baseline: float = None,
+    baseline: Optional[float] = None,
     title: str = "",
 ) -> str:
     """Render grouped horizontal bars.

@@ -8,7 +8,7 @@ target (see EXPERIMENTS.md for the side-by-side record).
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.dispatch import DispatchPolicy
 from repro.bench.charts import bar_chart
@@ -207,7 +207,7 @@ def fig8_input_size_sweep(graphs: Sequence[str] = SUITE_ORDER) -> ExperimentRepo
 # Figure 9: multiprogrammed workloads
 # ----------------------------------------------------------------------
 
-def fig9_multiprogrammed(n_mixes: int = None, seed: int = 7) -> ExperimentReport:
+def fig9_multiprogrammed(n_mixes: Optional[int] = None, seed: int = 7) -> ExperimentReport:
     """Random two-application mixes: IPC throughput vs Host-Only.
 
     Paper: 200 mixes; Locality-Aware beats both Host-Only and PIM-Only for

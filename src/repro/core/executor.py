@@ -16,13 +16,14 @@ instructions: no operand buffers, a free infinite directory, and the core's
 own MLP window provides the overlap.
 """
 
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.core.dispatch import DispatchPolicy
 from repro.core.isa import PimOp
 from repro.core.pcu import Pcu
 from repro.core.pmu import Pmu
+from repro.core.tracer import FenceTrace, PeiTrace, PeiTracer
 from repro.cpu.core import CoreModel
 from repro.mem.hmc import HmcSystem
 from repro.sim.stats import Stats
@@ -46,8 +47,8 @@ class PeiExecutor:
         self.hierarchy = hierarchy
         self.stats = stats
         self.mmio_cost = mmio_cost
-        # Optional repro.core.tracer.PeiTracer for per-PEI debugging.
-        self.tracer = None
+        # Optional tracer for per-PEI debugging and protocol sanitizing.
+        self.tracer: Optional[PeiTracer] = None
 
     # ------------------------------------------------------------------
 
@@ -89,6 +90,7 @@ class PeiExecutor:
         # Step 2: PMU — reader/writer lock and execution-location decision.
         grant = self.pmu.begin_pei(core.core_id, block, op, issue_time)
 
+        clean_time: Optional[float] = None
         if grant.on_host:
             completion = self._execute_host_side(
                 core, pcu, op, paddr, grant.decision_time, grant.grant_time
@@ -96,7 +98,7 @@ class PeiExecutor:
             self.stats.add("pei.host_executed")
             pcu.operand_buffer.release(completion)
         else:
-            completion = self._execute_memory_side(
+            completion, clean_time = self._execute_memory_side(
                 core, op, paddr, block, grant.grant_time
             )
             self.stats.add("pei.mem_executed")
@@ -114,11 +116,12 @@ class PeiExecutor:
         self.pmu.finish_pei(grant.entry, op, completion)
 
         if self.tracer is not None:
-            from repro.core.tracer import PeiTrace
             self.tracer.record(PeiTrace(
                 core=core.core_id, op=op.mnemonic, block=block,
                 on_host=grant.on_host, issue_time=issue_time,
                 grant_time=grant.grant_time, completion=completion,
+                decision_time=grant.decision_time, clean_time=clean_time,
+                clean_invalidate=None if clean_time is None else op.is_writer,
             ))
         if chain is not None:
             core.chain_completions[chain] = completion
@@ -167,7 +170,9 @@ class PeiExecutor:
 
     def _execute_memory_side(
         self, core: CoreModel, op: PimOp, paddr: int, block: int, time: float
-    ) -> float:
+    ) -> Tuple[float, float]:
+        """Returns ``(completion, clean_time)`` — the latter is when main
+        memory is guaranteed to hold the latest data (Fig. 5 step 3)."""
         # Step 3: clean any on-chip copy (back-invalidation / back-writeback)
         ready = self.pmu.clean_block_for_memory(block, op, time)
         # Step 4: input operands travel from the host-side PCU to the PMU
@@ -196,14 +201,22 @@ class PeiExecutor:
             vpcu.operand_buffer.release(t)
         # Step 6/7: response packet back to the PMU, outputs to the PCU.
         t = self.hmc.pim_send_response(t, op.output_bytes, paddr)
-        return self.pmu.crossbar.traverse(self.pmu.pmu_port, t, 16 + op.output_bytes)
+        completion = self.pmu.crossbar.traverse(
+            self.pmu.pmu_port, t, 16 + op.output_bytes
+        )
+        return completion, ready
 
     # ------------------------------------------------------------------
 
     def fence(self, core: CoreModel) -> None:
         """pfence semantics: drain the core and wait for in-flight PEIs."""
         core.drain()
+        issue_time = core.time
         t = self.pmu.fence(core.time)
         if t > core.time:
             core.time = t
         core.instructions += 1
+        if self.tracer is not None:
+            self.tracer.record_fence(FenceTrace(
+                core=core.core_id, issue_time=issue_time, release_time=t,
+            ))

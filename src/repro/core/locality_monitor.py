@@ -17,7 +17,7 @@ false locality reports — the Section 7.6 ablation quantifies that cost.
 """
 
 from collections import OrderedDict
-from typing import List
+from typing import List, Optional
 
 from repro.sim.stats import Stats
 from repro.util.bitops import ilog2, is_power_of_two, xor_fold
@@ -33,7 +33,7 @@ class LocalityMonitor:
         partial_tag_bits: int = 10,
         latency: float = 3.0,
         use_ignore_flag: bool = True,
-        stats: Stats = None,
+        stats: Optional[Stats] = None,
     ):
         if not is_power_of_two(n_sets):
             raise ValueError(f"set count must be a power of two, got {n_sets}")

@@ -18,7 +18,7 @@ With ``ideal=True`` the directory models the Ideal-Host configuration: an
 infinite zero-latency table, i.e. per-block entries and no access cost.
 """
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.sim.stats import Stats
 from repro.util.bitops import ilog2, is_power_of_two, xor_fold
@@ -31,7 +31,7 @@ class PimDirectory:
         self,
         entries: int = 2048,
         latency: float = 2.0,
-        stats: Stats = None,
+        stats: Optional[Stats] = None,
         ideal: bool = False,
         handoff_penalty: float = 10.0,
     ):

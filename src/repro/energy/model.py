@@ -5,6 +5,7 @@ PCUs, and the PMU structures — from the statistics a run accumulates.
 """
 
 from dataclasses import dataclass, fields
+from typing import Optional
 
 from repro.energy.params import EnergyParams
 from repro.sim.stats import Stats
@@ -50,7 +51,7 @@ class EnergyBreakdown:
 class EnergyModel:
     """Computes an EnergyBreakdown from a run's statistics."""
 
-    def __init__(self, params: EnergyParams = None):
+    def __init__(self, params: Optional[EnergyParams] = None):
         self.params = params if params is not None else EnergyParams()
 
     def compute(self, stats: Stats) -> EnergyBreakdown:

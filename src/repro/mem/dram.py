@@ -29,18 +29,37 @@ class DramTimings:
     @classmethod
     def from_ns(
         cls,
-        t_cl_ns: float = 13.75,
-        t_rcd_ns: float = 13.75,
-        t_rp_ns: float = 13.75,
-        burst_ns: float = 4.0,
-        host_freq_ghz: float = 4.0,
+        t_cl_ns: float,
+        t_rcd_ns: float,
+        t_rp_ns: float,
+        burst_ns: float,
+        host_freq_ghz: float,
     ) -> "DramTimings":
+        """Convert nanosecond timings into host cycles.
+
+        Values intentionally have no defaults: physical-unit constants live
+        in :class:`repro.system.config.SystemConfig` (simlint SIM005), so
+        callers must pass them from there (see ``from_config``).
+        """
         clock = ClockDomain(1.0, host_freq_ghz)
         return cls(
             t_cl=clock.from_ns(t_cl_ns),
             t_rcd=clock.from_ns(t_rcd_ns),
             t_rp=clock.from_ns(t_rp_ns),
             burst=clock.from_ns(burst_ns),
+        )
+
+    @classmethod
+    def from_config(cls, config) -> "DramTimings":
+        """Build from a :class:`~repro.system.config.SystemConfig`'s DRAM
+        fields (duck-typed to keep this layer independent of the system
+        layer)."""
+        return cls.from_ns(
+            t_cl_ns=config.dram_t_cl_ns,
+            t_rcd_ns=config.dram_t_rcd_ns,
+            t_rp_ns=config.dram_t_rp_ns,
+            burst_ns=config.dram_burst_ns,
+            host_freq_ghz=config.core_freq_ghz,
         )
 
 

@@ -64,13 +64,7 @@ def build_machine(config: SystemConfig, policy: DispatchPolicy) -> Machine:
         banks_per_vault=config.banks_per_vault,
         row_bytes=config.dram_row_bytes,
     )
-    timings = DramTimings.from_ns(
-        t_cl_ns=config.dram_t_cl_ns,
-        t_rcd_ns=config.dram_t_rcd_ns,
-        t_rp_ns=config.dram_t_rp_ns,
-        burst_ns=config.dram_burst_ns,
-        host_freq_ghz=config.core_freq_ghz,
-    )
+    timings = DramTimings.from_config(config)
     if config.model_chain_hops:
         from repro.mem.chain import DaisyChainChannel
 

@@ -40,9 +40,9 @@ class System:
 
     def __init__(
         self,
-        config: SystemConfig = None,
+        config: Optional[SystemConfig] = None,
         policy: DispatchPolicy = DispatchPolicy.LOCALITY_AWARE,
-        energy_params: EnergyParams = None,
+        energy_params: Optional[EnergyParams] = None,
     ):
         self.config = config if config is not None else scaled_config()
         self.policy = policy

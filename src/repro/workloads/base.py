@@ -1,7 +1,7 @@
 """Workload abstraction: an algorithm that emits a timed operation stream."""
 
 import abc
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 from repro.vm.address_space import AddressSpace
 
@@ -26,7 +26,7 @@ class Workload(abc.ABC):
 
     def __init__(self, seed: int = 42):
         self.seed = seed
-        self.space: AddressSpace = None
+        self.space: Optional[AddressSpace] = None
 
     @abc.abstractmethod
     def prepare(self, space: AddressSpace) -> None:

@@ -1,0 +1,263 @@
+"""Injected-fault tests for every simlint rule.
+
+Each test writes a small source tree into ``tmp_path``, runs the linter on
+it, and asserts the expected rule code fires exactly where expected — and
+nowhere else.  The final test pins the acceptance criterion: the *real*
+``src/repro`` tree lints clean.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.simlint import RULES, format_violations, lint_paths
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def lint_source(tmp_path, source, rel="mod.py", select=None):
+    """Write one module into a tmp tree and lint it."""
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return lint_paths([tmp_path], select=select)
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+class TestWallClock:
+    def test_time_time_fires(self, tmp_path):
+        out = lint_source(tmp_path, "import time\nstart = time.time()\n")
+        assert codes(out) == ["SIM001"]
+        assert out[0].line == 2
+
+    def test_perf_counter_and_datetime_fire(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "import time\nfrom datetime import datetime\n"
+            "a = time.perf_counter()\nb = datetime.now()\n",
+        )
+        assert codes(out) == ["SIM001", "SIM001"]
+
+    def test_simulated_time_attribute_is_fine(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def step(core):\n    core.time += 1.0\n    return core.time\n",
+        )
+        assert out == []
+
+
+class TestUnseededRandomness:
+    def test_bare_random_module_fires(self, tmp_path):
+        out = lint_source(tmp_path, "import random\nx = random.random()\n")
+        assert codes(out) == ["SIM002"]
+
+    def test_np_default_rng_fires(self, tmp_path):
+        out = lint_source(
+            tmp_path, "import numpy as np\nrng = np.random.default_rng()\n")
+        assert codes(out) == ["SIM002"]
+
+    def test_make_rng_is_fine(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "from repro.util.rng import make_rng\nrng = make_rng(42, 'pr')\n"
+            "x = rng.random()\n",
+        )
+        assert out == []
+
+    def test_rng_module_itself_is_exempt(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "import numpy as np\n\ndef make_rng(seed):\n"
+            "    return np.random.default_rng(seed)\n",
+            rel="util/rng.py",
+        )
+        assert out == []
+
+
+class TestTimestampEquality:
+    def test_equality_on_time_names_fires(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def check(a, b):\n    return a.grant_time == b.completion\n")
+        assert codes(out) == ["SIM003"]
+
+    def test_inequality_fires(self, tmp_path):
+        out = lint_source(
+            tmp_path, "def check(t):\n    return t.issue_time != 0.0\n")
+        assert codes(out) == ["SIM003"]
+
+    def test_ordering_comparison_is_fine(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def check(a, b):\n    return a.grant_time <= b.completion\n")
+        assert out == []
+
+    def test_non_time_names_are_fine(self, tmp_path):
+        out = lint_source(
+            tmp_path, "def check(row, open_row):\n    return row == open_row\n")
+        assert out == []
+
+
+class TestDefaultArguments:
+    def test_type_lying_none_default_fires(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "from repro.sim.stats import Stats\n\n"
+            "def build(stats: Stats = None):\n    return stats\n",
+        )
+        assert codes(out) == ["SIM004"]
+
+    def test_optional_default_is_fine(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "from typing import Optional\nfrom repro.sim.stats import Stats\n\n"
+            "def build(stats: Optional[Stats] = None):\n    return stats\n",
+        )
+        assert out == []
+
+    def test_pipe_none_annotation_is_fine(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def build(stats: 'Stats | None' = None):\n    return stats\n")
+        assert out == []
+
+    def test_mutable_default_fires(self, tmp_path):
+        out = lint_source(tmp_path, "def f(xs=[]):\n    return xs\n")
+        assert codes(out) == ["SIM004"]
+
+    def test_annotated_class_attribute_fires(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "class Workload:\n    def __init__(self):\n"
+            "        self.space: AddressSpace = None\n",
+        )
+        assert codes(out) == ["SIM004"]
+
+
+class TestRawUnitLiterals:
+    def test_ns_default_fires(self, tmp_path):
+        out = lint_source(
+            tmp_path, "def from_ns(t_cl_ns: float = 13.75):\n    return t_cl_ns\n")
+        assert codes(out) == ["SIM005"]
+
+    def test_ghz_keyword_fires(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def build(make_clock):\n    return make_clock(freq_ghz=2.0)\n")
+        assert codes(out) == ["SIM005"]
+
+    def test_assignment_fires(self, tmp_path):
+        out = lint_source(tmp_path, "t_retrain_ns = 50.0\n")
+        assert codes(out) == ["SIM005"]
+
+    def test_parameter_tables_are_exempt(self, tmp_path):
+        source = "core_freq_ghz: float = 4.0\ndram_t_cl_ns: float = 13.75\n"
+        assert lint_source(tmp_path, source, rel="system/config.py") == []
+        assert lint_source(tmp_path, source, rel="sim/clock.py") == []
+        assert codes(lint_source(tmp_path, source, rel="mem/dram.py")) == [
+            "SIM005", "SIM005"]
+
+    def test_passing_config_value_is_fine(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def build(config, make):\n"
+            "    return make(t_cl_ns=config.dram_t_cl_ns)\n",
+        )
+        assert out == []
+
+
+class TestIntrinsicRegistry:
+    ISA = (
+        "REGISTERED = object()\n"
+        "ROGUE = object()\n"
+        "PIM_OPS = {op.mnemonic: op for op in (REGISTERED,)}\n"
+    )
+
+    def write_pair(self, tmp_path, intrinsics):
+        (tmp_path / "core").mkdir(parents=True, exist_ok=True)
+        (tmp_path / "core" / "isa.py").write_text(self.ISA)
+        (tmp_path / "core" / "intrinsics.py").write_text(intrinsics)
+        return lint_paths([tmp_path])
+
+    def test_registered_op_is_fine(self, tmp_path):
+        out = self.write_pair(
+            tmp_path,
+            "from core.isa import REGISTERED\n\n"
+            "def pim_inc(addr):\n    return Pei(REGISTERED, addr)\n",
+        )
+        assert out == []
+
+    def test_unregistered_op_fires(self, tmp_path):
+        out = self.write_pair(
+            tmp_path,
+            "from core.isa import ROGUE\n\n"
+            "def pim_rogue(addr):\n    return Pei(ROGUE, addr)\n",
+        )
+        assert codes(out) == ["SIM006"]
+
+    def test_intrinsic_without_pei_record_fires(self, tmp_path):
+        out = self.write_pair(
+            tmp_path, "def pim_nop(addr):\n    return None\n")
+        assert codes(out) == ["SIM006"]
+
+
+class TestWaivers:
+    def test_justified_waiver_suppresses(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "t_retrain_ns = 50.0  # simlint: ignore[SIM005] -- vendor-quoted\n")
+        assert out == []
+
+    def test_standalone_waiver_covers_next_line(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "# simlint: ignore[SIM005] -- vendor-quoted retrain time\n"
+            "t_retrain_ns = 50.0\n",
+        )
+        assert out == []
+
+    def test_unjustified_waiver_is_reported(self, tmp_path):
+        # An unjustified pragma is flagged (SIM000) and does NOT suppress
+        # the underlying violation.
+        out = lint_source(
+            tmp_path, "t_retrain_ns = 50.0  # simlint: ignore[SIM005]\n")
+        assert codes(out) == ["SIM000", "SIM005"]
+
+    def test_waiver_for_other_code_does_not_suppress(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "t_retrain_ns = 50.0  # simlint: ignore[SIM001] -- wrong code\n")
+        assert codes(out) == ["SIM005"]
+
+
+class TestDriver:
+    def test_select_restricts_rules(self, tmp_path):
+        source = "import time\nx = time.time()\nys=[]\ndef f(xs=[]):\n    return xs\n"
+        out = lint_source(tmp_path, source, select=["SIM001"])
+        assert codes(out) == ["SIM001"]
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        out = lint_source(tmp_path, "def broken(:\n")
+        assert codes(out) == ["SIM999"]
+
+    def test_format_violations(self, tmp_path):
+        out = lint_source(tmp_path, "import time\nx = time.time()\n")
+        text = format_violations(out)
+        assert "SIM001" in text and "1 violation" in text
+        assert format_violations([]) == "simlint: clean"
+
+    def test_rule_registry_is_complete(self):
+        assert set(RULES) == {
+            "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006"}
+        for rule in RULES.values():
+            assert rule.title and rule.rationale
+
+
+class TestRealTree:
+    def test_src_repro_lints_clean(self):
+        """Acceptance criterion: the shipped tree passes every rule."""
+        violations = lint_paths([REPO_SRC])
+        assert violations == [], format_violations(violations)

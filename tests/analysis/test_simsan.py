@@ -1,0 +1,273 @@
+"""Injected-fault tests for every simsan protocol check.
+
+Each test hand-builds a short PEI/pfence event stream that violates exactly
+one Section 4.3 invariant and asserts the matching SAN code fires exactly
+once.  A final set of tests feeds protocol-conforming streams (and a real
+simulated run, in the integration suite) and asserts the sanitizer stays
+quiet.
+"""
+
+import pytest
+
+from repro.analysis.simsan import CHECKS, sanitize_events, sanitize_tracer
+from repro.core.tracer import FenceTrace, PeiTrace, PeiTracer
+
+# Mnemonics from the ISA registry (Table 1): pim.inc is a no-output writer,
+# pim.probe is a reader with output, pim.dot a reader with output.
+WRITER = "pim.inc"
+READER = "pim.probe"
+
+
+def host_pei(core=0, op=WRITER, block=0x40, issue=0.0, grant=None,
+             completion=None, decision=None):
+    """A host-side PEI (no back-invalidation record)."""
+    grant = issue if grant is None else grant
+    completion = grant + 10.0 if completion is None else completion
+    return PeiTrace(core=core, op=op, block=block, on_host=True,
+                    issue_time=issue, grant_time=grant, completion=completion,
+                    decision_time=decision)
+
+
+def mem_pei(core=0, op=WRITER, block=0x40, issue=0.0, grant=None,
+            completion=None, clean=None, clean_invalidate="auto"):
+    """A memory-side PEI with a (by default correct) coherence record."""
+    grant = issue if grant is None else grant
+    completion = grant + 50.0 if completion is None else completion
+    clean = grant if clean is None else clean
+    if clean_invalidate == "auto":
+        clean_invalidate = op == WRITER
+    return PeiTrace(core=core, op=op, block=block, on_host=False,
+                    issue_time=issue, grant_time=grant, completion=completion,
+                    decision_time=issue, clean_time=clean,
+                    clean_invalidate=clean_invalidate)
+
+
+def codes(report):
+    return [v.code for v in report.violations]
+
+
+class TestWriterExclusion:
+    def test_overlapping_writers_fire_san001(self):
+        first = mem_pei(issue=0.0, grant=0.0, completion=100.0)
+        second = mem_pei(core=1, issue=10.0, grant=50.0, completion=150.0)
+        report = sanitize_events([first, second])
+        assert codes(report) == ["SAN001"]
+        assert report.violations[0].events == (first, second)
+
+    def test_serialized_writers_are_clean(self):
+        report = sanitize_events([
+            mem_pei(issue=0.0, grant=0.0, completion=100.0),
+            mem_pei(core=1, issue=10.0, grant=100.0, completion=200.0),
+        ])
+        assert report.ok
+
+    def test_different_blocks_never_conflict(self):
+        report = sanitize_events([
+            mem_pei(block=0x40, issue=0.0, grant=0.0, completion=100.0),
+            mem_pei(block=0x80, core=1, issue=0.0, grant=0.0, completion=100.0),
+        ])
+        assert report.ok
+
+
+class TestReaderWriterOrdering:
+    def test_reader_overlapping_writer_fires_san002(self):
+        report = sanitize_events([
+            mem_pei(op=WRITER, issue=0.0, grant=0.0, completion=100.0),
+            mem_pei(op=READER, core=1, issue=10.0, grant=50.0, completion=120.0),
+        ])
+        assert codes(report) == ["SAN002"]
+
+    def test_writer_overlapping_reader_fires_san002(self):
+        report = sanitize_events([
+            mem_pei(op=READER, issue=0.0, grant=0.0, completion=100.0),
+            mem_pei(op=WRITER, core=1, issue=10.0, grant=50.0, completion=200.0),
+        ])
+        assert codes(report) == ["SAN002"]
+
+    def test_concurrent_readers_are_clean(self):
+        report = sanitize_events([
+            mem_pei(op=READER, core=c, issue=0.0, grant=0.0, completion=100.0)
+            for c in range(4)
+        ])
+        assert report.ok
+
+
+class TestCoherenceActions:
+    def test_missing_back_invalidation_fires_san003(self):
+        trace = PeiTrace(core=0, op=WRITER, block=0x40, on_host=False,
+                         issue_time=0.0, grant_time=0.0, completion=50.0)
+        report = sanitize_events([trace])
+        assert codes(report) == ["SAN003"]
+
+    def test_wrong_action_for_writer_fires_san003(self):
+        # Writer PEI recorded with a back-writeback instead of invalidation.
+        report = sanitize_events([mem_pei(op=WRITER, clean_invalidate=False)])
+        assert codes(report) == ["SAN003"]
+
+    def test_clean_outside_pei_window_fires_san003(self):
+        report = sanitize_events([
+            mem_pei(issue=10.0, grant=10.0, completion=60.0, clean=5.0)])
+        assert codes(report) == ["SAN003"]
+
+    def test_host_pei_with_clean_record_fires_san003(self):
+        bogus = PeiTrace(core=0, op=WRITER, block=0x40, on_host=True,
+                         issue_time=0.0, grant_time=0.0, completion=10.0,
+                         clean_time=5.0, clean_invalidate=True)
+        report = sanitize_events([bogus])
+        assert codes(report) == ["SAN003"]
+
+    def test_correct_actions_are_clean(self):
+        report = sanitize_events([
+            mem_pei(op=WRITER, issue=0.0, grant=0.0, completion=50.0),
+            mem_pei(op=READER, issue=60.0, grant=60.0, completion=110.0),
+            host_pei(issue=120.0),
+        ])
+        assert report.ok
+
+
+class TestMonotonicity:
+    def test_grant_before_issue_fires_san004(self):
+        report = sanitize_events([host_pei(issue=10.0, grant=5.0)])
+        assert codes(report) == ["SAN004"]
+
+    def test_completion_before_grant_fires_san004(self):
+        report = sanitize_events([
+            host_pei(issue=0.0, grant=10.0, completion=5.0)])
+        assert codes(report) == ["SAN004"]
+
+    def test_decision_out_of_order_fires_san004(self):
+        report = sanitize_events([
+            host_pei(issue=10.0, grant=10.0, decision=5.0)])
+        assert codes(report) == ["SAN004"]
+
+    def test_fence_releasing_before_issue_fires_san004(self):
+        report = sanitize_events([
+            FenceTrace(core=0, issue_time=10.0, release_time=5.0)])
+        assert codes(report) == ["SAN004"]
+
+
+class TestFenceHorizon:
+    def test_fence_ignoring_writer_fires_san005(self):
+        writer = host_pei(issue=0.0, grant=0.0, completion=100.0)
+        fence = FenceTrace(core=0, issue_time=10.0, release_time=20.0)
+        report = sanitize_events([writer, fence])
+        assert codes(report) == ["SAN005"]
+        assert report.violations[0].events == (writer, fence)
+
+    def test_fence_covering_writers_is_clean(self):
+        report = sanitize_events([
+            host_pei(issue=0.0, grant=0.0, completion=100.0),
+            FenceTrace(core=0, issue_time=10.0, release_time=100.0),
+        ])
+        assert report.ok
+
+    def test_readers_do_not_constrain_fences(self):
+        # pfence waits for writers only (Section 3.2).
+        report = sanitize_events([
+            host_pei(op=READER, issue=0.0, grant=0.0, completion=100.0),
+            FenceTrace(core=0, issue_time=10.0, release_time=10.0),
+        ])
+        assert report.ok
+
+    def test_fences_counted(self):
+        report = sanitize_events([
+            FenceTrace(core=0, issue_time=0.0, release_time=0.0)])
+        assert report.ok and report.fences_checked == 1
+
+
+class TestOperandBufferCapacity:
+    def test_over_capacity_fires_san006(self):
+        # Three host PEIs in flight on one core with a two-entry buffer.
+        stream = [host_pei(block=0x40 * (i + 1), issue=float(i),
+                           completion=100.0 + i) for i in range(3)]
+        report = sanitize_events(stream, operand_buffer_entries=2)
+        assert codes(report) == ["SAN006"]
+        assert len(report.violations[0].events) == 3
+
+    def test_within_capacity_is_clean(self):
+        stream = [host_pei(block=0x40 * (i + 1), issue=float(i),
+                           completion=100.0 + i) for i in range(3)]
+        assert sanitize_events(stream, operand_buffer_entries=4).ok
+
+    def test_completed_entries_are_reusable(self):
+        # Sequential PEIs never exceed a single entry.
+        stream = [host_pei(block=0x40 * (i + 1), issue=i * 20.0,
+                           completion=i * 20.0 + 10.0) for i in range(8)]
+        assert sanitize_events(stream, operand_buffer_entries=1).ok
+
+    def test_offloaded_no_output_pei_frees_at_dispatch(self):
+        # A memory-side no-output writer holds its host entry only until
+        # grant; a burst of them never saturates the host buffer.
+        stream = [mem_pei(block=0x40 * (i + 1), issue=float(i),
+                          grant=float(i) + 0.5, completion=1000.0 + i)
+                  for i in range(8)]
+        assert sanitize_events(stream, operand_buffer_entries=2).ok
+
+    def test_capacity_check_off_by_default(self):
+        stream = [host_pei(block=0x40 * (i + 1), issue=float(i),
+                           completion=100.0 + i) for i in range(8)]
+        assert sanitize_events(stream).ok
+
+    def test_cores_have_independent_buffers(self):
+        stream = [host_pei(core=c, block=0x40 * (c + 1), issue=0.0,
+                           completion=100.0) for c in range(4)]
+        assert sanitize_events(stream, operand_buffer_entries=1).ok
+
+
+class TestTraceIntegrity:
+    def test_dropped_events_fire_san007(self):
+        report = sanitize_events([host_pei()], dropped=3)
+        assert codes(report) == ["SAN007"]
+
+    def test_unknown_mnemonic_fires_san008(self):
+        bogus = PeiTrace(core=0, op="pim.bogus", block=0x40, on_host=True,
+                         issue_time=0.0, grant_time=0.0, completion=10.0)
+        report = sanitize_events([bogus])
+        assert codes(report) == ["SAN008"]
+
+    def test_sanitize_tracer_carries_dropped_count(self):
+        tracer = PeiTracer(capacity=1)
+        tracer.record(host_pei(issue=0.0))
+        tracer.record(host_pei(issue=20.0))
+        report = sanitize_tracer(tracer)
+        assert codes(report) == ["SAN007"]
+
+
+class TestReporting:
+    def test_violation_str_includes_trace_slice(self):
+        report = sanitize_events([host_pei(issue=10.0, grant=5.0)])
+        text = str(report.violations[0])
+        assert "SAN004" in text and "offending trace slice" in text
+        assert "PeiTrace" in text
+
+    def test_report_format(self):
+        clean = sanitize_events([host_pei()])
+        assert "clean" in clean.format()
+        dirty = sanitize_events([host_pei(issue=10.0, grant=5.0)])
+        assert "1 violation" in dirty.format()
+
+    def test_checks_catalogue_matches_codes(self):
+        assert set(CHECKS) == {f"SAN00{i}" for i in range(1, 9)}
+
+
+class TestCleanStream:
+    def test_mixed_protocol_conforming_stream(self):
+        """A realistic interleaving with every event type stays clean."""
+        events = [
+            host_pei(core=0, op=READER, block=0x40, issue=0.0,
+                     completion=20.0),
+            mem_pei(core=1, op=WRITER, block=0x80, issue=0.0, grant=5.0,
+                    completion=80.0),
+            mem_pei(core=2, op=READER, block=0xc0, issue=1.0, grant=6.0,
+                    completion=90.0),
+            # Second writer of 0x80 waits for the first.
+            mem_pei(core=3, op=WRITER, block=0x80, issue=10.0, grant=80.0,
+                    completion=160.0),
+            FenceTrace(core=1, issue_time=100.0, release_time=160.0),
+            host_pei(core=1, op=WRITER, block=0x80, issue=160.0,
+                     completion=170.0),
+        ]
+        report = sanitize_events(events, operand_buffer_entries=4)
+        assert report.ok, report.format()
+        assert report.peis_checked == 5
+        assert report.fences_checked == 1

@@ -10,6 +10,7 @@ from repro.mem.dram import DramTimings
 from repro.mem.hmc import HmcSystem
 from repro.mem.link import OffChipChannel
 from repro.sim.stats import Stats
+from repro.system.config import SystemConfig
 from repro.xbar.crossbar import Crossbar
 
 N_CORES = 4
@@ -19,7 +20,7 @@ def make_hierarchy(l3_sets=16, l3_ways=2):
     stats = Stats()
     hmc = HmcSystem(
         AddressMap(n_hmcs=2, vaults_per_hmc=4, banks_per_vault=4),
-        DramTimings.from_ns(),
+        DramTimings.from_config(SystemConfig()),
         OffChipChannel(10.0, 10.0),
         tsv_bytes_per_cycle=4.0,
         stats=stats,

@@ -7,6 +7,16 @@ from repro.system.config import tiny_config
 from repro.system.system import System
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--no-simsan",
+        action="store_true",
+        default=False,
+        help=("Disable the PEI protocol sanitizer that runs inside the "
+              "integration tests (see docs/analysis.md)."),
+    )
+
+
 @pytest.fixture
 def config():
     """A miniature 4-core machine configuration."""

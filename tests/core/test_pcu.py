@@ -64,6 +64,61 @@ class TestOperandBuffer:
         assert run(32) == run(16)
 
 
+class TestOperandBufferStallAccounting:
+    """The stall counter and returned times under saturation (Fig. 11a)."""
+
+    def test_stall_counted_once_per_blocked_allocate(self):
+        buf = OperandBuffer(2)
+        for completion in (100.0, 200.0):
+            buf.release(completion)
+        assert buf.allocate(0.0) == 100.0
+        buf.release(300.0)
+        assert buf.allocate(0.0) == 200.0
+        assert buf.stalls == 2
+
+    def test_full_but_expired_entry_is_not_a_stall(self):
+        # The buffer is at capacity, but the earliest entry already
+        # completed: the allocate proceeds at the requested time.
+        buf = OperandBuffer(1)
+        buf.allocate(0.0)
+        buf.release(10.0)
+        assert buf.allocate(50.0) == 50.0
+        assert buf.stalls == 0
+
+    def test_saturated_stream_stalls_all_but_first_entries(self):
+        # 8 zero-time issues into a 2-entry buffer of 100-cycle PEIs:
+        # the first two are free, every later one stalls.
+        buf = OperandBuffer(2)
+        latency = 100.0
+        starts = []
+        t = 0.0
+        for _ in range(8):
+            start = buf.allocate(t)
+            starts.append(start)
+            buf.release(start + latency)
+        assert buf.stalls == 6
+        # Each stalled PEI starts exactly when its predecessor-by-two ends.
+        assert starts == [0.0, 0.0, 100.0, 100.0, 200.0, 200.0, 300.0, 300.0]
+
+    def test_stall_returns_earliest_completion(self):
+        buf = OperandBuffer(2)
+        buf.allocate(0.0)
+        buf.release(300.0)
+        buf.allocate(0.0)
+        buf.release(70.0)
+        # Blocked allocate waits for the *earliest* in-flight completion.
+        assert buf.allocate(5.0) == 70.0
+        assert buf.stalls == 1
+
+    def test_in_flight_shrinks_as_stalls_reclaim_entries(self):
+        buf = OperandBuffer(2)
+        buf.release(10.0)
+        buf.release(20.0)
+        assert buf.in_flight == 2
+        buf.allocate(0.0)  # pops the entry completing at 10.0
+        assert buf.in_flight == 1
+
+
 class TestPcu:
     def test_compute_occupancy_host_clock(self):
         pcu = Pcu("p", ClockDomain(4.0, 4.0))

@@ -1,0 +1,46 @@
+"""Integration-suite fixtures: the simsan protocol sanitizer.
+
+Every ``System.run`` executed by an integration test is traced and the
+resulting event stream is checked against the Section 4.3 protocol
+invariants (``repro.analysis.simsan``).  This turns the whole integration
+suite into a sanitizer workload for free: any protocol regression —
+overlapping writers, a skipped back-invalidation, a pfence releasing too
+early — fails the test that triggered it, with the offending trace slice
+in the failure message.  Disable with ``pytest --no-simsan`` (e.g. when
+bisecting an unrelated failure).
+"""
+
+import pytest
+
+from repro.analysis.simsan import sanitize_tracer
+from repro.core.tracer import PeiTracer
+from repro.system.system import System
+
+
+@pytest.fixture(autouse=True)
+def simsan_guard(request, monkeypatch):
+    """Wrap ``System.run`` to sanitize every successful simulated run."""
+    if request.config.getoption("--no-simsan"):
+        yield
+        return
+
+    original_run = System.run
+
+    def run_with_sanitizer(self, *args, **kwargs):
+        executor = self.machine.executor
+        prior = executor.tracer
+        tracer = PeiTracer()
+        executor.tracer = tracer
+        try:
+            result = original_run(self, *args, **kwargs)
+        finally:
+            executor.tracer = prior
+        report = sanitize_tracer(
+            tracer,
+            operand_buffer_entries=self.config.pcu_operand_buffer_entries,
+        )
+        assert report.ok, f"simsan protocol violation:\n{report.format()}"
+        return result
+
+    monkeypatch.setattr(System, "run", run_with_sanitizer)
+    yield

@@ -3,12 +3,13 @@
 import pytest
 
 from repro.mem.dram import DramBank, DramTimings
+from repro.system.config import SystemConfig
 
 
 @pytest.fixture
 def timings():
     # 13.75 ns at 4 GHz = 55 host cycles for each of tCL/tRCD/tRP.
-    return DramTimings.from_ns()
+    return DramTimings.from_config(SystemConfig())
 
 
 class TestDramTimings:

@@ -8,33 +8,34 @@ from repro.mem.hmc import HmcSystem
 from repro.mem.link import OffChipChannel
 from repro.mem.vault import Vault
 from repro.sim.stats import Stats
+from repro.system.config import SystemConfig
 
 
 def make_hmc():
     stats = Stats()
     amap = AddressMap(n_hmcs=2, vaults_per_hmc=4, banks_per_vault=4)
     channel = OffChipChannel(10.0, 10.0)
-    hmc = HmcSystem(amap, DramTimings.from_ns(), channel,
+    hmc = HmcSystem(amap, DramTimings.from_config(SystemConfig()), channel,
                     tsv_bytes_per_cycle=4.0, stats=stats)
     return hmc, stats, channel
 
 
 class TestVault:
     def test_read_includes_tsv_transfer(self):
-        vault = Vault(0, 2, DramTimings.from_ns(), tsv_bytes_per_cycle=4.0,
+        vault = Vault(0, 2, DramTimings.from_config(SystemConfig()), tsv_bytes_per_cycle=4.0,
                       controller_latency=8.0)
         finish = vault.read_block(0.0, bank=0, row=0)
         # controller + (tRCD + tCL + burst) + 64 B over TSVs at 4 B/cycle
         assert finish == pytest.approx(8 + 126 + 16)
 
     def test_write_moves_data_then_accesses_bank(self):
-        vault = Vault(0, 2, DramTimings.from_ns(), tsv_bytes_per_cycle=4.0,
+        vault = Vault(0, 2, DramTimings.from_config(SystemConfig()), tsv_bytes_per_cycle=4.0,
                       controller_latency=8.0)
         finish = vault.write_block(0.0, bank=0, row=0)
         assert finish == pytest.approx(8 + 16 + 126)
 
     def test_dram_access_counter(self):
-        vault = Vault(0, 2, DramTimings.from_ns(), 4.0)
+        vault = Vault(0, 2, DramTimings.from_config(SystemConfig()), 4.0)
         vault.read_block(0.0, 0, 0)
         vault.write_block(500.0, 1, 0)
         assert vault.dram_accesses == 2
