@@ -1,6 +1,6 @@
 # Convenience targets for the PEI reproduction.
 
-.PHONY: install test lint sanitize bench experiments quick clean
+.PHONY: install test lint sanitize telemetry bench experiments quick clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -20,6 +20,13 @@ lint:
 # Run the PEI protocol sanitizer over a fig10-sized sweep (~1 min).
 sanitize:
 	PYTHONPATH=src python -m repro.analysis sanitize
+
+# Telemetry smoke: run a small benchmark with full observability and
+# schema-check the bundles it wrote (see docs/observability.md).
+telemetry:
+	REPRO_BENCH_OPS=1500 PYTHONPATH=src \
+		python -m repro.bench run fig10 --telemetry telemetry-out
+	PYTHONPATH=src python -m repro.analysis telemetry telemetry-out
 
 # Regenerate every table and figure (writes benchmarks/results/).
 bench:

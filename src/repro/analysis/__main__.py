@@ -10,15 +10,28 @@
     :mod:`~repro.analysis.simsan`; exits non-zero on protocol violations.
     The default run set mirrors the Figure 10 experiment (SC, SVM, PR, HJ
     on large inputs under the locality-aware and balanced policies).
+
+``python -m repro.analysis telemetry <dirs-or-files...>``
+    Validate telemetry artifacts (interval JSONL, Chrome trace, run
+    bundles) written by ``python -m repro.bench run <exp> --telemetry``
+    against the :mod:`~repro.analysis.telemetry` schema checks; exits
+    non-zero on schema problems (or if no artifacts are found).
 """
 
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.simlint import RULES, format_violations, lint_paths
 from repro.analysis.simsan import CHECKS, sanitize_tracer
+from repro.analysis.telemetry import (
+    check_bundle_dir,
+    check_chrome_trace,
+    check_interval_jsonl,
+    check_run_bundle,
+    format_problems,
+)
 
 #: Default sanitize run set: the Figure 10 workloads.
 FIG10_WORKLOADS = ("SC", "SVM", "PR", "HJ")
@@ -100,6 +113,31 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    results: Dict[str, List[str]] = {}
+    for raw in args.paths:
+        path = Path(raw)
+        if path.is_dir():
+            try:
+                results.update(check_bundle_dir(path))
+            except FileNotFoundError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        elif path.name.endswith(".intervals.jsonl"):
+            results[str(path)] = check_interval_jsonl(path)
+        elif path.name.endswith(".trace.json"):
+            results[str(path)] = check_chrome_trace(path)
+        elif path.name.endswith(".run.json"):
+            results[str(path)] = check_run_bundle(path)
+        else:
+            print(f"error: unrecognized telemetry artifact: {path} "
+                  f"(expected *.intervals.jsonl, *.trace.json or *.run.json)",
+                  file=sys.stderr)
+            return 2
+    print(format_problems(results))
+    return 1 if any(results.values()) else 0
+
+
 def _cmd_checks(_args: argparse.Namespace) -> int:
     for code in sorted(CHECKS):
         print(f"{code}  {CHECKS[code]}")
@@ -139,6 +177,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                           help="operations per thread (default: 8000)")
     sanitize.add_argument("--seed", type=int, default=42)
     sanitize.set_defaults(func=_cmd_sanitize)
+
+    telemetry = sub.add_parser(
+        "telemetry", help="schema-check telemetry artifacts (JSONL + traces)")
+    telemetry.add_argument("paths", nargs="+",
+                           help="telemetry output directories or individual "
+                           "artifact files")
+    telemetry.set_defaults(func=_cmd_telemetry)
 
     checks = sub.add_parser("checks", help="print the sanitizer check catalogue")
     checks.set_defaults(func=_cmd_checks)

@@ -5,16 +5,19 @@ Usage::
     python -m repro.bench list
     python -m repro.bench run fig8
     python -m repro.bench run all
+    python -m repro.bench run fig10 --telemetry telemetry-out
 
 Results are printed and, with ``--out DIR``, persisted one text file per
-experiment.
+experiment.  ``--telemetry [DIR]`` additionally writes a full observability
+bundle (interval time-series JSONL, Chrome trace JSON, run summary) per
+simulated run; inspect with ``python -m repro.obs report <stem>.run.json``.
 """
 
 import argparse
 import pathlib
 import sys
 
-from repro.bench import experiments
+from repro.bench import experiments, runner
 
 EXPERIMENTS = {
     "fig2": experiments.fig2_pagerank_potential,
@@ -41,6 +44,11 @@ def main(argv=None) -> int:
     run.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
     run.add_argument("--out", type=pathlib.Path, default=None,
                      help="directory to write <experiment>.txt files into")
+    run.add_argument("--telemetry", nargs="?", const="telemetry",
+                     default=None, metavar="DIR",
+                     help="write per-run telemetry bundles (interval JSONL, "
+                     "Chrome trace, run summary) into DIR "
+                     "(default: ./telemetry)")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -48,6 +56,10 @@ def main(argv=None) -> int:
             summary = (fn.__doc__ or "").strip().splitlines()[0]
             print(f"{name:<8} {summary}")
         return 0
+
+    if args.telemetry is not None:
+        telemetry_dir = runner.enable_telemetry(pathlib.Path(args.telemetry))
+        print(f"telemetry bundles -> {telemetry_dir}")
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

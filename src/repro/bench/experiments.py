@@ -12,7 +12,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.dispatch import DispatchPolicy
 from repro.bench.charts import bar_chart
-from repro.bench.runner import SETTINGS, run_config, run_workload
+from repro.bench.runner import current_settings, run_config, run_workload
 from repro.bench.tables import format_series, format_table, geometric_mean
 from repro.system.config import scaled_config
 from repro.util.rng import make_rng
@@ -215,7 +215,7 @@ def fig9_multiprogrammed(n_mixes: Optional[int] = None, seed: int = 7) -> Experi
     (REPRO_BENCH_MIXES) because each mix costs three full simulations.
     """
     if n_mixes is None:
-        n_mixes = SETTINGS.n_mixes
+        n_mixes = current_settings().n_mixes
     rng = make_rng(seed, "fig9")
     names = list(WORKLOAD_NAMES)
     sizes = list(SIZES)
@@ -231,7 +231,7 @@ def fig9_multiprogrammed(n_mixes: Optional[int] = None, seed: int = 7) -> Experi
                 make_workload(str(second), str(size_b), seed=int(mix_idx) + 1),
             )
 
-        ops = max(1000, SETTINGS.max_ops_per_thread // 2)
+        ops = max(1000, current_settings().max_ops_per_thread // 2)
         host = run_workload(build(), P.HOST_ONLY, max_ops_per_thread=ops)
         pim = run_workload(build(), P.PIM_ONLY, max_ops_per_thread=ops)
         aware = run_workload(build(), P.LOCALITY_AWARE, max_ops_per_thread=ops)

@@ -2,20 +2,30 @@
 
 Several figures consume the same underlying runs (Fig. 6's speedups and
 Fig. 7's traffic and Fig. 12's energy all come from the same simulations),
-so the runner memoizes RunResults by their full parameterization.
+so the runner memoizes RunResults by their full parameterization —
+*including* the :class:`BenchSettings` in effect at call time, so changing
+``REPRO_BENCH_OPS`` mid-process can never serve a stale cached result.
 
 Environment knobs (for quick or exhaustive regeneration):
 
 * ``REPRO_BENCH_OPS`` — operations per thread per run (default 8000);
 * ``REPRO_BENCH_MIXES`` — multiprogrammed mixes for Fig. 9 (default 24,
   paper used 200).
+
+Telemetry: :func:`enable_telemetry` makes every *uncached* run write a
+full observability bundle (interval JSONL, Chrome trace, run summary) into
+the given directory — this is what ``python -m repro.bench run <exp>
+--telemetry`` switches on.
 """
 
 import os
-from dataclasses import dataclass
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.core.dispatch import DispatchPolicy
+from repro.obs.telemetry import Telemetry
 from repro.system.config import SystemConfig, scaled_config
 from repro.system.result import RunResult
 from repro.system.system import System
@@ -23,18 +33,58 @@ from repro.workloads.base import Workload
 from repro.workloads.registry import make_workload
 
 
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
 @dataclass(frozen=True)
 class BenchSettings:
-    """Global defaults for all benchmark experiments."""
+    """Global defaults for all benchmark experiments.
 
-    max_ops_per_thread: int = int(os.environ.get("REPRO_BENCH_OPS", 8000))
-    n_mixes: int = int(os.environ.get("REPRO_BENCH_MIXES", 24))
+    Field defaults re-read the environment at *instantiation* time (via
+    ``default_factory``), so ``current_settings()`` always reflects the
+    process's current ``REPRO_BENCH_*`` values.
+    """
+
+    max_ops_per_thread: int = field(
+        default_factory=lambda: _env_int("REPRO_BENCH_OPS", 8000))
+    n_mixes: int = field(
+        default_factory=lambda: _env_int("REPRO_BENCH_MIXES", 24))
     seed: int = 42
 
 
+def current_settings() -> BenchSettings:
+    """The settings in effect right now (re-reads the environment)."""
+    return BenchSettings()
+
+
+#: Snapshot of the settings at import time (kept for backward compatibility;
+#: prefer :func:`current_settings`, which tracks environment changes).
 SETTINGS = BenchSettings()
 
 _CACHE: Dict[Tuple, RunResult] = {}
+
+#: When set, uncached runs write telemetry bundles into this directory.
+_TELEMETRY_DIR: Optional[Path] = None
+_TELEMETRY_INTERVAL = 10_000.0
+
+
+def enable_telemetry(out_dir, interval: float = 10_000.0) -> Path:
+    """Write a telemetry bundle for every subsequent uncached run."""
+    global _TELEMETRY_DIR, _TELEMETRY_INTERVAL
+    _TELEMETRY_DIR = Path(out_dir)
+    _TELEMETRY_INTERVAL = interval
+    return _TELEMETRY_DIR
+
+
+def disable_telemetry() -> None:
+    global _TELEMETRY_DIR
+    _TELEMETRY_DIR = None
+
+
+def _telemetry_stem(workload: Workload, policy: DispatchPolicy) -> str:
+    raw = f"{workload.name}_{policy.value}"
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", raw).lower()
 
 
 def run_workload(
@@ -42,12 +92,26 @@ def run_workload(
     policy: DispatchPolicy,
     config: Optional[SystemConfig] = None,
     max_ops_per_thread: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> RunResult:
-    """Run an already-constructed workload on a fresh system (uncached)."""
-    system = System(config if config is not None else scaled_config(), policy)
+    """Run an already-constructed workload on a fresh system (uncached).
+
+    An explicitly passed ``telemetry`` is attached but not written to disk
+    (the caller owns it); with :func:`enable_telemetry` active and no
+    explicit telemetry, a bundle is created and written automatically.
+    """
+    auto_telemetry = telemetry is None and _TELEMETRY_DIR is not None
+    if auto_telemetry:
+        telemetry = Telemetry(interval=_TELEMETRY_INTERVAL)
+    system = System(config if config is not None else scaled_config(), policy,
+                    telemetry=telemetry)
     if max_ops_per_thread is None:
-        max_ops_per_thread = SETTINGS.max_ops_per_thread
-    return system.run(workload, max_ops_per_thread=max_ops_per_thread)
+        max_ops_per_thread = current_settings().max_ops_per_thread
+    result = system.run(workload, max_ops_per_thread=max_ops_per_thread)
+    if auto_telemetry:
+        telemetry.write(_TELEMETRY_DIR, _telemetry_stem(workload, policy),
+                        result=result)
+    return result
 
 
 def run_config(
@@ -60,10 +124,11 @@ def run_config(
     **workload_overrides,
 ) -> RunResult:
     """Run a registry workload under one configuration (memoized)."""
+    settings = current_settings()
     if seed is None:
-        seed = SETTINGS.seed
+        seed = settings.seed
     if max_ops_per_thread is None:
-        max_ops_per_thread = SETTINGS.max_ops_per_thread
+        max_ops_per_thread = settings.max_ops_per_thread
     key = (
         name,
         size,
@@ -71,6 +136,7 @@ def run_config(
         config if config is not None else "default",
         max_ops_per_thread,
         seed,
+        settings,
         tuple(sorted(workload_overrides.items())),
     )
     result = _CACHE.get(key)

@@ -17,6 +17,7 @@ import enum
 
 from repro.core.isa import PimOp
 from repro.mem.link import OffChipChannel
+from repro.obs.hooks import NULL_OBS, NullObs
 
 
 class DispatchPolicy(enum.Enum):
@@ -35,7 +36,8 @@ class DispatchPolicy(enum.Enum):
         return self is DispatchPolicy.LOCALITY_BALANCED
 
 
-def balanced_choice(op: PimOp, channel: OffChipChannel, time: float) -> bool:
+def balanced_choice(op: PimOp, channel: OffChipChannel, time: float,
+                    obs: NullObs = NULL_OBS) -> bool:
     """Section 7.4's balanced dispatch decision on a locality-monitor miss.
 
     Returns True to execute on the host.  Compares the exponentially-averaged
@@ -55,8 +57,15 @@ def balanced_choice(op: PimOp, channel: OffChipChannel, time: float) -> bool:
     host_res = channel.packet_bytes(64)
     mem_req = channel.packet_bytes(op.input_bytes)
     mem_res = channel.packet_bytes(op.output_bytes)
+    if obs.enabled:
+        # The momentary traffic picture the decision is reacting to — the
+        # Section 7.4 dynamics the interval time-series makes visible.
+        obs.observe("dispatch.ema_request_flits", c_req)
+        obs.observe("dispatch.ema_response_flits", c_res)
     if c_res > c_req:
         # Response direction is the busier one: minimize response bytes.
+        obs.count("dispatch.response_direction_busier")
         return host_res < mem_res
     # Request direction is the busier (or tied) one: minimize request bytes.
+    obs.count("dispatch.request_direction_busier")
     return host_req < mem_req

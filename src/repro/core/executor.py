@@ -26,6 +26,7 @@ from repro.core.pmu import Pmu
 from repro.core.tracer import FenceTrace, PeiTrace, PeiTracer
 from repro.cpu.core import CoreModel
 from repro.mem.hmc import HmcSystem
+from repro.obs.hooks import NULL_OBS
 from repro.sim.stats import Stats
 
 
@@ -49,6 +50,8 @@ class PeiExecutor:
         self.mmio_cost = mmio_cost
         # Optional tracer for per-PEI debugging and protocol sanitizing.
         self.tracer: Optional[PeiTracer] = None
+        # Telemetry sink (null object unless a Telemetry is attached).
+        self.obs = NULL_OBS
 
     # ------------------------------------------------------------------
 
@@ -64,6 +67,12 @@ class PeiExecutor:
         output) without blocking the core, modelling unrolled dependent
         probe sequences overlapped by the out-of-order window.
         """
+        with self.obs.span("executor.pei"):
+            return self._execute(core, op, vaddr, wait_output, chain)
+
+    def _execute(
+        self, core: CoreModel, op: PimOp, vaddr: int, wait_output: bool, chain=None
+    ) -> float:
         self.stats.add("pei.issued")
         paddr = core.translate(vaddr)
         block = self.hierarchy.block_of(paddr)
@@ -115,6 +124,16 @@ class PeiExecutor:
 
         self.pmu.finish_pei(grant.entry, op, completion)
 
+        obs = self.obs
+        if obs.enabled:
+            side = "host" if grant.on_host else "mem"
+            obs.observe("pei.latency", completion - issue_time)
+            obs.observe(f"pei.latency.{side}", completion - issue_time)
+            obs.observe("pei.lock_wait", grant.grant_time - issue_time)
+            obs.observe("pei.decision_to_completion",
+                        completion - grant.decision_time)
+            obs.observe("queue.host_operand_buffer",
+                        pcu.operand_buffer.in_flight)
         if self.tracer is not None:
             self.tracer.record(PeiTrace(
                 core=core.core_id, op=op.mnemonic, block=block,
@@ -187,6 +206,9 @@ class PeiExecutor:
         # block over the TSVs, compute, and write back if needed.
         vault = self.hmc.vault_for(paddr)
         vpcu = vault.pcu
+        if self.obs.enabled:
+            self.obs.observe("queue.vault_operand_buffer",
+                             vpcu.operand_buffer.in_flight)
         t = vpcu.operand_buffer.allocate(t)
         t = self.hmc.pim_read_block(t, paddr)
         t = vpcu.compute(t, op)

@@ -16,6 +16,7 @@ from repro.core.isa import PimOp
 from repro.core.locality_monitor import LocalityMonitor
 from repro.core.pim_directory import PimDirectory
 from repro.mem.link import OffChipChannel
+from repro.obs.hooks import NULL_OBS
 from repro.sim.stats import Stats
 from repro.xbar.crossbar import Crossbar
 
@@ -60,6 +61,8 @@ class Pmu:
         self.pmu_port = pmu_port
         self.policy = policy
         self.stats = stats
+        # Telemetry sink (null object unless a Telemetry is attached).
+        self.obs = NULL_OBS
 
     # ------------------------------------------------------------------
     # PEI admission (steps 2 of Figs. 4 and 5)
@@ -72,6 +75,10 @@ class Pmu:
         an infinitely large, zero-cycle PIM directory and no monitor), so the
         control-packet hop is skipped as well.
         """
+        with self.obs.span("pmu.directory"):
+            return self._begin_pei(core_port, block, op, time)
+
+    def _begin_pei(self, core_port: int, block: int, op: PimOp, time: float) -> PmuGrant:
         if self.policy is DispatchPolicy.IDEAL_HOST:
             entry, grant = self.directory.acquire(block, op.is_writer, time)
             return PmuGrant(entry=entry, decision_time=time, grant_time=grant,
@@ -104,7 +111,7 @@ class Pmu:
         if self.monitor.advise_host(block):
             return True
         if policy.is_balanced:
-            host = balanced_choice(op, self.channel, time)
+            host = balanced_choice(op, self.channel, time, obs=self.obs)
             if host:
                 self.stats.add("pei.balanced_host_overrides")
             return host
@@ -120,6 +127,8 @@ class Pmu:
         Returns the time main memory is guaranteed to hold the latest data.
         """
         ready, _ = self.hierarchy.flush_block(block, invalidate=op.is_writer, time=time)
+        if self.obs.enabled:
+            self.obs.observe("pmu.clean_latency", ready - time)
         return ready
 
     # ------------------------------------------------------------------

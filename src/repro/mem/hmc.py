@@ -13,6 +13,7 @@ from repro.mem.address_map import AddressMap
 from repro.mem.dram import DramTimings
 from repro.mem.link import OffChipChannel
 from repro.mem.vault import Vault
+from repro.obs.hooks import NULL_OBS
 from repro.sim.stats import Stats
 
 
@@ -31,6 +32,8 @@ class HmcSystem:
         self.address_map = address_map
         self.channel = channel
         self.stats = stats
+        # Telemetry sink (null object unless a Telemetry is attached).
+        self.obs = NULL_OBS
         self.vaults: List[Vault] = [
             Vault(i, address_map.banks_per_vault, timings, tsv_bytes_per_cycle,
                   controller_latency)
@@ -58,6 +61,8 @@ class HmcSystem:
                                             loc.hmc)
         self.stats.add("dram.reads")
         self.stats.add("offchip.read_packets")
+        if self.obs.enabled:
+            self.obs.observe("dram.read_latency", t - arrival)
         return t
 
     def write_block(self, arrival: float, addr: int) -> float:
@@ -73,6 +78,8 @@ class HmcSystem:
                                                self.address_map.block_size)
         self.stats.add("dram.writes")
         self.stats.add("offchip.write_packets")
+        if self.obs.enabled:
+            self.obs.observe("dram.write_latency", t - arrival)
         return t
 
     # ------------------------------------------------------------------
@@ -97,8 +104,11 @@ class HmcSystem:
         """Vault-local block read feeding the memory-side PCU (no off-chip)."""
         loc = self.address_map.locate(addr)
         self.stats.add("dram.pim_reads")
-        return self.vaults[loc.vault].read_block(arrival, loc.bank, loc.row,
-                                                 self.address_map.block_size)
+        t = self.vaults[loc.vault].read_block(arrival, loc.bank, loc.row,
+                                              self.address_map.block_size)
+        if self.obs.enabled:
+            self.obs.observe("dram.pim_read_latency", t - arrival)
+        return t
 
     def pim_write_block(self, arrival: float, addr: int) -> float:
         """Vault-local block write from the memory-side PCU (no off-chip)."""

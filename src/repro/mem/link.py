@@ -8,6 +8,7 @@ granularity.  The channel also maintains the two exponentially-averaged flit
 counters (C_req, C_res) that balanced dispatch reads.
 """
 
+from repro.obs.hooks import NULL_OBS
 from repro.sim.resource import BandwidthLink
 from repro.util.bitops import align_up
 
@@ -71,6 +72,8 @@ class OffChipChannel:
         self.serdes_latency = serdes_latency
         self.req_flits = EmaFlitCounter(ema_period)
         self.res_flits = EmaFlitCounter(ema_period)
+        # Telemetry sink (null object unless a Telemetry is attached).
+        self.obs = NULL_OBS
 
     def packet_bytes(self, payload_bytes: int) -> int:
         """Total wire bytes of a packet with ``payload_bytes`` of payload."""
@@ -79,6 +82,10 @@ class OffChipChannel:
     def send_request(self, arrival: float, payload_bytes: int) -> float:
         """Transfer a request packet; return its arrival time at the cube."""
         nbytes = self.packet_bytes(payload_bytes)
+        if self.obs.enabled:
+            # Backlog *before* this packet joined = its queueing delay.
+            self.obs.observe("queue.offchip_request_backlog",
+                             self.request.peek(arrival) - arrival)
         finish = self.request.transfer(arrival, nbytes)
         self.req_flits.add(finish, nbytes / self.flit_bytes)
         return finish + self.serdes_latency
@@ -86,6 +93,9 @@ class OffChipChannel:
     def send_response(self, arrival: float, payload_bytes: int) -> float:
         """Transfer a response packet; return its arrival time at the host."""
         nbytes = self.packet_bytes(payload_bytes)
+        if self.obs.enabled:
+            self.obs.observe("queue.offchip_response_backlog",
+                             self.response.peek(arrival) - arrival)
         finish = self.response.transfer(arrival, nbytes)
         self.res_flits.add(finish, nbytes / self.flit_bytes)
         return finish + self.serdes_latency

@@ -10,6 +10,7 @@ accesses and in-memory PEI execution compose.
 from typing import List, Optional
 
 from repro.mem.dram import DramBank, DramTimings
+from repro.obs.hooks import NULL_OBS
 from repro.sim.resource import BandwidthLink
 
 
@@ -33,6 +34,8 @@ class Vault:
         # Attached by the system builder when PEIs are enabled; the vault's
         # memory-side PCU (Section 4.2).
         self.pcu: Optional[object] = None
+        # Telemetry sink (null object unless a Telemetry is attached).
+        self.obs = NULL_OBS
 
     def read_block(self, arrival: float, bank: int, row: int, nbytes: int = 64) -> float:
         """Read ``nbytes`` from DRAM and move them across the TSVs.
@@ -41,10 +44,14 @@ class Vault:
         """
         t = arrival + self.controller_latency
         t = self.banks[bank].access(t, row, is_write=False)
+        if self.obs.enabled:
+            self.obs.observe("queue.vault_tsv_backlog", self.tsv.backlog)
         return self.tsv.transfer(t, nbytes)
 
     def write_block(self, arrival: float, bank: int, row: int, nbytes: int = 64) -> float:
         """Move ``nbytes`` across the TSVs and write them into DRAM."""
+        if self.obs.enabled:
+            self.obs.observe("queue.vault_tsv_backlog", self.tsv.backlog)
         t = self.tsv.transfer(arrival + self.controller_latency, nbytes)
         return self.banks[bank].access(t, row, is_write=True)
 

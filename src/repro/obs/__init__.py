@@ -1,0 +1,41 @@
+"""``repro.obs``: the telemetry subsystem.
+
+Gives every simulated run a full observability stack:
+
+* :class:`~repro.obs.metrics.MetricRegistry` — typed instruments (monotonic
+  counters, gauges, log-scaled histograms with p50/p95/p99);
+* :class:`~repro.obs.sampler.IntervalSampler` — a JSONL time series of the
+  machine's cumulative state every N simulated cycles;
+* :class:`~repro.obs.trace_export.ChromeTraceExporter` — the PeiTracer event
+  stream as Chrome Trace Event Format JSON (Perfetto/``chrome://tracing``),
+  with per-core and per-vault tracks;
+* :mod:`~repro.obs.profiler` — scoped wall-clock spans profiling the
+  simulator's own hot paths;
+* :class:`~repro.obs.telemetry.Telemetry` — the facade wiring all of the
+  above into a :class:`~repro.system.system.System`.
+
+All hooks default to the :data:`~repro.obs.hooks.NULL_OBS` null object, so
+a run without telemetry pays no observable overhead and produces identical
+results.  See ``docs/observability.md`` and ``python -m repro.obs report``.
+"""
+
+from repro.obs.hooks import NULL_OBS, NullObs, Obs
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
+from repro.obs.profiler import ScopeProfiler
+from repro.obs.sampler import IntervalSampler
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace_export import ChromeTraceExporter
+
+__all__ = [
+    "NULL_OBS",
+    "NullObs",
+    "Obs",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "ScopeProfiler",
+    "IntervalSampler",
+    "Telemetry",
+    "ChromeTraceExporter",
+]

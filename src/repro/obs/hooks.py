@@ -1,0 +1,69 @@
+"""The component-facing observability hook API and its null object.
+
+Hardware models (executor, PMU, HMC, vaults, links) hold an ``obs``
+attribute initialized to :data:`NULL_OBS`.  With telemetry disabled every
+hook is a no-op method on a shared singleton — no allocation, no branching
+beyond one attribute read — which is what keeps the zero-overhead-when-
+disabled property: hot paths may guard multi-metric blocks with
+``if self.obs.enabled:`` and pay a single attribute check.
+
+Hooks only *observe*; they never return values into the timing model, so a
+run produces bit-identical :class:`~repro.system.result.RunResult` output
+with telemetry on or off (pinned by ``tests/obs/test_zero_overhead.py``).
+"""
+
+from typing import Optional
+
+from repro.obs.metrics import MetricRegistry
+from repro.obs.profiler import NULL_SPAN, ScopeProfiler
+
+__all__ = ["NULL_OBS", "NullObs", "Obs"]
+
+
+class NullObs:
+    """Disabled observability: every hook does nothing."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str):
+        return NULL_SPAN
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+
+#: The shared disabled sink every component defaults to.
+NULL_OBS = NullObs()
+
+
+class Obs(NullObs):
+    """Live observability: a metric registry plus a scope profiler."""
+
+    __slots__ = ("metrics", "profiler")
+
+    enabled = True
+
+    def __init__(self, metrics: Optional[MetricRegistry] = None,
+                 profiler: Optional[ScopeProfiler] = None):
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.profiler = profiler if profiler is not None else ScopeProfiler()
+
+    def span(self, name: str):
+        return self.profiler.span(name)
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self.metrics.count(name, amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.set_gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)

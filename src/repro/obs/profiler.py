@@ -1,0 +1,98 @@
+"""Scoped wall-clock profiling of the *simulator's own* hot paths.
+
+``obs.span("pmu.directory")`` brackets a region of simulator code and
+accumulates how much host time the region consumed across a run.  This is
+resource profiling of the reproduction itself — which Python code burns the
+wall time — not a simulated-time measurement: simulated timing lives in the
+timing model and in :mod:`repro.obs.metrics` histograms.
+
+This module is the one sanctioned home of wall-clock reads in ``src/repro``
+(simlint SIM001 exempts it, the same way ``util/rng.py`` is exempt from
+SIM002): span durations never feed back into simulated timestamps, so
+determinism of results is preserved even while profiling.  The clock is
+injectable for deterministic tests.
+"""
+
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["NULL_SPAN", "ScopeProfiler", "SpanStats"]
+
+
+class SpanStats:
+    """Accumulated wall-clock cost of one named scope."""
+
+    __slots__ = ("name", "calls", "total_s", "peak_s")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.total_s = 0.0
+        self.peak_s = 0.0
+
+    def add(self, elapsed: float) -> None:
+        self.calls += 1
+        self.total_s += elapsed
+        if elapsed > self.peak_s:
+            self.peak_s = elapsed
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"calls": self.calls, "total_s": self.total_s,
+                "peak_s": self.peak_s}
+
+
+class _Span:
+    """One active scope; a context manager handed out by ``span()``."""
+
+    __slots__ = ("_profiler", "_stats", "_start")
+
+    def __init__(self, profiler: "ScopeProfiler", stats: SpanStats):
+        self._profiler = profiler
+        self._stats = stats
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = self._profiler.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._stats.add(self._profiler.clock() - self._start)
+
+
+class _NullSpan:
+    """A reusable no-op context manager: the disabled-telemetry fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+#: Shared singleton returned by every disabled ``span()`` call.
+NULL_SPAN = _NullSpan()
+
+
+class ScopeProfiler:
+    """Collects :class:`SpanStats` per scope name."""
+
+    __slots__ = ("clock", "spans")
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self.clock = clock if clock is not None else time.perf_counter
+        self.spans: Dict[str, SpanStats] = {}
+
+    def span(self, name: str) -> _Span:
+        stats = self.spans.get(name)
+        if stats is None:
+            stats = self.spans[name] = SpanStats(name)
+        return _Span(self, stats)
+
+    def hottest(self, top: int = 10) -> List[SpanStats]:
+        return sorted(self.spans.values(), key=lambda s: -s.total_s)[:top]
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        return {name: self.spans[name].to_dict()
+                for name in sorted(self.spans)}

@@ -1,0 +1,125 @@
+"""The telemetry facade: one object wiring the whole observability stack.
+
+A :class:`Telemetry` instance owns the live :class:`~repro.obs.hooks.Obs`
+sink (metric registry + scope profiler), an :class:`~repro.obs.sampler.
+IntervalSampler`, and a :class:`~repro.core.tracer.PeiTracer` feeding the
+Chrome-trace export.  Pass one to :class:`~repro.system.system.System` and
+every layer of the machine reports into it::
+
+    telemetry = Telemetry(interval=5_000.0)
+    system = System(tiny_config(), policy, telemetry=telemetry)
+    result = system.run(workload)
+    telemetry.write(Path("out"), "pagerank_locality")   # 3 files
+
+``write`` produces ``<stem>.intervals.jsonl`` (time series),
+``<stem>.trace.json`` (Chrome Trace Event Format), and ``<stem>.run.json``
+(the RunResult plus a telemetry summary) — the bundle
+``python -m repro.obs report`` and the ``repro.analysis`` schema checks
+consume.
+"""
+
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.core.tracer import PeiTracer
+from repro.obs.hooks import Obs
+from repro.obs.sampler import IntervalSampler
+from repro.obs.trace_export import ChromeTraceExporter
+
+__all__ = ["Telemetry"]
+
+#: Default retained trace events; bounds memory on long runs (the tracer
+#: counts overflow in ``dropped`` and the exporter records it).
+DEFAULT_TRACE_CAPACITY = 200_000
+
+
+class Telemetry:
+    """Full observability for one simulated run."""
+
+    def __init__(self, interval: float = 10_000.0,
+                 trace_capacity: Optional[int] = DEFAULT_TRACE_CAPACITY):
+        self.obs = Obs()
+        self.sampler = IntervalSampler(interval)
+        self.tracer = PeiTracer(capacity=trace_capacity)
+        self._machine = None
+
+    # Lifecycle (driven by System) --------------------------------------
+
+    def attach(self, machine) -> None:
+        """Wire the sink into every instrumented layer of ``machine``."""
+        self._machine = machine
+        machine.executor.obs = self.obs
+        machine.pmu.obs = self.obs
+        machine.hmc.obs = self.obs
+        machine.hmc.channel.obs = self.obs
+        for vault in machine.hmc.vaults:
+            vault.obs = self.obs
+        if machine.executor.tracer is None:
+            machine.executor.tracer = self.tracer
+        else:
+            # A tracer is already attached (e.g. the simsan test fixture):
+            # share it rather than silently replacing the existing consumer.
+            self.tracer = machine.executor.tracer
+
+    def on_progress(self, machine, now: float) -> None:
+        """Engine-loop hook: sample any interval boundaries passed."""
+        self.sampler.advance(machine, now)
+
+    def finalize(self, machine, cycles: float) -> None:
+        """End-of-run hook: emit the final cumulative interval record."""
+        self.sampler.finalize(machine, cycles)
+
+    # Export -------------------------------------------------------------
+
+    def summary(self) -> Dict:
+        """JSON-safe digest: instruments, span profile, stream sizes."""
+        return {
+            "metrics": self.obs.metrics.to_dict(),
+            "profile": self.obs.profiler.to_dict(),
+            "intervals": {
+                "count": len(self.sampler),
+                "interval_cycles": self.sampler.interval,
+            },
+            "trace": {
+                "events": len(self.tracer.events),
+                "dropped": self.tracer.dropped,
+            },
+        }
+
+    def export_trace(self) -> Dict:
+        if self._machine is not None:
+            exporter = ChromeTraceExporter.for_machine(self._machine)
+        else:
+            exporter = ChromeTraceExporter()
+        return exporter.export(self.tracer)
+
+    def write(self, out_dir, stem: str,
+              result: Optional[object] = None) -> Dict[str, Path]:
+        """Write the telemetry bundle; returns the written paths.
+
+        ``result`` is the run's :class:`~repro.system.result.RunResult`
+        (anything with ``to_dict``); it is embedded in ``<stem>.run.json``
+        so the report CLI can show run context next to the telemetry.
+        """
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        paths = {
+            "intervals": out_dir / f"{stem}.intervals.jsonl",
+            "trace": out_dir / f"{stem}.trace.json",
+            "run": out_dir / f"{stem}.run.json",
+        }
+        self.sampler.write_jsonl(paths["intervals"])
+        with open(paths["trace"], "w", encoding="utf-8") as fh:
+            json.dump(self.export_trace(), fh)
+        bundle = {
+            "result": result.to_dict() if result is not None else None,
+            "telemetry": self.summary(),
+            "files": {
+                "intervals": paths["intervals"].name,
+                "trace": paths["trace"].name,
+            },
+        }
+        with open(paths["run"], "w", encoding="utf-8") as fh:
+            json.dump(bundle, fh, indent=2, sort_keys=True)
+        return paths

@@ -1,0 +1,150 @@
+"""Chrome Trace Event Format export of the PEI trace stream.
+
+Converts a :class:`~repro.core.tracer.PeiTracer`'s ``PeiTrace``/``FenceTrace``
+events into the JSON object format understood by Perfetto and
+``chrome://tracing``: complete (``"ph": "X"``) slices on one track per host
+core plus one track per HMC vault, with metadata events naming the tracks.
+
+Timestamps: Chrome traces are nominally in microseconds; we emit simulated
+host-core *cycles* directly (one "µs" = one cycle) and record the unit in
+``otherData`` — relative durations are what the viewer is for.
+
+Per PEI the core track gets the full issue→completion slice with nested
+phase slices (``decide`` for the PMU visit, ``clean`` for the
+back-invalidation/back-writeback), and memory-side PEIs additionally get a
+slice on their target vault's track, so off-loading imbalance across vaults
+is directly visible.
+"""
+
+import json
+from typing import Callable, Dict, List, Optional
+
+from repro.core.tracer import FenceTrace, PeiTracer, PeiTrace
+
+__all__ = ["ChromeTraceExporter", "HOST_PID", "VAULT_PID"]
+
+#: Synthetic process ids grouping the two kinds of tracks.
+HOST_PID = 1
+VAULT_PID = 2
+
+
+class ChromeTraceExporter:
+    """Builds a Chrome Trace Event JSON object from a PeiTracer."""
+
+    def __init__(self, block_size: int = 64,
+                 vault_of: Optional[Callable[[int], int]] = None):
+        """``vault_of`` maps a *block index* to its vault index; without it
+        memory-side PEIs only appear on their issuing core's track."""
+        self.block_size = block_size
+        self.vault_of = vault_of
+
+    @classmethod
+    def for_machine(cls, machine) -> "ChromeTraceExporter":
+        """An exporter wired to ``machine``'s physical address map."""
+        address_map = machine.hmc.address_map
+        block_size = machine.config.block_size
+
+        def vault_of(block: int) -> int:
+            return address_map.vault_of(block * block_size)
+
+        return cls(block_size=block_size, vault_of=vault_of)
+
+    # ------------------------------------------------------------------
+
+    def export(self, tracer: PeiTracer) -> Dict:
+        events: List[Dict] = []
+        cores = set()
+        vaults = set()
+        for event in tracer.events:
+            if isinstance(event, PeiTrace):
+                self._emit_pei(event, events, cores, vaults)
+            elif isinstance(event, FenceTrace):
+                cores.add(event.core)
+                events.append(self._slice(
+                    "pfence", "fence", HOST_PID, event.core,
+                    event.issue_time, event.stall,
+                    {"release_time": event.release_time}))
+        metadata = self._metadata(cores, vaults)
+        return {
+            "traceEvents": metadata + events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "time_unit": "host-core cycles",
+                "source": "repro.obs.ChromeTraceExporter",
+                "dropped_events": tracer.dropped,
+            },
+        }
+
+    def write(self, tracer: PeiTracer, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.export(tracer), fh)
+
+    # ------------------------------------------------------------------
+
+    def _emit_pei(self, trace: PeiTrace, events: List[Dict],
+                  cores: set, vaults: set) -> None:
+        # Blocks come from workload address arithmetic and may be numpy
+        # integers; coerce here so the JSON boundary stays stdlib-clean.
+        block = int(trace.block)
+        cores.add(trace.core)
+        side = "host" if trace.on_host else "mem"
+        events.append(self._slice(
+            trace.op, f"pei,{side}", HOST_PID, trace.core,
+            trace.issue_time, trace.latency,
+            {
+                "block": block,
+                "on_host": bool(trace.on_host),
+                "lock_wait": float(trace.lock_wait),
+            }))
+        if trace.decision_time is not None:
+            events.append(self._slice(
+                "decide", "pmu", HOST_PID, trace.core,
+                trace.issue_time, trace.decision_time - trace.issue_time))
+        if trace.clean_time is not None:
+            clean_start = (trace.decision_time if trace.decision_time is not None
+                           else trace.issue_time)
+            events.append(self._slice(
+                "clean.invalidate" if trace.clean_invalidate else "clean.writeback",
+                "coherence", HOST_PID, trace.core,
+                clean_start, trace.clean_time - clean_start))
+        if not trace.on_host and self.vault_of is not None:
+            vault = int(self.vault_of(block))
+            vaults.add(vault)
+            start = trace.grant_time
+            if trace.clean_time is not None and trace.clean_time > start:
+                start = trace.clean_time
+            events.append(self._slice(
+                trace.op, "pim", VAULT_PID, vault,
+                start, trace.completion - start,
+                {"core": trace.core, "block": block}))
+
+    @staticmethod
+    def _slice(name: str, cat: str, pid: int, tid: int,
+               ts: float, dur: float, args: Optional[Dict] = None) -> Dict:
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "pid": pid,
+            "tid": int(tid),
+            "ts": float(ts),
+            "dur": float(dur) if dur > 0.0 else 0.0,
+        }
+        if args:
+            event["args"] = args
+        return event
+
+    @staticmethod
+    def _metadata(cores: set, vaults: set) -> List[Dict]:
+        def meta(name: str, pid: int, tid: int, value: str) -> Dict:
+            return {"name": name, "ph": "M", "pid": pid, "tid": tid,
+                    "args": {"name": value}}
+
+        events = [meta("process_name", HOST_PID, 0, "host cores")]
+        events += [meta("thread_name", HOST_PID, core, f"core {core}")
+                   for core in sorted(cores)]
+        if vaults:
+            events.append(meta("process_name", VAULT_PID, 0, "HMC vaults"))
+            events += [meta("thread_name", VAULT_PID, vault, f"vault {vault}")
+                       for vault in sorted(vaults)]
+        return events

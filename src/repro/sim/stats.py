@@ -5,30 +5,47 @@ counters as side effects of timing calls; the benchmark harness and the
 energy model read them afterwards.  Keeping one flat namespace (rather than
 per-component objects) makes cross-cutting metrics such as "total off-chip
 request bytes" trivial to aggregate and compare across configurations.
+
+Names written through :meth:`Stats.set` (runtime, byte totals read off the
+links at collection time) are *gauges*, not event counts: ``merge`` takes
+their maximum instead of summing and ``scaled`` copies them unscaled,
+so aggregating multiprogrammed per-core stats cannot double a runtime.
+Typed instruments (including latency histograms) live in
+:mod:`repro.obs.metrics`.
 """
 
 from collections import defaultdict
-from typing import Dict, Iterator, Tuple
+from typing import Dict, FrozenSet, Iterator, Tuple
 
 
 class Stats:
     """A dictionary of float counters with convenience arithmetic."""
 
-    __slots__ = ("_counters",)
+    __slots__ = ("_counters", "_gauges")
 
     def __init__(self):
         self._counters = defaultdict(float)
+        self._gauges = set()
 
     def add(self, name: str, value: float = 1.0) -> None:
         """Increment counter ``name`` by ``value``."""
         self._counters[name] += value
 
     def set(self, name: str, value: float) -> None:
-        """Set counter ``name`` to ``value`` (for gauges such as runtime)."""
+        """Set ``name`` to ``value`` and mark it as a gauge (e.g. runtime)."""
         self._counters[name] = value
+        self._gauges.add(name)
 
     def get(self, name: str, default: float = 0.0) -> float:
         return self._counters.get(name, default)
+
+    def is_gauge(self, name: str) -> bool:
+        """Was ``name`` last written through :meth:`set`?"""
+        return name in self._gauges
+
+    @property
+    def gauge_names(self) -> FrozenSet[str]:
+        return frozenset(self._gauges)
 
     def __getitem__(self, name: str) -> float:
         return self._counters.get(name, 0.0)
@@ -40,15 +57,35 @@ class Stats:
         return iter(sorted(self._counters.items()))
 
     def merge(self, other: "Stats") -> None:
-        """Add all counters of ``other`` into this object."""
+        """Aggregate ``other`` into this object.
+
+        Counters add.  A name that is a gauge on *either* side takes the
+        maximum of the two values instead — summing per-core runtimes (or
+        link byte totals re-read at collection time) would fabricate work
+        that never happened.
+        """
         for name, value in other._counters.items():
-            self._counters[name] += value
+            if name in other._gauges or name in self._gauges:
+                current = self._counters.get(name)
+                if current is None or value > current:
+                    self._counters[name] = value
+                self._gauges.add(name)
+            else:
+                self._counters[name] += value
 
     def scaled(self, factor: float) -> "Stats":
-        """Return a copy with every counter multiplied by ``factor``."""
+        """A copy with every *counter* multiplied by ``factor``.
+
+        Gauges are copied unscaled: halving a run's event counts does not
+        halve its runtime.
+        """
         out = Stats()
         for name, value in self._counters.items():
-            out._counters[name] = value * factor
+            if name in self._gauges:
+                out._counters[name] = value
+            else:
+                out._counters[name] = value * factor
+        out._gauges = set(self._gauges)
         return out
 
     def to_dict(self) -> Dict[str, float]:
@@ -56,6 +93,7 @@ class Stats:
 
     def clear(self) -> None:
         self._counters.clear()
+        self._gauges.clear()
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counters.items()))

@@ -6,6 +6,37 @@ from typing import Dict, List
 
 from repro.energy.model import EnergyBreakdown
 
+#: Sentinel for metadata entries with no JSON representation.
+_DROP = object()
+
+
+def _jsonify_metadata(value):
+    """A JSON-safe copy of ``value``, or ``_DROP`` if not representable.
+
+    Scalars pass through; lists/tuples and string-keyed dicts are preserved
+    recursively as long as every leaf is a scalar (a workload's per-thread
+    op counts, a config sweep's knob dict).  Anything else — objects, numpy
+    arrays, non-string keys — is dropped rather than serialized lossily.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, (list, tuple)):
+        items = [_jsonify_metadata(v) for v in value]
+        if any(item is _DROP for item in items):
+            return _DROP
+        return items
+    if isinstance(value, dict):
+        out = {}
+        for key, entry in value.items():
+            if not isinstance(key, str):
+                return _DROP
+            safe = _jsonify_metadata(entry)
+            if safe is _DROP:
+                return _DROP
+            out[key] = safe
+        return out
+    return _DROP
+
 
 @dataclass
 class RunResult:
@@ -72,7 +103,17 @@ class RunResult:
     # ------------------------------------------------------------------
 
     def to_dict(self) -> Dict:
-        """A JSON-safe dictionary of everything in this result."""
+        """A JSON-safe dictionary of everything in this result.
+
+        Metadata entries keep JSON-representable structure (scalars plus
+        nested lists/dicts of scalars); entries with no JSON form are
+        dropped rather than serialized lossily.
+        """
+        metadata = {}
+        for key, value in self.metadata.items():
+            safe = _jsonify_metadata(value)
+            if safe is not _DROP:
+                metadata[key] = safe
         return {
             "workload": self.workload,
             "policy": self.policy,
@@ -81,8 +122,7 @@ class RunResult:
             "per_core_instructions": list(self.per_core_instructions),
             "stats": dict(self.stats),
             "energy": self.energy.to_dict(),
-            "metadata": {k: v for k, v in self.metadata.items()
-                         if isinstance(v, (str, int, float, bool, type(None)))},
+            "metadata": metadata,
         }
 
     def to_json(self, **kwargs) -> str:

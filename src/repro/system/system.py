@@ -23,6 +23,8 @@ from repro.cpu.trace import (
 )
 from repro.energy.model import EnergyModel
 from repro.energy.params import EnergyParams
+from repro.obs.sampler import live_gauges
+from repro.obs.telemetry import Telemetry
 from repro.system.builder import build_machine
 from repro.system.config import SystemConfig, scaled_config
 from repro.system.result import RunResult
@@ -43,11 +45,15 @@ class System:
         config: Optional[SystemConfig] = None,
         policy: DispatchPolicy = DispatchPolicy.LOCALITY_AWARE,
         energy_params: Optional[EnergyParams] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.config = config if config is not None else scaled_config()
         self.policy = policy
         self.machine = build_machine(self.config, policy)
         self.energy_model = EnergyModel(energy_params)
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.attach(self.machine)
 
     # Convenience accessors --------------------------------------------
 
@@ -126,6 +132,7 @@ class System:
 
         heap = [(cores[tid].time, tid) for tid in range(n_threads)]
         heapq.heapify(heap)
+        telemetry = self.telemetry
 
         def release_group(group: int) -> None:
             nonlocal parked_count
@@ -188,6 +195,11 @@ class System:
                 finish_thread(tid)
             elif not parked:
                 heapq.heappush(heap, (core.time, tid))
+            if telemetry is not None and heap:
+                # The heap front is the laggard thread: once it passes an
+                # interval boundary, every thread has simulated past it and
+                # the cumulative counters are a faithful snapshot there.
+                telemetry.on_progress(machine, heap[0][0])
 
         if parked_count:
             raise RuntimeError(
@@ -229,15 +241,13 @@ class System:
         machine = self.machine
         stats = machine.stats
         cycles = max(core.time for core in machine.cores)
-        channel = machine.hmc.channel
-        stats.set("offchip.request_bytes", channel.request.bytes_transferred)
-        stats.set("offchip.response_bytes", channel.response.bytes_transferred)
-        stats.set(
-            "tsv.bytes",
-            sum(vault.tsv.bytes_transferred for vault in machine.hmc.vaults),
-        )
-        stats.set("xbar.bytes", machine.crossbar.bytes_transferred)
-        stats.set("runtime.cycles", cycles)
+        # Publish the live gauges through the same helper the interval
+        # sampler uses, so a final telemetry sample matches RunResult.stats
+        # exactly.
+        for name, value in live_gauges(machine, cycles).items():
+            stats.set(name, value)
+        if self.telemetry is not None:
+            self.telemetry.finalize(machine, cycles)
         per_core = [core.instructions for core in machine.cores]
         energy = self.energy_model.compute(stats)
         return RunResult(

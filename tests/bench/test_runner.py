@@ -60,3 +60,67 @@ class TestSettings:
         settings = runner.BenchSettings()
         assert settings.max_ops_per_thread > 0
         assert settings.n_mixes > 0
+
+    def test_current_settings_rereads_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_OPS", "123")
+        monkeypatch.setenv("REPRO_BENCH_MIXES", "5")
+        settings = runner.current_settings()
+        assert settings.max_ops_per_thread == 123
+        assert settings.n_mixes == 5
+        monkeypatch.setenv("REPRO_BENCH_OPS", "456")
+        assert runner.current_settings().max_ops_per_thread == 456
+
+    def test_settings_hashable_for_cache_key(self):
+        assert hash(runner.BenchSettings()) == hash(runner.BenchSettings())
+
+
+class TestEnvChangeInvalidation:
+    """Changing REPRO_BENCH_* mid-process must never serve stale results."""
+
+    def test_ops_change_differentiates_cache_key(self, monkeypatch):
+        # HG small with n_values=2000 runs ~31 ops/thread, so both caps bind.
+        monkeypatch.setenv("REPRO_BENCH_OPS", "5")
+        a = runner.run_config("HG", "small", DispatchPolicy.HOST_ONLY,
+                              n_values=2000, config=tiny_config())
+        monkeypatch.setenv("REPRO_BENCH_OPS", "25")
+        b = runner.run_config("HG", "small", DispatchPolicy.HOST_ONLY,
+                              n_values=2000, config=tiny_config())
+        assert a is not b
+        assert b.instructions > a.instructions  # more ops actually ran
+
+    def test_same_env_still_memoizes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_OPS", "200")
+        a = runner.run_config("HG", "small", DispatchPolicy.HOST_ONLY,
+                              n_values=2000, config=tiny_config())
+        b = runner.run_config("HG", "small", DispatchPolicy.HOST_ONLY,
+                              n_values=2000, config=tiny_config())
+        assert a is b
+
+    def test_explicit_ops_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_OPS", "5000")
+        result = runner.run_config("HG", "small", DispatchPolicy.HOST_ONLY,
+                                   n_values=2000, **TINY)
+        assert result.cycles > 0
+
+
+class TestRunnerTelemetry:
+    @pytest.fixture(autouse=True)
+    def no_leftover_telemetry(self):
+        yield
+        runner.disable_telemetry()
+
+    def test_enable_telemetry_writes_bundles(self, tmp_path):
+        runner.enable_telemetry(tmp_path, interval=1_000.0)
+        runner.run_config("HG", "small", DispatchPolicy.LOCALITY_AWARE,
+                          n_values=2000, **TINY)
+        stems = sorted(p.name for p in tmp_path.iterdir())
+        assert stems == ["hg_locality-aware.intervals.jsonl",
+                         "hg_locality-aware.run.json",
+                         "hg_locality-aware.trace.json"]
+
+    def test_disable_telemetry_stops_writing(self, tmp_path):
+        runner.enable_telemetry(tmp_path)
+        runner.disable_telemetry()
+        runner.run_config("HG", "small", DispatchPolicy.LOCALITY_AWARE,
+                          n_values=2000, **TINY)
+        assert list(tmp_path.iterdir()) == []

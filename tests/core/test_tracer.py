@@ -78,3 +78,45 @@ class TestPeiTracer:
         machine.executor.execute(machine.cores[0], FP_ADD, VADDR, False)
         t = tracer.records[0]
         assert t.issue_time <= t.grant_time <= t.completion
+
+
+class TestEventInterleaving:
+    """The combined events stream keeps PEIs and fences in record order."""
+
+    def test_fence_interleaves_between_peis(self):
+        machine, tracer = traced_machine()
+        machine.executor.execute(machine.cores[0], FP_ADD, VADDR, False)
+        machine.executor.fence(machine.cores[0])
+        machine.executor.execute(machine.cores[0], FP_ADD, VADDR + 64, False)
+        kinds = [type(e).__name__ for e in tracer.events]
+        assert kinds == ["PeiTrace", "FenceTrace", "PeiTrace"]
+        assert len(tracer.records) == 2
+        assert len(tracer.fences) == 1
+
+    def test_events_is_union_of_records_and_fences(self):
+        machine, tracer = traced_machine()
+        for i in range(3):
+            machine.executor.execute(machine.cores[0], FP_ADD,
+                                     VADDR + 64 * i, False)
+            machine.executor.fence(machine.cores[0])
+        assert len(tracer.events) == len(tracer.records) + len(tracer.fences)
+        assert set(map(id, tracer.records)) | set(map(id, tracer.fences)) \
+            == set(map(id, tracer.events))
+
+    def test_capacity_bounds_combined_stream(self):
+        machine, tracer = traced_machine(capacity=3)
+        for i in range(3):
+            machine.executor.execute(machine.cores[0], FP_ADD,
+                                     VADDR + 64 * i, False)
+        machine.executor.fence(machine.cores[0])  # over capacity: dropped
+        assert len(tracer.events) == 3
+        assert tracer.fences == []
+        assert tracer.dropped == 1
+
+    def test_fence_timestamps_ordered(self):
+        machine, tracer = traced_machine()
+        machine.executor.execute(machine.cores[0], FP_ADD, VADDR, False)
+        machine.executor.fence(machine.cores[0])
+        fence = tracer.fences[0]
+        assert fence.release_time >= fence.issue_time
+        assert fence.stall == fence.release_time - fence.issue_time

@@ -1,0 +1,200 @@
+"""Tests for the typed metric instruments (counters, gauges, histograms)."""
+
+import random
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0.0
+
+    def test_inc(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_monotonic(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1.0)
+
+    def test_merge_sums(self):
+        a, b = Counter("c"), Counter("c")
+        a.inc(3)
+        b.inc(4)
+        a.merge(b)
+        assert a.value == 7.0
+
+    def test_to_dict(self):
+        c = Counter("c")
+        c.inc(2)
+        assert c.to_dict() == {"type": "counter", "value": 2.0}
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(10.0)
+        g.set(3.0)
+        assert g.value == 3.0
+
+    def test_merge_takes_max(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(5.0)
+        b.set(9.0)
+        a.merge(b)
+        assert a.value == 9.0
+        b.merge(a)
+        assert b.value == 9.0  # not summed to 18
+
+    def test_to_dict(self):
+        g = Gauge("g")
+        g.set(1.5)
+        assert g.to_dict() == {"type": "gauge", "value": 1.5}
+
+
+class TestHistogram:
+    def test_growth_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("h", growth=1.0)
+
+    def test_empty(self):
+        h = Histogram("h")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.quantile(0.5) == 0.0
+
+    def test_quantile_range_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_mean_exact(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            h.record(v)
+        assert h.mean == pytest.approx(2.0)
+
+    def test_zero_values_get_dedicated_bucket(self):
+        h = Histogram("h")
+        h.record(0.0)
+        h.record(0.0)
+        h.record(100.0)
+        assert h.zeros == 2
+        assert h.count == 3
+        assert h.quantile(0.5) == 0.0  # median sits in the zero bucket
+
+    def test_quantile_clamped_to_observed_extremes(self):
+        h = Histogram("h")
+        h.record(7.0)
+        assert h.quantile(0.0) <= 7.0
+        assert h.quantile(1.0) == 7.0
+        assert h.quantile(0.5) == 7.0  # single value: clamp to min == max
+
+    def test_quantile_relative_error_bounded_by_growth(self):
+        """Estimated quantiles land within one bucket of the exact ones."""
+        rng = random.Random(7)
+        values = [rng.lognormvariate(4.0, 2.0) for _ in range(5000)]
+        h = Histogram("h")
+        for v in values:
+            h.record(v)
+        ordered = sorted(values)
+        for q in (0.50, 0.95, 0.99):
+            exact = ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+            estimate = h.quantile(q)
+            assert estimate == pytest.approx(exact, rel=h.growth - 1.0 + 0.05)
+
+    def test_percentiles_ordered(self):
+        rng = random.Random(3)
+        h = Histogram("h")
+        for _ in range(1000):
+            h.record(rng.expovariate(0.01))
+        p = h.percentiles()
+        assert p["p50"] <= p["p95"] <= p["p99"]
+
+    def test_merge(self):
+        a, b = Histogram("h"), Histogram("h")
+        for v in (1.0, 2.0, 0.0):
+            a.record(v)
+        for v in (4.0, 8.0):
+            b.record(v)
+        a.merge(b)
+        assert a.count == 5
+        assert a.zeros == 1
+        assert a.min == 0.0
+        assert a.max == 8.0
+        assert a.total == pytest.approx(15.0)
+
+    def test_merge_growth_mismatch_rejected(self):
+        a = Histogram("h", growth=2.0)
+        b = Histogram("h", growth=4.0)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_to_dict_schema(self):
+        h = Histogram("h")
+        h.record(3.0)
+        payload = h.to_dict()
+        for key in ("type", "count", "sum", "mean", "min", "max", "growth",
+                    "zeros", "buckets", "p50", "p95", "p99"):
+            assert key in payload
+        assert payload["type"] == "histogram"
+        assert payload["p50"] <= payload["p95"] <= payload["p99"]
+
+
+class TestMetricRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricRegistry()
+        assert reg.counter("c") is reg.counter("c")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_type_collision_rejected(self):
+        reg = MetricRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_write_paths(self):
+        reg = MetricRegistry()
+        reg.count("events", 2)
+        reg.set_gauge("depth", 7.0)
+        reg.observe("latency", 12.0)
+        assert reg.counter("events").value == 2.0
+        assert reg.gauge("depth").value == 7.0
+        assert reg.histogram("latency").count == 1
+
+    def test_len_and_contains(self):
+        reg = MetricRegistry()
+        reg.count("a")
+        reg.set_gauge("b", 1.0)
+        reg.observe("c", 1.0)
+        assert len(reg) == 3
+        assert "a" in reg and "b" in reg and "c" in reg
+        assert "missing" not in reg
+
+    def test_merge_respects_types(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.count("events", 1)
+        b.count("events", 2)
+        a.set_gauge("depth", 5.0)
+        b.set_gauge("depth", 3.0)
+        a.observe("latency", 1.0)
+        b.observe("latency", 100.0)
+        a.merge(b)
+        assert a.counter("events").value == 3.0   # counters add
+        assert a.gauge("depth").value == 5.0      # gauges take max
+        assert a.histogram("latency").count == 2  # histograms merge
+
+    def test_to_dict_sorted_and_typed(self):
+        reg = MetricRegistry()
+        reg.observe("b.latency", 4.0)
+        reg.count("a.events")
+        payload = reg.to_dict()
+        assert list(payload) == ["a.events", "b.latency"]
+        assert payload["a.events"]["type"] == "counter"
+        assert payload["b.latency"]["type"] == "histogram"

@@ -1,0 +1,110 @@
+"""Tests for the scope profiler and the observability hook API."""
+
+from repro.obs.hooks import NULL_OBS, NullObs, Obs
+from repro.obs.profiler import NULL_SPAN, ScopeProfiler, SpanStats
+
+
+class FakeClock:
+    """A deterministic injectable clock: advances by `step` per read."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestSpanStats:
+    def test_accumulates(self):
+        s = SpanStats("x")
+        s.add(2.0)
+        s.add(3.0)
+        assert s.calls == 2
+        assert s.total_s == 5.0
+        assert s.peak_s == 3.0
+
+    def test_to_dict(self):
+        s = SpanStats("x")
+        s.add(1.0)
+        assert s.to_dict() == {"calls": 1, "total_s": 1.0, "peak_s": 1.0}
+
+
+class TestScopeProfiler:
+    def test_span_measures_with_injected_clock(self):
+        profiler = ScopeProfiler(clock=FakeClock(step=1.0))
+        with profiler.span("work"):
+            pass  # clock reads: enter=0, exit=1
+        stats = profiler.spans["work"]
+        assert stats.calls == 1
+        assert stats.total_s == 1.0
+
+    def test_repeated_spans_accumulate_under_one_name(self):
+        profiler = ScopeProfiler(clock=FakeClock(step=2.0))
+        for _ in range(3):
+            with profiler.span("work"):
+                pass
+        assert profiler.spans["work"].calls == 3
+        assert profiler.spans["work"].total_s == 6.0
+
+    def test_hottest_sorted_by_total(self):
+        profiler = ScopeProfiler(clock=FakeClock(step=1.0))
+        with profiler.span("cold"):
+            pass
+        for _ in range(5):
+            with profiler.span("hot"):
+                pass
+        names = [s.name for s in profiler.hottest(top=2)]
+        assert names == ["hot", "cold"]
+
+    def test_to_dict_sorted(self):
+        profiler = ScopeProfiler(clock=FakeClock())
+        with profiler.span("b"):
+            pass
+        with profiler.span("a"):
+            pass
+        assert list(profiler.to_dict()) == ["a", "b"]
+
+
+class TestNullObs:
+    def test_singleton_is_disabled(self):
+        assert NULL_OBS.enabled is False
+        assert isinstance(NULL_OBS, NullObs)
+
+    def test_span_returns_shared_null_span(self):
+        assert NULL_OBS.span("anything") is NULL_SPAN
+        with NULL_OBS.span("anything"):
+            pass  # must be a working (no-op) context manager
+
+    def test_hooks_are_noops(self):
+        assert NULL_OBS.count("x") is None
+        assert NULL_OBS.gauge("x", 1.0) is None
+        assert NULL_OBS.observe("x", 1.0) is None
+
+    def test_no_instance_state(self):
+        assert NullObs.__slots__ == ()
+
+
+class TestObs:
+    def test_enabled(self):
+        assert Obs().enabled is True
+
+    def test_is_drop_in_for_null_obs(self):
+        assert isinstance(Obs(), NullObs)
+
+    def test_hooks_write_through(self):
+        obs = Obs()
+        obs.count("events", 2)
+        obs.gauge("depth", 4.0)
+        obs.observe("latency", 9.0)
+        assert obs.metrics.counter("events").value == 2.0
+        assert obs.metrics.gauge("depth").value == 4.0
+        assert obs.metrics.histogram("latency").count == 1
+
+    def test_span_records_into_profiler(self):
+        obs = Obs(profiler=ScopeProfiler(clock=FakeClock()))
+        with obs.span("region"):
+            pass
+        assert obs.profiler.spans["region"].calls == 1

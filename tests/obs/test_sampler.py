@@ -1,0 +1,117 @@
+"""Tests for the interval sampler and the shared live-gauge overlay."""
+
+import json
+
+import pytest
+
+from repro.core.dispatch import DispatchPolicy
+from repro.core.isa import FP_ADD
+from repro.obs.sampler import DELTA_COUNTERS, IntervalSampler, live_gauges
+from repro.system.builder import build_machine
+from repro.system.config import tiny_config
+
+VADDR = 0x90000
+
+
+@pytest.fixture
+def machine():
+    return build_machine(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+
+
+def run_peis(machine, n, start=0):
+    for i in range(start, start + n):
+        machine.executor.execute(machine.cores[0], FP_ADD, VADDR + 64 * i,
+                                 False)
+
+
+class TestLiveGauges:
+    def test_keys(self, machine):
+        gauges = live_gauges(machine, 123.0)
+        assert set(gauges) == {"offchip.request_bytes",
+                               "offchip.response_bytes", "tsv.bytes",
+                               "xbar.bytes", "runtime.cycles"}
+        assert gauges["runtime.cycles"] == 123.0
+
+    def test_reads_live_link_counters(self, machine):
+        before = live_gauges(machine, 0.0)
+        run_peis(machine, 8)
+        after = live_gauges(machine, 0.0)
+        assert after["xbar.bytes"] > before["xbar.bytes"]
+
+
+class TestIntervalSampler:
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            IntervalSampler(interval=0.0)
+
+    def test_no_sample_before_first_boundary(self, machine):
+        sampler = IntervalSampler(interval=100.0)
+        sampler.advance(machine, 99.9)
+        assert len(sampler) == 0
+
+    def test_emits_one_record_per_boundary_passed(self, machine):
+        sampler = IntervalSampler(interval=100.0)
+        sampler.advance(machine, 350.0)  # crosses t=100, 200, 300
+        assert len(sampler) == 3
+        assert [r["t"] for r in sampler.records] == [100.0, 200.0, 300.0]
+
+    def test_seq_consecutive_and_not_final(self, machine):
+        sampler = IntervalSampler(interval=50.0)
+        sampler.advance(machine, 160.0)
+        assert [r["seq"] for r in sampler.records] == [0, 1, 2]
+        assert not any(r["final"] for r in sampler.records)
+
+    def test_finalize_marks_final(self, machine):
+        sampler = IntervalSampler(interval=100.0)
+        sampler.advance(machine, 150.0)
+        sampler.finalize(machine, 170.0)
+        last = sampler.last()
+        assert last["final"] is True
+        assert last["t"] == 170.0
+        assert sum(r["final"] for r in sampler.records) == 1
+
+    def test_record_schema(self, machine):
+        sampler = IntervalSampler(interval=10.0)
+        sampler.finalize(machine, 10.0)
+        record = sampler.last()
+        assert set(record) == {"seq", "t", "final", "stats", "delta",
+                               "derived"}
+        assert set(record["delta"]) == set(DELTA_COUNTERS)
+        for key in ("pim_fraction", "monitor_hit_rate",
+                    "offchip_request_utilization", "host_pcu_utilization"):
+            assert key in record["derived"]
+
+    def test_delta_is_difference_between_samples(self, machine):
+        sampler = IntervalSampler(interval=1e9)
+        run_peis(machine, 4)
+        sampler.finalize(machine, 1.0)
+        first_issued = sampler.last()["stats"]["pei.issued"]
+        assert sampler.last()["delta"]["pei.issued"] == first_issued == 4.0
+        run_peis(machine, 3, start=4)
+        sampler.finalize(machine, 2.0)
+        assert sampler.last()["delta"]["pei.issued"] == 3.0
+        assert sampler.last()["stats"]["pei.issued"] == 7.0
+
+    def test_stats_include_live_gauges(self, machine):
+        sampler = IntervalSampler(interval=100.0)
+        run_peis(machine, 4)
+        sampler.advance(machine, 100.0)
+        record = sampler.last()
+        assert record["stats"]["runtime.cycles"] == 100.0
+        assert record["stats"]["xbar.bytes"] == \
+            live_gauges(machine, 100.0)["xbar.bytes"]
+
+    def test_jsonl_round_trip(self, machine, tmp_path):
+        sampler = IntervalSampler(interval=50.0)
+        run_peis(machine, 2)
+        sampler.advance(machine, 120.0)
+        sampler.finalize(machine, 130.0)
+        path = tmp_path / "series.intervals.jsonl"
+        sampler.write_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(sampler)
+        restored = [json.loads(line) for line in lines]
+        assert restored == sampler.records
+
+    def test_last_empty(self):
+        assert IntervalSampler().last() is None

@@ -52,6 +52,16 @@ class TestResource:
         assert r.utilization(0.0) == 0.0
         assert r.utilization(10.0) == 1.0  # clamped
 
+    def test_utilization_accumulates_across_acquires(self):
+        r = Resource()
+        r.acquire(0.0, 10.0)
+        r.acquire(20.0, 30.0)
+        assert r.utilization(100.0) == pytest.approx(0.4)
+        assert r.utilization(-5.0) == 0.0  # degenerate horizon
+
+    def test_utilization_idle_resource_is_zero(self):
+        assert Resource().utilization(100.0) == 0.0
+
     def test_peek_does_not_mutate(self):
         r = Resource()
         r.acquire(0.0, 5.0)
@@ -112,6 +122,29 @@ class TestBandwidthLink:
         link.transfer(0.0, 100)
         link.reset()
         assert link.bytes_transferred == 0
+
+    def test_zero_byte_transfer(self):
+        link = BandwidthLink("l", 10.0)
+        assert link.transfer(5.0, 0) == 5.0
+        assert link.bytes_transferred == 0
+        assert link.busy_cycles == 0.0
+
+    def test_byte_accounting_independent_of_queueing(self):
+        # Bytes count what was *sent*, regardless of when the link could
+        # actually serve the transfer.
+        link = BandwidthLink("l", 1.0)
+        link.transfer(0.0, 50)
+        finish = link.transfer(0.0, 30)  # queues behind the first transfer
+        assert finish == pytest.approx(80.0)
+        assert link.bytes_transferred == 80
+
+    def test_utilization_matches_bytes_over_rate(self):
+        link = BandwidthLink("l", 4.0)
+        link.transfer(0.0, 100)
+        link.transfer(10.0, 60)
+        elapsed = 100.0
+        expected = (160 / 4.0) / elapsed
+        assert link.utilization(elapsed) == pytest.approx(expected)
 
 
 class TestBankedResource:

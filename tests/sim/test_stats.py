@@ -55,3 +55,68 @@ class TestStats:
         assert stats.to_dict() == {"x": 1}
         stats.clear()
         assert stats.to_dict() == {}
+
+
+class TestGauges:
+    """Regression tests for the gauge-summed-on-merge hazard.
+
+    ``runtime.cycles`` and the link byte totals are written through
+    ``set()`` at collection time; summing them across per-core Stats (or
+    scaling them with per-thread event counts) fabricates runtime/work
+    that never happened.
+    """
+
+    def test_set_marks_gauge(self):
+        stats = Stats()
+        stats.add("events", 3)
+        stats.set("runtime.cycles", 100.0)
+        assert stats.is_gauge("runtime.cycles")
+        assert not stats.is_gauge("events")
+        assert stats.gauge_names == frozenset({"runtime.cycles"})
+
+    def test_merge_takes_max_of_gauges(self):
+        a, b = Stats(), Stats()
+        a.set("runtime.cycles", 100.0)
+        b.set("runtime.cycles", 250.0)
+        a.merge(b)
+        assert a["runtime.cycles"] == 250.0  # not 350
+
+    def test_merge_gauge_on_either_side_suffices(self):
+        # The receiving side never called set(): the incoming gauge mark
+        # must still prevent summation (and propagate).
+        a, b = Stats(), Stats()
+        a.add("runtime.cycles", 100.0)
+        b.set("runtime.cycles", 80.0)
+        a.merge(b)
+        assert a["runtime.cycles"] == 100.0
+        assert a.is_gauge("runtime.cycles")
+
+    def test_merge_still_sums_counters(self):
+        a, b = Stats(), Stats()
+        a.add("events", 2)
+        b.add("events", 3)
+        a.set("runtime.cycles", 10.0)
+        b.set("runtime.cycles", 20.0)
+        a.merge(b)
+        assert a["events"] == 5.0
+        assert a["runtime.cycles"] == 20.0
+
+    def test_scaled_copies_gauges_unscaled(self):
+        stats = Stats()
+        stats.add("events", 4)
+        stats.set("runtime.cycles", 100.0)
+        half = stats.scaled(0.5)
+        assert half["events"] == 2.0
+        assert half["runtime.cycles"] == 100.0  # runtime is not halved
+        assert half.is_gauge("runtime.cycles")
+
+    def test_clear_resets_gauge_marks(self):
+        stats = Stats()
+        stats.set("runtime.cycles", 100.0)
+        stats.clear()
+        assert not stats.is_gauge("runtime.cycles")
+        stats.add("runtime.cycles", 1.0)
+        other = Stats()
+        other.add("runtime.cycles", 2.0)
+        stats.merge(other)
+        assert stats["runtime.cycles"] == 3.0  # back to counter semantics

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.dispatch import DispatchPolicy
+from repro.energy.model import EnergyBreakdown
 from repro.system.config import tiny_config
 from repro.system.result import RunResult
 from repro.system.system import System
@@ -38,7 +39,64 @@ class TestSerialization:
         import json
         json.dumps(result.to_dict())  # must not raise
 
-    def test_metadata_filtered_to_scalars(self, result):
+    def test_metadata_json_representable(self, result):
+        import json
         payload = result.to_dict()
-        for value in payload["metadata"].values():
-            assert isinstance(value, (str, int, float, bool, type(None)))
+        json.dumps(payload["metadata"])  # every surviving entry serializes
+
+
+def make_result(metadata):
+    return RunResult(
+        workload="HG",
+        policy="locality-aware",
+        cycles=1000.0,
+        instructions=500,
+        per_core_instructions=[250, 250],
+        stats={"pei.issued": 10.0},
+        energy=EnergyBreakdown(caches_pj=1.0, dram_pj=2.0, offchip_pj=3.0,
+                               onchip_network_pj=4.0, host_pcu_pj=5.0,
+                               mem_pcu_pj=6.0, pmu_pj=7.0),
+        metadata=metadata,
+    )
+
+
+class TestMetadataStructure:
+    """to_dict must preserve JSON-safe structure, not flatten it to scalars."""
+
+    def test_lists_of_scalars_preserved(self):
+        payload = make_result({"ops_per_thread": [300, 300, 280]}).to_dict()
+        assert payload["metadata"]["ops_per_thread"] == [300, 300, 280]
+
+    def test_tuples_become_lists(self):
+        payload = make_result({"shape": (8, 16)}).to_dict()
+        assert payload["metadata"]["shape"] == [8, 16]
+
+    def test_dicts_of_scalars_preserved(self):
+        knobs = {"issue_width": 2, "warmup": True, "label": "sweep-a"}
+        payload = make_result({"knobs": knobs}).to_dict()
+        assert payload["metadata"]["knobs"] == knobs
+
+    def test_nested_structure_preserved(self):
+        metadata = {"sweep": {"sizes": [1, 2, 4], "policy": "pim-only"}}
+        payload = make_result(metadata).to_dict()
+        assert payload["metadata"] == metadata
+
+    def test_unrepresentable_entries_dropped(self):
+        payload = make_result({
+            "ok": 1,
+            "an_object": object(),
+            "list_with_object": [1, object()],
+            "non_string_keys": {1: "x"},
+        }).to_dict()
+        assert payload["metadata"] == {"ok": 1}
+
+    def test_structured_metadata_round_trips(self):
+        original = make_result({
+            "ops_per_thread": [10, 20],
+            "knobs": {"alpha": 0.5, "mode": "fast"},
+        })
+        restored = RunResult.from_json(original.to_json())
+        assert restored.metadata == original.metadata
+        assert restored.stats == original.stats
+        assert restored.energy.total_pj == pytest.approx(
+            original.energy.total_pj)
