@@ -1,6 +1,6 @@
 # Convenience targets for the PEI reproduction.
 
-.PHONY: install test lint sanitize telemetry bench experiments quick clean
+.PHONY: install test lint sanitize verify determinism telemetry bench experiments quick clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -20,6 +20,17 @@ lint:
 # Run the PEI protocol sanitizer over a fig10-sized sweep (~1 min).
 sanitize:
 	PYTHONPATH=src python -m repro.analysis sanitize
+
+# Bounded protocol verification: exhaustive interleaving exploration,
+# differential check against the golden model, full-machine coherence pass,
+# and the seeded-mutant self-validation (~45 s; see docs/verification.md).
+verify:
+	PYTHONPATH=src python -m repro.verify all
+
+# Replay fidelity: run small experiments twice, require bit-identical
+# stats and event streams.
+determinism:
+	PYTHONPATH=src python -m repro.analysis determinism
 
 # Telemetry smoke: run a small benchmark with full observability and
 # schema-check the bundles it wrote (see docs/observability.md).

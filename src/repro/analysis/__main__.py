@@ -11,6 +11,15 @@
     The default run set mirrors the Figure 10 experiment (SC, SVM, PR, HJ
     on large inputs under the locality-aware and balanced policies).
 
+``python -m repro.analysis determinism [options]``
+    Run each (workload, policy) experiment twice from fresh ``System``
+    instances and require byte-identical results: cycles, instruction
+    counts, the full statistics dictionary, and the complete
+    :class:`~repro.core.tracer.PeiTracer` event stream (compared through
+    ``repr`` so any bit-level float drift fails).  This pins the
+    replayability guarantee that the SIM001/SIM002 lint rules protect
+    statically; exits non-zero on any divergence.
+
 ``python -m repro.analysis telemetry <dirs-or-files...>``
     Validate telemetry artifacts (interval JSONL, Chrome trace, run
     bundles) written by ``python -m repro.bench run <exp> --telemetry``
@@ -36,6 +45,9 @@ from repro.analysis.telemetry import (
 #: Default sanitize run set: the Figure 10 workloads.
 FIG10_WORKLOADS = ("SC", "SVM", "PR", "HJ")
 DEFAULT_POLICIES = ("locality-aware", "locality-balanced")
+#: Default determinism run set: one pointer-chasing and one streaming
+#: workload cover both PEI dispatch paths without a long CI run.
+DEFAULT_DETERMINISM_WORKLOADS = ("PR", "HJ")
 
 
 def _default_lint_root() -> Path:
@@ -94,9 +106,11 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             tracer = PeiTracer()
             system.executor.tracer = tracer
             system.run(workload, max_ops_per_thread=args.ops)
+            directory = system.machine.directory
             report = sanitize_tracer(
                 tracer,
                 operand_buffer_entries=system.config.pcu_operand_buffer_entries,
+                directory_entries=None if directory.ideal else directory.entries,
             )
             total_peis += report.peis_checked
             status = "clean" if report.ok else f"{len(report.violations)} violation(s)"
@@ -110,6 +124,79 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     verdict = "clean" if failures == 0 else f"{failures} violation(s)"
     print(f"simsan: {total_peis} PEIs across "
           f"{len(workloads) * len(policies)} run(s): {verdict}")
+    return 1 if failures else 0
+
+
+def _fingerprint(result, tracer) -> Dict[str, object]:
+    """Everything a replay must reproduce byte-for-byte.
+
+    Floats are captured through ``repr`` (shortest round-trip form), so two
+    fingerprints match iff every metric and every traced event is identical
+    to the last bit — the replayability bar SIM001/SIM002 exist to protect.
+    """
+    return {
+        "cycles": repr(result.cycles),
+        "instructions": result.instructions,
+        "per_core_instructions": tuple(result.per_core_instructions),
+        "stats": tuple(sorted(
+            (key, repr(value)) for key, value in result.stats.items())),
+        "events": tuple(repr(event) for event in tracer.events),
+        "dropped_events": tracer.dropped,
+    }
+
+
+def _cmd_determinism(args: argparse.Namespace) -> int:
+    # Imported lazily: the lint half must not require numpy.
+    from repro.core.dispatch import DispatchPolicy
+    from repro.core.tracer import PeiTracer
+    from repro.system.config import scaled_config, tiny_config
+    from repro.system.system import System
+    from repro.workloads.registry import make_workload
+
+    workloads = args.workload or list(DEFAULT_DETERMINISM_WORKLOADS)
+    policies = args.policy or list(DEFAULT_POLICIES)
+    config_fn = tiny_config if args.config == "tiny" else scaled_config
+    failures = 0
+    for name in workloads:
+        for policy_name in policies:
+            fingerprints = []
+            for _ in range(2):
+                try:
+                    policy = DispatchPolicy(policy_name)
+                    workload = make_workload(name, args.size, seed=args.seed)
+                except (KeyError, ValueError) as exc:
+                    message = exc.args[0] if exc.args else exc
+                    print(f"error: {message}", file=sys.stderr)
+                    return 2
+                system = System(config_fn(), policy)
+                tracer = PeiTracer()
+                system.executor.tracer = tracer
+                result = system.run(workload, max_ops_per_thread=args.ops)
+                fingerprints.append(_fingerprint(result, tracer))
+            first, second = fingerprints
+            diverged = sorted(k for k in first if first[k] != second[k])
+            n_events = len(first["events"])
+            if diverged:
+                failures += 1
+                print(f"determinism {name:>4} / {policy_name:<17} "
+                      f"DIVERGED: {', '.join(diverged)}")
+                for key in diverged:
+                    a, b = first[key], second[key]
+                    if isinstance(a, tuple) and isinstance(b, tuple):
+                        for i, (x, y) in enumerate(zip(a, b)):
+                            if x != y:
+                                print(f"  {key}[{i}]: {x!r} != {y!r}")
+                                break
+                        else:
+                            print(f"  {key}: lengths {len(a)} != {len(b)}")
+                    else:
+                        print(f"  {key}: {a!r} != {b!r}")
+            else:
+                print(f"determinism {name:>4} / {policy_name:<17} "
+                      f"{n_events:>6} events, "
+                      f"{len(first['stats']):>3} stats: identical")
+    verdict = "replayable" if failures == 0 else f"{failures} divergent run(s)"
+    print(f"determinism: {verdict}")
     return 1 if failures else 0
 
 
@@ -177,6 +264,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                           help="operations per thread (default: 8000)")
     sanitize.add_argument("--seed", type=int, default=42)
     sanitize.set_defaults(func=_cmd_sanitize)
+
+    determinism = sub.add_parser(
+        "determinism",
+        help="run each experiment twice and require bit-identical results")
+    determinism.add_argument("--workload", "-w", action="append",
+                             help="registry workload name (repeatable; "
+                             "default: "
+                             f"{', '.join(DEFAULT_DETERMINISM_WORKLOADS)})")
+    determinism.add_argument("--policy", "-p", action="append",
+                             help="dispatch policy value (repeatable; "
+                             f"default: {', '.join(DEFAULT_POLICIES)})")
+    determinism.add_argument("--size", default="small",
+                             choices=("small", "medium", "large"),
+                             help="input regime (default: small)")
+    determinism.add_argument("--config", default="tiny",
+                             choices=("scaled", "tiny"),
+                             help="machine preset (default: tiny)")
+    determinism.add_argument("--ops", type=int, default=2000,
+                             help="operations per thread (default: 2000)")
+    determinism.add_argument("--seed", type=int, default=42)
+    determinism.set_defaults(func=_cmd_determinism)
 
     telemetry = sub.add_parser(
         "telemetry", help="schema-check telemetry artifacts (JSONL + traces)")

@@ -15,15 +15,20 @@ inline pragma **carrying a justification**::
     t_retrain_ns = 50.0  # simlint: ignore[SIM005] -- vendor-quoted retrain time
 
 A waiver comment on its own line applies to the following line.  Waivers
-without a justification are themselves reported (``SIM000``) so the tree can
-never silently accumulate unexplained exemptions.
+without a justification are themselves reported (``SIM000``), and justified
+waivers that no longer suppress anything are reported as stale (``SIM008``),
+so the tree can never silently accumulate unexplained or dead exemptions.
+Pragma-shaped text inside strings and docstrings (like the example above) is
+not a waiver — only real ``#`` comments count.
 
 Use :func:`lint_paths` programmatically or ``python -m repro.analysis lint``
 from the command line; see ``docs/analysis.md`` for the rule catalogue.
 """
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
@@ -100,19 +105,52 @@ _WAIVER_RE = re.compile(
 )
 
 
+def _waiver_from_match(match: "re.Match", lineno: int,
+                       own_line: bool) -> Waiver:
+    codes = tuple(c.strip().upper() for c in match.group(1).split(",") if c.strip())
+    justification = (match.group(2) or "").strip()
+    # A bare comment line waives the *next* source line.
+    target = lineno + 1 if own_line else lineno
+    return Waiver(line=target, codes=codes,
+                  justification=justification, pragma_line=lineno)
+
+
 def _parse_waivers(source: str) -> List[Waiver]:
+    """Extract waiver pragmas from real ``#`` comments only.
+
+    Tokenizing (rather than scanning raw lines) keeps pragma *text inside
+    strings and docstrings* — e.g. the example in this module's own
+    docstring — from being mistaken for a live waiver, which matters now
+    that unused waivers are themselves a diagnostic (SIM008).  Sources that
+    fail to tokenize fall back to the raw line scan so a syntax error still
+    gets best-effort waiver handling.
+    """
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return _parse_waivers_raw(source)
+    waivers = []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _WAIVER_RE.search(token.string)
+        if match is None:
+            continue
+        lineno = token.start[0]
+        own_line = not token.line[: token.start[1]].strip()
+        waivers.append(_waiver_from_match(match, lineno, own_line))
+    return waivers
+
+
+def _parse_waivers_raw(source: str) -> List[Waiver]:
+    """Line-scanning fallback for sources the tokenizer rejects."""
     waivers = []
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = _WAIVER_RE.search(line)
         if match is None:
             continue
-        codes = tuple(c.strip().upper() for c in match.group(1).split(",") if c.strip())
-        justification = (match.group(2) or "").strip()
-        before = line[: match.start()].strip()
-        # A bare comment line waives the *next* source line.
-        target = lineno + 1 if not before else lineno
-        waivers.append(Waiver(line=target, codes=codes,
-                              justification=justification, pragma_line=lineno))
+        own_line = not line[: match.start()].strip()
+        waivers.append(_waiver_from_match(match, lineno, own_line))
     return waivers
 
 
@@ -496,6 +534,75 @@ class IntrinsicRegistryRule(Rule):
         return ops
 
 
+class StatsKeyRegistryRule(Rule):
+    """SIM007: literal stats keys must be declared in sim/stat_keys.py."""
+
+    code = "SIM007"
+    title = "undeclared stats key"
+    rationale = ("The Stats namespace is flat and typo-prone: a misspelled "
+                 "key silently creates a parallel counter that every "
+                 "consumer reads as zero.  All literal `stats.add`/"
+                 "`stats.set` keys must appear in the repro.sim.stat_keys "
+                 "registry.")
+
+    _REGISTRY = "sim/stat_keys.py"
+    _METHODS = ("add", "set")
+
+    def check_project(self, project: Project) -> Iterator[LintViolation]:
+        registry = project.find(self._REGISTRY)
+        if registry is None:
+            return
+        declared = self._declared_keys(registry)
+        for module in project.modules:
+            if module is registry:
+                continue
+            for node in ast.walk(module.tree):
+                key = self._literal_stats_key(node)
+                if key is not None and key not in declared:
+                    yield self._violation(
+                        module, node,
+                        f"stats key \"{key}\" is not declared in "
+                        f"repro.sim.stat_keys — add it to the matching "
+                        f"*_KEYS group (or fix the typo)")
+
+    @classmethod
+    def _literal_stats_key(cls, node: ast.AST) -> Optional[str]:
+        """The literal key of a ``<...>.stats.add("key")``-shaped call."""
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in cls._METHODS:
+            return None
+        if _terminal_identifier(func.value) != "stats":
+            return None
+        if not node.args:
+            return None
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+        return None  # dynamic key — out of scope for a static registry
+
+    @staticmethod
+    def _declared_keys(registry: Module) -> Set[str]:
+        """String constants in module-level assignments to ``*_KEYS`` names."""
+        declared: Set[str] = set()
+        for node in registry.tree.body:
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = [t for t in node.targets if isinstance(t, ast.Name)]
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                targets = [node.target]
+            if not any(t.id.endswith("_KEYS") for t in targets):
+                continue
+            value = node.value
+            if value is None:
+                continue
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                    declared.add(sub.value)
+        return declared
+
+
 #: The rule registry, keyed by code.
 RULES: Dict[str, Rule] = {
     rule.code: rule
@@ -506,11 +613,13 @@ RULES: Dict[str, Rule] = {
         DefaultArgumentRule(),
         RawUnitLiteralRule(),
         IntrinsicRegistryRule(),
+        StatsKeyRegistryRule(),
     )
 }
 
-#: Waiver hygiene pseudo-rule (not waivable itself).
+#: Waiver hygiene pseudo-rules (not waivable themselves).
 WAIVER_CODE = "SIM000"
+UNUSED_WAIVER_CODE = "SIM008"
 
 
 # ----------------------------------------------------------------------
@@ -556,10 +665,14 @@ def lint_paths(
 
     ``select`` restricts checking to the given rule codes (waiver hygiene is
     always checked).  Violations waived by a justified inline pragma are
-    suppressed; unjustified pragmas surface as ``SIM000``.
+    suppressed; unjustified pragmas surface as ``SIM000``, and pragmas that
+    suppress nothing surface as ``SIM008`` so stale waivers cannot outlive
+    the code they excused (only when every waived code's rule actually ran —
+    a ``select`` that skips the rule says nothing about the waiver).
     """
     project, violations = _parse_project([Path(p) for p in paths])
     active = [RULES[c] for c in select] if select is not None else list(RULES.values())
+    active_codes = {rule.code for rule in active}
     raw: List[LintViolation] = list(violations)
     for rule in active:
         raw.extend(rule.check_project(project))
@@ -567,19 +680,24 @@ def lint_paths(
     waivers_by_path: Dict[str, List[Waiver]] = {
         str(m.path): m.waivers for m in project.modules
     }
+    # A waiver is "used" if any raw violation matched its line and codes,
+    # justified or not — an unjustified match already reports SIM000 and
+    # should not also read as stale.
+    used: Set[int] = set()
     kept: List[LintViolation] = []
     for violation in raw:
         waived = False
         for waiver in waivers_by_path.get(violation.path, ()):
-            if (violation.line == waiver.line
-                    and violation.code in waiver.codes
-                    and waiver.justification):
-                waived = True
-                break
+            if violation.line == waiver.line and violation.code in waiver.codes:
+                used.add(id(waiver))
+                if waiver.justification:
+                    waived = True
+                    break
         if not waived:
             kept.append(violation)
 
-    # Waiver hygiene: every pragma must carry a justification.
+    # Waiver hygiene: every pragma must carry a justification, and every
+    # fully-checked pragma must suppress something.
     for module in project.modules:
         for waiver in module.waivers:
             if not waiver.justification:
@@ -587,6 +705,15 @@ def lint_paths(
                     code=WAIVER_CODE,
                     message=("waiver without justification — write "
                              "`# simlint: ignore[CODE] -- <reason>`"),
+                    path=str(module.path),
+                    line=waiver.pragma_line))
+            elif (id(waiver) not in used
+                    and set(waiver.codes) <= active_codes):
+                codes = ", ".join(waiver.codes)
+                kept.append(LintViolation(
+                    code=UNUSED_WAIVER_CODE,
+                    message=(f"waiver for {codes} suppresses nothing — "
+                             f"delete the stale pragma"),
                     path=str(module.path),
                     line=waiver.pragma_line))
     kept.sort(key=lambda v: (v.path, v.line, v.col, v.code))

@@ -24,7 +24,17 @@ SAN006    host-side operand-buffer occupancy never exceeds its entry
 SAN007    trace integrity: no dropped events (a truncated trace makes
           the other checks unsound)
 SAN008    every traced mnemonic decodes in the ISA registry (Table 1)
+SAN009    entry-level exclusion in the tag-less directory: two PEIs
+          whose (different) blocks XOR-fold onto one entry must still
+          serialize like a conflict (4.3, Section 6.1's 2048 entries)
+SAN010    per-entry reader concurrency never exceeds what the 10-bit
+          reader counter can represent (Section 6.1)
 ========  ==============================================================
+
+SAN009/SAN010 need the directory geometry and activate only when the
+caller passes ``directory_entries`` (they are meaningless for an ideal
+per-block directory).  The same invariants are proven exhaustively in the
+small by :mod:`repro.verify`; here they are monitored on real runs.
 
 Because the executor is synchronous, trace order equals directory-acquire
 order, so the single-pass checks below mirror the timestamp semantics of
@@ -37,7 +47,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.isa import PIM_OPS, PimOp
+from repro.core.pim_directory import READER_COUNTER_BITS
 from repro.core.tracer import FenceTrace, PeiTrace, PeiTracer
+from repro.util.bitops import ilog2, is_power_of_two, xor_fold
 
 __all__ = [
     "SanViolation",
@@ -57,6 +69,8 @@ CHECKS: Dict[str, str] = {
     "SAN006": "host-side operand-buffer capacity never exceeded",
     "SAN007": "trace integrity (no dropped events)",
     "SAN008": "traced mnemonics decode in the ISA registry",
+    "SAN009": "entry-level exclusion for blocks aliased onto one directory entry",
+    "SAN010": "per-entry reader concurrency fits the hardware reader counter",
 }
 
 Event = Union[PeiTrace, FenceTrace]
@@ -120,6 +134,41 @@ class _BlockState:
         return self.max_reader.completion if self.max_reader else float("-inf")
 
 
+@dataclass
+class _EntryState:
+    """Directory-mirroring timestamps for one tag-less directory *entry*.
+
+    Unlike :class:`_BlockState` this aggregates every block folding onto the
+    entry; the hardware cannot tell them apart, so neither may the timing.
+    """
+
+    last_writer: Optional[PeiTrace] = None
+    max_reader: Optional[PeiTrace] = None
+
+
+class _ReaderWidthState:
+    """Counts genuinely overlapping readers of one entry (SAN010)."""
+
+    def __init__(self, max_readers: int):
+        self.max_readers = max_readers
+        self._completions: List[float] = []
+        self._holders: List[Tuple[float, PeiTrace]] = []
+
+    def admit(self, trace: PeiTrace) -> Optional[List[PeiTrace]]:
+        """Admit one reader; return the over-width slice on violation."""
+        while self._completions and self._completions[0] <= trace.grant_time:
+            retired = heapq.heappop(self._completions)
+            for i, (held, _) in enumerate(self._holders):
+                if held == retired:
+                    del self._holders[i]
+                    break
+        heapq.heappush(self._completions, trace.completion)
+        self._holders.append((trace.completion, trace))
+        if len(self._completions) > self.max_readers:
+            return [t for _, t in self._holders]
+        return None
+
+
 class _HostBufferState:
     """Replays one host PCU's operand-buffer occupancy from the trace."""
 
@@ -172,6 +221,8 @@ def sanitize_events(
     events: Sequence[Event],
     operand_buffer_entries: Optional[int] = None,
     dropped: int = 0,
+    directory_entries: Optional[int] = None,
+    reader_counter_bits: int = READER_COUNTER_BITS,
 ) -> SanitizerReport:
     """Check a PEI/pfence event stream against the Section 4.3 protocol.
 
@@ -179,12 +230,25 @@ def sanitize_events(
     them, which equals directory-acquire order).  ``operand_buffer_entries``
     enables the SAN006 capacity replay; pass the machine's
     ``pcu_operand_buffer_entries``.  ``dropped`` is the tracer's dropped-
-    event count (SAN007).
+    event count (SAN007).  ``directory_entries`` (the non-ideal directory's
+    entry count) enables the entry-granular SAN009/SAN010 checks;
+    ``reader_counter_bits`` overrides the Section 6.1 reader-counter width
+    for them (the tests use tiny widths to exercise the check cheaply).
     """
     report = SanitizerReport()
     blocks: Dict[int, _BlockState] = {}
     buffers: Dict[int, _HostBufferState] = {}
     writer_horizon: Optional[PeiTrace] = None  # globally latest writer
+    index_bits: Optional[int] = None
+    entry_states: Dict[int, _EntryState] = {}
+    reader_widths: Dict[int, _ReaderWidthState] = {}
+    if directory_entries is not None:
+        if not is_power_of_two(directory_entries):
+            raise ValueError(
+                f"directory_entries must be a power of two, got "
+                f"{directory_entries}")
+        index_bits = ilog2(directory_entries)
+    max_readers = (1 << reader_counter_bits) - 1
 
     if dropped:
         report.violations.append(SanViolation(
@@ -213,6 +277,26 @@ def sanitize_events(
         _check_monotonic(trace, report)
         _check_coherence(trace, op, report)
         _check_exclusion(trace, op, blocks, report)
+        if index_bits is not None:
+            entry = xor_fold(trace.block, index_bits)
+            state = entry_states.get(entry)
+            if state is None:
+                state = entry_states[entry] = _EntryState()
+            _check_entry_exclusion(trace, op, entry, state, report)
+            if not op.is_writer:
+                width = reader_widths.get(entry)
+                if width is None:
+                    width = reader_widths[entry] = _ReaderWidthState(max_readers)
+                over = width.admit(trace)
+                if over is not None:
+                    report.violations.append(SanViolation(
+                        code="SAN010",
+                        message=(f"entry {entry}: {len(over)} readers in "
+                                 f"flight at once — the {reader_counter_bits}"
+                                 f"-bit reader counter holds at most "
+                                 f"{max_readers}"),
+                        events=tuple(over),
+                    ))
         if op.is_writer and (writer_horizon is None
                              or trace.completion > writer_horizon.completion):
             writer_horizon = trace
@@ -235,12 +319,16 @@ def sanitize_events(
 def sanitize_tracer(
     tracer: PeiTracer,
     operand_buffer_entries: Optional[int] = None,
+    directory_entries: Optional[int] = None,
+    reader_counter_bits: int = READER_COUNTER_BITS,
 ) -> SanitizerReport:
     """Sanitize everything a :class:`PeiTracer` collected."""
     return sanitize_events(
         tracer.events,
         operand_buffer_entries=operand_buffer_entries,
         dropped=tracer.dropped,
+        directory_entries=directory_entries,
+        reader_counter_bits=reader_counter_bits,
     )
 
 
@@ -340,6 +428,46 @@ def _check_exclusion(
                 events=(state.last_writer, trace),
             ))
         if state.max_reader is None or trace.completion > state.readers_max:
+            state.max_reader = trace
+
+
+def _check_entry_exclusion(
+    trace: PeiTrace,
+    op: PimOp,
+    entry: int,
+    state: _EntryState,
+    report: SanitizerReport,
+) -> None:
+    """SAN009: exclusion at *entry* granularity, for aliased blocks.
+
+    Same-block conflicts are already SAN001/SAN002; this only reports pairs
+    whose blocks differ but collide in the tag-less table, where the
+    hardware must serialize them regardless (a false positive it cannot
+    distinguish from a real conflict).
+    """
+    def clash(holder: Optional[PeiTrace], kind: str) -> None:
+        if holder is None or holder.block == trace.block:
+            return
+        if trace.grant_time < holder.completion:
+            report.violations.append(SanViolation(
+                code="SAN009",
+                message=(f"entry {entry}: {'writer' if op.is_writer else 'reader'} "
+                         f"of block {trace.block:#x} granted at "
+                         f"{trace.grant_time:g} while a {kind} of aliased "
+                         f"block {holder.block:#x} is in flight until "
+                         f"{holder.completion:g}"),
+                events=(holder, trace),
+            ))
+
+    clash(state.last_writer, "writer")
+    if op.is_writer:
+        clash(state.max_reader, "reader")
+        if (state.last_writer is None
+                or trace.completion > state.last_writer.completion):
+            state.last_writer = trace
+    else:
+        if (state.max_reader is None
+                or trace.completion > state.max_reader.completion):
             state.max_reader = trace
 
 

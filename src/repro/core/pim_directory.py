@@ -23,6 +23,16 @@ from typing import Dict, Optional
 from repro.sim.stats import Stats
 from repro.util.bitops import ilog2, is_power_of_two, xor_fold
 
+#: Hardware widths of one directory entry (Section 6.1): a 10-bit reader
+#: counter and a 1-bit writer counter, next to the readable/writeable bits.
+#: The golden verification model (repro.verify.golden) and the trace
+#: sanitizer (SAN010) bound admissible concurrency by these widths.
+READER_COUNTER_BITS = 10
+WRITER_COUNTER_BITS = 1
+
+#: Most concurrent readers of one entry the hardware can represent.
+MAX_CONCURRENT_READERS = (1 << READER_COUNTER_BITS) - 1
+
 
 class PimDirectory:
     """Direct-mapped reader-writer lock table for PEI atomicity."""
@@ -124,5 +134,6 @@ class PimDirectory:
         """Storage cost: 13 bits per entry (Section 6.1)."""
         if self.ideal:
             return 0
-        # readable + writeable + 10-bit reader counter + 1-bit writer counter
-        return self.entries * 13
+        # readable + writeable + reader counter + writer counter
+        per_entry = 2 + READER_COUNTER_BITS + WRITER_COUNTER_BITS
+        return self.entries * per_entry

@@ -1,0 +1,117 @@
+"""Central registry of every statistics key the simulator may emit.
+
+The flat :class:`~repro.sim.stats.Stats` namespace is convenient but
+typo-prone: ``stats.add("pei.host_dispatch")`` would silently create a new
+counter next to ``pei.host_dispatched`` and every downstream consumer would
+read zeros.  This module declares the complete key vocabulary, grouped by
+subsystem; the ``SIM007`` lint rule (:mod:`repro.analysis.simlint`) flags
+any literal ``stats.add``/``stats.set`` key in ``src/repro`` that is not
+declared here.
+
+When adding a new counter: add the key to the matching ``*_KEYS`` group (or
+start a new group — any module-level tuple whose name ends in ``_KEYS`` is
+picked up), then use it.  Gauges (written through ``Stats.set``) live in
+``GAUGE_KEYS``.
+"""
+
+from typing import FrozenSet, Tuple
+
+#: Cache hierarchy counters (repro.cache.hierarchy).
+CACHE_KEYS: Tuple[str, ...] = (
+    "l1.accesses",
+    "l1.hits",
+    "l2.accesses",
+    "l2.hits",
+    "l2.writebacks",
+    "l3.accesses",
+    "l3.hits",
+    "l3.misses",
+    "l3.writebacks",
+)
+
+#: MESI-lite coherence actions (repro.cache.hierarchy).
+COHERENCE_KEYS: Tuple[str, ...] = (
+    "coherence.invalidations",
+    "coherence.cache_to_cache",
+    "coherence.back_invalidations",
+)
+
+#: PMU coherence management for memory-side PEIs (repro.cache.hierarchy).
+PMU_KEYS: Tuple[str, ...] = (
+    "pmu.back_invalidations",
+    "pmu.back_writebacks",
+)
+
+#: DRAM accesses, host and PIM paths (repro.mem.hmc).
+DRAM_KEYS: Tuple[str, ...] = (
+    "dram.reads",
+    "dram.writes",
+    "dram.pim_reads",
+    "dram.pim_writes",
+)
+
+#: Off-chip link traffic (repro.mem.hmc, repro.mem.link).
+OFFCHIP_KEYS: Tuple[str, ...] = (
+    "offchip.read_packets",
+    "offchip.write_packets",
+    "offchip.pim_requests",
+    "offchip.pim_responses",
+)
+
+#: Host core instruction mix (repro.cpu.core).
+CORE_KEYS: Tuple[str, ...] = (
+    "core.loads",
+    "core.stores",
+)
+
+#: Locality monitor behaviour (repro.core.locality_monitor).
+LOCALITY_MONITOR_KEYS: Tuple[str, ...] = (
+    "locality_monitor.evictions",
+    "locality_monitor.accesses",
+    "locality_monitor.miss_advice",
+    "locality_monitor.ignored_first_hits",
+    "locality_monitor.host_advice",
+)
+
+#: PEI dispatch and execution (repro.core.pmu, repro.core.executor).
+PEI_KEYS: Tuple[str, ...] = (
+    "pei.host_dispatched",
+    "pei.mem_dispatched",
+    "pei.balanced_host_overrides",
+    "pei.pfences",
+    "pei.issued",
+    "pei.operand_buffer_stall_cycles",
+    "pei.host_executed",
+    "pei.mem_executed",
+)
+
+#: PIM directory occupancy (repro.core.pim_directory).
+PIM_DIRECTORY_KEYS: Tuple[str, ...] = (
+    "pim_directory.accesses",
+    "pim_directory.conflicts",
+    "pim_directory.wait_cycles",
+)
+
+#: Gauges: byte totals read off the links at collection time and runtimes
+#: (written through Stats.set, merged by max — see repro.sim.stats).
+GAUGE_KEYS: Tuple[str, ...] = (
+    "offchip.request_bytes",
+    "offchip.response_bytes",
+    "tsv.bytes",
+    "xbar.bytes",
+    "runtime.cycles",
+)
+
+#: Every declared counter key.
+STAT_KEYS: FrozenSet[str] = frozenset(
+    CACHE_KEYS + COHERENCE_KEYS + PMU_KEYS + DRAM_KEYS + OFFCHIP_KEYS
+    + CORE_KEYS + LOCALITY_MONITOR_KEYS + PEI_KEYS + PIM_DIRECTORY_KEYS
+)
+
+#: Counters and gauges together.
+ALL_KEYS: FrozenSet[str] = STAT_KEYS | frozenset(GAUGE_KEYS)
+
+
+def is_declared(key: str) -> bool:
+    """Is ``key`` part of the registered stats vocabulary?"""
+    return key in ALL_KEYS

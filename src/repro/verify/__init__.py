@@ -1,0 +1,69 @@
+"""repro.verify: bounded protocol checker for the PEI architecture.
+
+Three cooperating pieces (see ``docs/verification.md``):
+
+* :mod:`repro.verify.golden` — a reference model of the Section 4.3
+  protocol written in the paper's own vocabulary (readable/writeable bits,
+  10-bit reader / 1-bit writer counters, per-block cache-copy and
+  memory-freshness state), deliberately independent of the simulator's
+  timestamp encoding.
+* :mod:`repro.verify.explorer` / :mod:`repro.verify.coherence` — bounded
+  exhaustive exploration: every interleaving of small PEI workloads is
+  replayed through the real :class:`~repro.core.pim_directory.PimDirectory`
+  (and, for coherence, a full built machine) and checked against the
+  VER001–VER014 invariants.
+* :mod:`repro.verify.differential` — replays each explored schedule
+  through the golden model too and fails on any timeline divergence.
+
+:mod:`repro.verify.mutants` seeds known protocol defects into the simulator
+and requires the above to kill every one — the harness validates itself.
+
+Run ``python -m repro.verify all`` (or ``make verify``) for the whole
+sweep; ``explore``, ``diff``, ``coherence`` and ``mutants`` run the pieces
+individually.
+"""
+
+from repro.verify.coherence import CoherenceBounds, run_coherence
+from repro.verify.differential import diff_schedule, run_all, run_differential
+from repro.verify.explorer import (
+    ExploreReport,
+    Violation,
+    check_invariants,
+    explore,
+    replay,
+)
+from repro.verify.golden import GoldenCacheState, GoldenDirectory, GoldenError
+from repro.verify.mutants import MUTANTS, MutantReport, run_mutants
+from repro.verify.schedule import (
+    DirectoryCase,
+    ExploreBounds,
+    Schedule,
+    count_schedules,
+    default_directory_cases,
+    enumerate_schedules,
+)
+
+__all__ = [
+    "CoherenceBounds",
+    "DirectoryCase",
+    "ExploreBounds",
+    "ExploreReport",
+    "GoldenCacheState",
+    "GoldenDirectory",
+    "GoldenError",
+    "MUTANTS",
+    "MutantReport",
+    "Schedule",
+    "Violation",
+    "check_invariants",
+    "count_schedules",
+    "default_directory_cases",
+    "diff_schedule",
+    "enumerate_schedules",
+    "explore",
+    "replay",
+    "run_all",
+    "run_coherence",
+    "run_differential",
+    "run_mutants",
+]

@@ -1,0 +1,130 @@
+"""Differential checking: real timestamp directory vs. golden counter model.
+
+Every schedule the explorer replays through the real
+:class:`~repro.core.pim_directory.PimDirectory` is replayed here through the
+paper-literal :class:`~repro.verify.golden.GoldenDirectory` as well, and the
+two timelines are compared event by event:
+
+========  ==========================================================
+VER007    the real directory granted a PEI (or released a pfence) at
+          a different time, or into a different entry, than the
+          golden model admits
+VER008    the golden model's own hardware-width bookkeeping tripped
+          (counter overflow, writer admitted into an occupied entry)
+          while replaying the *real* timeline's admissible schedule
+========  ==========================================================
+
+Because the two encodings provably perform the same max/+ float arithmetic
+on correct implementations (see :mod:`repro.verify.golden`), the comparison
+uses a tight tolerance rather than windowed ordering — a mutation as small
+as dropping the handoff penalty or releasing a writer as a reader shifts a
+grant by whole penalty/occupancy amounts and is caught immediately.
+"""
+
+from typing import Callable, List
+
+from repro.util.bitops import ilog2, xor_fold
+from repro.verify.explorer import (
+    ExploreReport,
+    ReplayResult,
+    Violation,
+    explore,
+    occupancy_of,
+    times_close,
+)
+from repro.verify.golden import GoldenDirectory, GoldenError
+from repro.verify.schedule import DirectoryCase, ExploreBounds, Schedule
+
+__all__ = [
+    "golden_index_fn",
+    "build_golden",
+    "diff_schedule",
+    "run_differential",
+    "run_all",
+]
+
+
+def golden_index_fn(case: DirectoryCase) -> Callable[[int], int]:
+    """The geometry's index function, derived independently of PimDirectory.
+
+    Computed straight from ``xor_fold`` so a mutated ``PimDirectory.index_of``
+    diverges from the golden expectation instead of poisoning both sides.
+    """
+    if case.ideal:
+        return lambda block: block
+    bits = ilog2(case.entries)
+    return lambda block: xor_fold(block, bits)
+
+
+def build_golden(case: DirectoryCase) -> GoldenDirectory:
+    return GoldenDirectory(
+        index_fn=golden_index_fn(case),
+        entries=case.entries,
+        latency=case.latency,
+        handoff_penalty=case.handoff_penalty,
+        ideal=case.ideal,
+    )
+
+
+def diff_schedule(
+    case: DirectoryCase,
+    sched: Schedule,
+    result: ReplayResult,
+    memory_lead: float,
+) -> List[Violation]:
+    """Replay one schedule through the golden model; compare timelines."""
+    golden = build_golden(case)
+    out: List[Violation] = []
+    desc = sched.describe()
+
+    def bad(code: str, detail: str) -> None:
+        out.append(Violation(code=code, case=case.name, schedule=desc,
+                             detail=detail))
+
+    peis = {pei.step_index: pei for pei in result.peis}
+    fences = {fence.step_index: fence for fence in result.fences}
+    for i, step in enumerate(sched.steps):
+        if i in fences:
+            fence = fences[i]
+            expected = golden.fence(fence.issue)
+            if not times_close(fence.release, expected.release):
+                bad("VER007",
+                    f"step {i} pfence released at {fence.release:g}, golden "
+                    f"model requires {expected.release:g}")
+            continue
+        pei = peis.get(i)
+        if pei is None:
+            bad("VER007", f"step {i} produced no replay record")
+            continue
+        try:
+            expected = golden.admit_pei(
+                pei.block, step.is_writer, pei.issue,
+                occupancy_of(step, memory_lead))
+        except GoldenError as exc:
+            bad("VER008", f"step {i}: golden model bookkeeping failed: {exc}")
+            return out
+        if not case.ideal and expected.entry != pei.entry:
+            bad("VER007",
+                f"step {i} block {pei.block} entered entry {pei.entry}, "
+                f"golden fold says {expected.entry}")
+        if not times_close(pei.grant, expected.grant):
+            bad("VER007",
+                f"step {i} ({step.describe()}) granted at {pei.grant:g}, "
+                f"golden model admits {expected.grant:g}"
+                + (" (after blocking)" if expected.blocked else ""))
+    return out
+
+
+def run_differential(bounds: ExploreBounds, fail_fast: bool = False) -> ExploreReport:
+    """Differential-only sweep (invariants still computed, they are cheap)."""
+    return run_all(bounds, fail_fast=fail_fast)
+
+
+def run_all(bounds: ExploreBounds, fail_fast: bool = False) -> ExploreReport:
+    """One enumeration pass running invariants *and* the differential."""
+
+    def extra(case: DirectoryCase, sched: Schedule,
+              result: ReplayResult) -> List[Violation]:
+        return diff_schedule(case, sched, result, bounds.memory_lead)
+
+    return explore(bounds, fail_fast=fail_fast, extra_check=extra)

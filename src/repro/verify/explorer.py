@@ -1,0 +1,334 @@
+"""Bounded exhaustive exploration of PEI interleavings (the real directory).
+
+For every :class:`~repro.verify.schedule.Schedule` at the configured bound
+and every directory geometry, :func:`replay` drives a **fresh, real**
+:class:`~repro.core.pim_directory.PimDirectory` through the schedule exactly
+as the executor would (acquire → occupy → release, fences via
+``fence_time``) and records the resulting timeline.  :func:`check_invariants`
+then judges the timeline against the protocol obligations of Section 4.3:
+
+========  ==========================================================
+VER001    two writer PEIs of one *block* overlap in time
+VER002    a reader PEI of a block overlaps a writer PEI of that block
+VER003    unstable or out-of-range directory indexing (a tag-less
+          false negative: one block visiting two entries)
+VER004    grant precedes issue + directory latency, or completion
+          precedes grant (time ran backwards)
+VER005    a pfence released before a previously issued writer PEI
+          completed
+VER006    two PEIs sharing one directory *entry* overlap illegally
+          (covers aliased blocks, which must serialize even though
+          they never conflict architecturally)
+========  ==========================================================
+
+The differential codes VER007/VER008 and the coherence codes VER009+ live
+in :mod:`repro.verify.differential` and :mod:`repro.verify.coherence`.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.pim_directory import PimDirectory
+from repro.sim.stats import Stats
+from repro.verify.schedule import (
+    DirectoryCase,
+    ExploreBounds,
+    FenceStep,
+    PeiStep,
+    Schedule,
+    enumerate_schedules,
+)
+
+__all__ = [
+    "Violation",
+    "ReplayPei",
+    "ReplayFence",
+    "ReplayResult",
+    "ExploreReport",
+    "times_close",
+    "build_directory",
+    "replay",
+    "check_invariants",
+    "explore",
+]
+
+#: Tolerance for "these two timestamps should be the same computation".
+TIME_TOLERANCE = 1e-9
+
+
+def times_close(a: float, b: float, tol: float = TIME_TOLERANCE) -> bool:
+    """Equality-of-intent for timestamps without float `==` brittleness."""
+    return abs(a - b) <= tol
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach on one schedule."""
+
+    code: str
+    case: str
+    schedule: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.code} [{self.case}] {self.schedule}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class ReplayPei:
+    """One PEI's observed passage through the real directory."""
+
+    step_index: int
+    step: PeiStep
+    block: int        # real block number (case.blocks[step.block])
+    entry: int
+    issue: float
+    grant: float
+    completion: float
+
+
+@dataclass(frozen=True)
+class ReplayFence:
+    """One pfence's observed release."""
+
+    step_index: int
+    issue: float
+    release: float
+
+
+@dataclass
+class ReplayResult:
+    """Everything one schedule replay produced, in step order."""
+
+    peis: List[ReplayPei] = field(default_factory=list)
+    fences: List[ReplayFence] = field(default_factory=list)
+
+
+def build_directory(case: DirectoryCase) -> PimDirectory:
+    """A fresh real directory configured for one geometry case."""
+    return PimDirectory(
+        entries=case.entries,
+        latency=case.latency,
+        stats=Stats(),
+        ideal=case.ideal,
+        handoff_penalty=case.handoff_penalty,
+    )
+
+
+def occupancy_of(step: PeiStep, memory_lead: float) -> float:
+    """Lock occupancy after the grant: compute time plus, for memory-side
+    execution, the clean/operand-ship lead the executor pays first."""
+    lead = 0.0 if step.on_host else memory_lead
+    return lead + step.duration
+
+
+def replay(
+    case: DirectoryCase,
+    sched: Schedule,
+    memory_lead: float,
+    directory: Optional[PimDirectory] = None,
+) -> ReplayResult:
+    """Drive a real directory through one schedule; return the timeline.
+
+    Mirrors the executor's synchronous discipline: each PEI acquires at its
+    issue time, its completion is computed from the grant, and the release
+    is recorded immediately (the directory holds completions as future
+    timestamps, exactly as :class:`~repro.core.executor.PeiExecutor` does).
+    """
+    if directory is None:
+        directory = build_directory(case)
+    result = ReplayResult()
+    for i, step in enumerate(sched.steps):
+        issue = sched.issue(i)
+        if isinstance(step, FenceStep):
+            release = directory.fence_time(issue)
+            result.fences.append(ReplayFence(step_index=i, issue=issue,
+                                             release=release))
+            continue
+        block = case.blocks[step.block]
+        entry, grant = directory.acquire(block, step.is_writer, issue)
+        completion = grant + occupancy_of(step, memory_lead)
+        directory.release(entry, step.is_writer, completion)
+        result.peis.append(ReplayPei(
+            step_index=i, step=step, block=block, entry=entry,
+            issue=issue, grant=grant, completion=completion))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Invariant checking
+# ----------------------------------------------------------------------
+
+
+def _overlaps(a: ReplayPei, b: ReplayPei) -> bool:
+    """Strict interval overlap of two lock-hold windows [grant, completion).
+
+    Touching endpoints (one completes exactly when the next starts) is a
+    legal handoff, not an overlap.
+    """
+    return a.grant < b.completion - TIME_TOLERANCE \
+        and b.grant < a.completion - TIME_TOLERANCE
+
+
+def check_invariants(
+    case: DirectoryCase,
+    sched: Schedule,
+    result: ReplayResult,
+    directory: Optional[PimDirectory] = None,
+) -> List[Violation]:
+    """Judge one replayed timeline against the Section 4.3 obligations."""
+    out: List[Violation] = []
+    desc = sched.describe()
+
+    def bad(code: str, detail: str) -> None:
+        out.append(Violation(code=code, case=case.name, schedule=desc,
+                             detail=detail))
+
+    # VER003: index stability and range.
+    for pei in result.peis:
+        if directory is not None:
+            for _ in range(2):
+                again = directory.index_of(pei.block)
+                if again != pei.entry:
+                    bad("VER003",
+                        f"block {pei.block} indexed entry {pei.entry} at "
+                        f"acquire but {again} on re-query — tag-less "
+                        f"false negative")
+                    break
+        if not case.ideal and not 0 <= pei.entry < case.entries:
+            bad("VER003",
+                f"block {pei.block} mapped outside the table: entry "
+                f"{pei.entry} of {case.entries}")
+
+    # VER004: local monotonicity of each PEI's own timeline.
+    for pei in result.peis:
+        floor = pei.issue + (0.0 if case.ideal else case.latency)
+        if pei.grant < floor - TIME_TOLERANCE:
+            bad("VER004",
+                f"step {pei.step_index} granted at {pei.grant:g} before "
+                f"issue+latency {floor:g}")
+        if pei.completion < pei.grant - TIME_TOLERANCE:
+            bad("VER004",
+                f"step {pei.step_index} completed at {pei.completion:g} "
+                f"before its grant {pei.grant:g}")
+
+    # VER001/VER002: per-block atomicity (the architectural contract).
+    by_block: Dict[int, List[ReplayPei]] = {}
+    for pei in result.peis:
+        by_block.setdefault(pei.block, []).append(pei)
+    for block, peis in by_block.items():
+        for i in range(len(peis)):
+            for j in range(i + 1, len(peis)):
+                a, b = peis[i], peis[j]
+                if not (a.step.is_writer or b.step.is_writer):
+                    continue
+                if not _overlaps(a, b):
+                    continue
+                code = "VER001" if (a.step.is_writer and b.step.is_writer) \
+                    else "VER002"
+                bad(code,
+                    f"block {block}: steps {a.step_index} "
+                    f"({a.step.describe()}, [{a.grant:g},{a.completion:g})) "
+                    f"and {b.step_index} ({b.step.describe()}, "
+                    f"[{b.grant:g},{b.completion:g})) overlap")
+
+    # VER006: per-entry exclusion (the tag-less hardware contract — aliased
+    # blocks must serialize too, because the entry cannot tell them apart).
+    if not case.ideal:
+        by_entry: Dict[int, List[ReplayPei]] = {}
+        for pei in result.peis:
+            by_entry.setdefault(pei.entry, []).append(pei)
+        for entry, peis in by_entry.items():
+            for i in range(len(peis)):
+                for j in range(i + 1, len(peis)):
+                    a, b = peis[i], peis[j]
+                    if not (a.step.is_writer or b.step.is_writer):
+                        continue
+                    if _overlaps(a, b):
+                        bad("VER006",
+                            f"entry {entry}: steps {a.step_index} and "
+                            f"{b.step_index} (blocks {a.block}/{b.block}) "
+                            f"overlap — entry-level serialization violated")
+
+    # VER005: every fence waits for every writer issued before it.
+    for fence in result.fences:
+        if fence.release < fence.issue - TIME_TOLERANCE:
+            bad("VER005",
+                f"step {fence.step_index} fence released at "
+                f"{fence.release:g} before its own issue {fence.issue:g}")
+        for pei in result.peis:
+            if pei.step_index > fence.step_index or not pei.step.is_writer:
+                continue
+            if fence.release < pei.completion - TIME_TOLERANCE:
+                bad("VER005",
+                    f"step {fence.step_index} fence released at "
+                    f"{fence.release:g} before writer step "
+                    f"{pei.step_index} completed at {pei.completion:g}")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ExploreReport:
+    """Outcome of one exhaustive sweep."""
+
+    schedules: int = 0
+    replays: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    by_code: Dict[str, int] = field(default_factory=dict)
+
+    #: Keep at most this many violation records (counts stay exact).
+    max_kept: int = 50
+
+    @property
+    def ok(self) -> bool:
+        return not self.by_code
+
+    def record(self, violations: List[Violation]) -> None:
+        for violation in violations:
+            self.by_code[violation.code] = self.by_code.get(violation.code, 0) + 1
+            if len(self.violations) < self.max_kept:
+                self.violations.append(violation)
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        counts = " ".join(f"{c}={n}" for c, n in sorted(self.by_code.items()))
+        tail = f" ({counts})" if counts else ""
+        return (f"{verdict}: {self.schedules} schedules, "
+                f"{self.replays} replays{tail}")
+
+
+def explore(
+    bounds: ExploreBounds,
+    fail_fast: bool = False,
+    extra_check: Optional[
+        Callable[[DirectoryCase, Schedule, ReplayResult], List[Violation]]
+    ] = None,
+) -> ExploreReport:
+    """Exhaustively replay every schedule at the bound under every geometry.
+
+    ``extra_check`` lets the differential harness piggyback on the same
+    enumeration pass (one walk, both checkers) — it receives the case, the
+    schedule, and the real timeline, and returns further violations.
+    """
+    report = ExploreReport()
+    cases = bounds.directory_cases()
+    for sched in enumerate_schedules(bounds):
+        report.schedules += 1
+        for case in cases:
+            directory = build_directory(case)
+            result = replay(case, sched, bounds.memory_lead,
+                            directory=directory)
+            report.replays += 1
+            found = check_invariants(case, sched, result, directory=directory)
+            if extra_check is not None:
+                found.extend(extra_check(case, sched, result))
+            if found:
+                report.record(found)
+                if fail_fast:
+                    return report
+    return report

@@ -1,0 +1,46 @@
+"""Tests for ``python -m repro.analysis determinism`` (replay fidelity)."""
+
+from repro.analysis.__main__ import _fingerprint, main
+
+
+class _FakeResult:
+    def __init__(self, cycles=123.5):
+        self.cycles = cycles
+        self.instructions = 10
+        self.per_core_instructions = [5, 5]
+        self.stats = {"l1.hits": 4.0}
+
+
+class _FakeTracer:
+    def __init__(self, events=("e",), dropped=0):
+        self.events = list(events)
+        self.dropped = dropped
+
+
+class TestFingerprint:
+    def test_identical_runs_match(self):
+        assert _fingerprint(_FakeResult(), _FakeTracer()) == \
+            _fingerprint(_FakeResult(), _FakeTracer())
+
+    def test_bit_level_float_drift_is_caught(self):
+        drifted = _FakeResult(cycles=123.5 + 1e-12)
+        assert _fingerprint(_FakeResult(), _FakeTracer()) != \
+            _fingerprint(drifted, _FakeTracer())
+
+    def test_event_stream_is_part_of_the_fingerprint(self):
+        a = _fingerprint(_FakeResult(), _FakeTracer(events=("e1",)))
+        b = _fingerprint(_FakeResult(), _FakeTracer(events=("e2",)))
+        assert a != b
+
+
+class TestCli:
+    def test_small_run_is_replayable(self, capsys):
+        status = main(["determinism", "-w", "PR", "-p", "locality-aware",
+                       "--ops", "300"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "identical" in out and "replayable" in out
+
+    def test_unknown_workload_is_a_usage_error(self, capsys):
+        status = main(["determinism", "-w", "NOPE", "--ops", "10"])
+        assert status == 2

@@ -204,6 +204,60 @@ class TestIntrinsicRegistry:
         assert codes(out) == ["SIM006"]
 
 
+class TestStatsKeyRegistry:
+    REGISTRY = (
+        'CACHE_KEYS = (\n    "l1.hits",\n    "l1.accesses",\n)\n'
+        'GAUGE_KEYS = ("tsv.bytes",)\n'
+        'NOT_KEYS_LIST = ("never.declared",)\n'
+    )
+
+    def write_pair(self, tmp_path, consumer):
+        (tmp_path / "sim").mkdir(parents=True, exist_ok=True)
+        (tmp_path / "sim" / "stat_keys.py").write_text(self.REGISTRY)
+        (tmp_path / "mod.py").write_text(consumer)
+        return lint_paths([tmp_path])
+
+    def test_declared_key_is_fine(self, tmp_path):
+        out = self.write_pair(
+            tmp_path,
+            "def tick(self):\n"
+            "    self.stats.add('l1.hits')\n"
+            "    self.stats.set('tsv.bytes', 4.0)\n",
+        )
+        assert out == []
+
+    def test_typoed_key_fires(self, tmp_path):
+        out = self.write_pair(
+            tmp_path, "def tick(stats):\n    stats.add('l1.hitz')\n")
+        assert codes(out) == ["SIM007"]
+        assert "l1.hitz" in out[0].message
+
+    def test_only_keys_suffixed_groups_declare(self, tmp_path):
+        # NOT_KEYS_LIST does not end in _KEYS, so its strings don't count.
+        out = self.write_pair(
+            tmp_path, "def tick(stats):\n    stats.add('never.declared')\n")
+        assert codes(out) == ["SIM007"]
+
+    def test_dynamic_key_is_skipped(self, tmp_path):
+        out = self.write_pair(
+            tmp_path,
+            "def flush(stats, gauges):\n"
+            "    for name, value in gauges.items():\n"
+            "        stats.set(name, value)\n",
+        )
+        assert out == []
+
+    def test_non_stats_receiver_is_skipped(self, tmp_path):
+        out = self.write_pair(
+            tmp_path, "def grow(self):\n    self.blocks.add('l1.hitz')\n")
+        assert out == []
+
+    def test_missing_registry_disables_rule(self, tmp_path):
+        out = lint_source(
+            tmp_path, "def tick(stats):\n    stats.add('anything.goes')\n")
+        assert out == []
+
+
 class TestWaivers:
     def test_justified_waiver_suppresses(self, tmp_path):
         out = lint_source(
@@ -227,10 +281,48 @@ class TestWaivers:
         assert codes(out) == ["SIM000", "SIM005"]
 
     def test_waiver_for_other_code_does_not_suppress(self, tmp_path):
+        # The SIM005 violation survives, and the SIM001 waiver — justified
+        # but matching nothing — is reported as stale.
         out = lint_source(
             tmp_path,
             "t_retrain_ns = 50.0  # simlint: ignore[SIM001] -- wrong code\n")
-        assert codes(out) == ["SIM005"]
+        assert codes(out) == ["SIM005", "SIM008"]
+
+    def test_stale_waiver_is_reported(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "# simlint: ignore[SIM005] -- excused a literal removed since\n"
+            "t_retrain = table.lookup()\n",
+        )
+        assert codes(out) == ["SIM008"]
+        assert out[0].line == 1
+
+    def test_stale_waiver_ignored_when_rule_not_selected(self, tmp_path):
+        # With SIM005 not running, the linter cannot know whether the
+        # waiver suppresses anything, so it stays silent.
+        out = lint_source(
+            tmp_path,
+            "# simlint: ignore[SIM005] -- excused a literal removed since\n"
+            "t_retrain = table.lookup()\n",
+            select=["SIM001"],
+        )
+        assert out == []
+
+    def test_unjustified_match_is_used_not_stale(self, tmp_path):
+        # A pragma that matches a violation but lacks a justification gets
+        # SIM000 only — it is not *also* stale.
+        out = lint_source(
+            tmp_path, "t_retrain_ns = 50.0  # simlint: ignore[SIM005]\n")
+        assert "SIM008" not in codes(out)
+
+    def test_pragma_text_in_docstring_is_not_a_waiver(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            '"""Example waiver::\n\n'
+            "    x = 1.0  # simlint: ignore[SIM005] -- vendor-quoted\n"
+            '"""\n',
+        )
+        assert out == []
 
 
 class TestDriver:
@@ -251,7 +343,8 @@ class TestDriver:
 
     def test_rule_registry_is_complete(self):
         assert set(RULES) == {
-            "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006"}
+            "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
+            "SIM007"}
         for rule in RULES.values():
             assert rule.title and rule.rationale
 

@@ -214,6 +214,92 @@ class TestOperandBufferCapacity:
         assert sanitize_events(stream, operand_buffer_entries=1).ok
 
 
+class TestEntryExclusion:
+    """SAN009: blocks 1 and 16 XOR-fold onto entry 1 of a 4-entry table."""
+
+    def test_aliased_writers_overlapping_fire_san009(self):
+        first = host_pei(block=1, issue=0.0, grant=0.0, completion=100.0)
+        second = host_pei(core=1, block=16, issue=10.0, grant=50.0,
+                          completion=150.0)
+        report = sanitize_events([first, second], directory_entries=4)
+        assert codes(report) == ["SAN009"]
+        assert report.violations[0].events == (first, second)
+
+    def test_reader_overlapping_aliased_writer_fires_san009(self):
+        report = sanitize_events([
+            host_pei(block=1, issue=0.0, grant=0.0, completion=100.0),
+            host_pei(core=1, op=READER, block=16, issue=10.0, grant=50.0,
+                     completion=150.0),
+        ], directory_entries=4)
+        assert codes(report) == ["SAN009"]
+
+    def test_serialized_aliased_blocks_are_clean(self):
+        report = sanitize_events([
+            host_pei(block=1, issue=0.0, grant=0.0, completion=100.0),
+            host_pei(core=1, block=16, issue=10.0, grant=100.0,
+                     completion=200.0),
+        ], directory_entries=4)
+        assert report.ok
+
+    def test_aliased_readers_may_share_the_entry(self):
+        report = sanitize_events([
+            host_pei(op=READER, block=1, issue=0.0, grant=0.0,
+                     completion=100.0),
+            host_pei(core=1, op=READER, block=16, issue=0.0, grant=0.0,
+                     completion=100.0),
+        ], directory_entries=4)
+        assert report.ok
+
+    def test_non_aliased_blocks_never_conflict(self):
+        report = sanitize_events([
+            host_pei(block=1, issue=0.0, grant=0.0, completion=100.0),
+            host_pei(core=1, block=2, issue=0.0, grant=0.0, completion=100.0),
+        ], directory_entries=4)
+        assert report.ok
+
+    def test_entry_checks_off_without_geometry(self):
+        report = sanitize_events([
+            host_pei(block=1, issue=0.0, grant=0.0, completion=100.0),
+            host_pei(core=1, block=16, issue=10.0, grant=50.0,
+                     completion=150.0),
+        ])
+        assert report.ok
+
+    def test_non_power_of_two_entry_count_rejected(self):
+        with pytest.raises(ValueError):
+            sanitize_events([host_pei()], directory_entries=3)
+
+
+class TestReaderCounterWidth:
+    def test_over_width_readers_fire_san010(self):
+        # A 1-bit counter holds a single reader; two in flight overflow it.
+        report = sanitize_events([
+            host_pei(op=READER, block=1, issue=0.0, grant=0.0,
+                     completion=100.0),
+            host_pei(core=1, op=READER, block=1, issue=5.0, grant=10.0,
+                     completion=110.0),
+        ], directory_entries=4, reader_counter_bits=1)
+        assert codes(report) == ["SAN010"]
+        assert len(report.violations[0].events) == 2
+
+    def test_serialized_readers_fit_any_width(self):
+        report = sanitize_events([
+            host_pei(op=READER, block=1, issue=0.0, grant=0.0,
+                     completion=100.0),
+            host_pei(core=1, op=READER, block=1, issue=5.0, grant=100.0,
+                     completion=200.0),
+        ], directory_entries=4, reader_counter_bits=1)
+        assert report.ok
+
+    def test_default_width_admits_many_readers(self):
+        report = sanitize_events([
+            host_pei(core=c, op=READER, block=1, issue=0.0, grant=0.0,
+                     completion=100.0)
+            for c in range(8)
+        ], directory_entries=4)
+        assert report.ok
+
+
 class TestTraceIntegrity:
     def test_dropped_events_fire_san007(self):
         report = sanitize_events([host_pei()], dropped=3)
@@ -247,7 +333,7 @@ class TestReporting:
         assert "1 violation" in dirty.format()
 
     def test_checks_catalogue_matches_codes(self):
-        assert set(CHECKS) == {f"SAN00{i}" for i in range(1, 9)}
+        assert set(CHECKS) == {f"SAN{i:03d}" for i in range(1, 11)}
 
 
 class TestCleanStream:

@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.pim_directory import PimDirectory
+from repro.util.rng import make_rng
 
 
 class TestIndexing:
@@ -31,6 +32,38 @@ class TestIndexing:
     def test_rejects_non_power_of_two(self):
         with pytest.raises(ValueError):
             PimDirectory(entries=1000)
+
+
+class TestIndexProperties:
+    """Property tests for the index map, the atomicity keystone:
+    same block must always land on the same in-range entry."""
+
+    @given(st.integers(min_value=0, max_value=2**48),
+           st.sampled_from([2, 16, 256, 2048]))
+    def test_same_block_same_in_range_entry(self, block, entries):
+        d = PimDirectory(entries=entries)
+        first = d.index_of(block)
+        assert first == d.index_of(block)
+        assert 0 <= first < entries
+
+    @given(st.integers(min_value=0, max_value=2**32),
+           st.integers(min_value=0, max_value=2**32))
+    def test_ideal_never_aliases(self, a, b):
+        d = PimDirectory(ideal=True)
+        assert (d.index_of(a) == d.index_of(b)) == (a == b)
+
+    def test_seeded_sweep_normal_and_ideal(self):
+        # A reproducible random block stream (through the repo's seed tree,
+        # not global random state) exercised against both realizations.
+        rng = make_rng(2015, "tests.pim_directory.index")
+        normal = PimDirectory(entries=256)
+        ideal = PimDirectory(ideal=True)
+        for _ in range(500):
+            block = int(rng.integers(0, 2**40))
+            entry = normal.index_of(block)
+            assert 0 <= entry < 256
+            assert entry == normal.index_of(block)
+            assert ideal.index_of(block) == ideal.index_of(block)
 
 
 class TestLockProtocol:
@@ -158,6 +191,73 @@ def test_no_overlapping_writers_per_block(ops):
                 continue  # different entries or reader-reader: may overlap
             # Writer intervals must not strictly overlap anything else.
             assert g1 >= c2 or g2 >= c1, "writer span overlap detected"
+
+
+class TestBlockingRules:
+    """The paper's blocking matrix, pinned case by case."""
+
+    def test_writer_waits_for_latest_of_multiple_readers(self):
+        d = PimDirectory(latency=0.0, handoff_penalty=0.0)
+        e, _ = d.acquire(5, False, 0.0)
+        d.release(e, False, 50.0)
+        e, _ = d.acquire(5, False, 0.0)
+        d.release(e, False, 80.0)
+        _, grant = d.acquire(5, True, 0.0)
+        assert grant == 80.0  # readers_max, not the first reader
+
+    def test_reader_ignores_in_flight_readers(self):
+        d = PimDirectory(latency=0.0, handoff_penalty=0.0)
+        e, _ = d.acquire(5, False, 0.0)
+        d.release(e, False, 500.0)
+        _, grant = d.acquire(5, False, 10.0)
+        assert grant == 10.0
+
+    def test_boundary_completion_pays_no_handoff(self):
+        # busy_until == arrival is a clean back-to-back grant: the acquirer
+        # never waited, so no lock handoff is charged.
+        d = PimDirectory(latency=0.0, handoff_penalty=10.0)
+        e, _ = d.acquire(5, True, 0.0)
+        d.release(e, True, 100.0)
+        _, grant = d.acquire(5, True, 100.0)
+        assert grant == 100.0
+
+    def test_directory_latency_counts_toward_the_wait(self):
+        # The lock is checked at arrival (issue + latency); a writer that
+        # completes inside that window causes neither wait nor handoff.
+        d = PimDirectory(latency=2.0, handoff_penalty=10.0)
+        e, _ = d.acquire(5, True, 0.0)
+        d.release(e, True, 11.0)
+        _, grant = d.acquire(5, True, 10.0)  # arrives at 12.0 > 11.0
+        assert grant == 12.0
+
+    def test_wait_statistics_only_on_actual_waits(self):
+        d = PimDirectory(latency=0.0, handoff_penalty=10.0)
+        e, _ = d.acquire(5, True, 0.0)
+        d.release(e, True, 100.0)
+        d.acquire(5, True, 200.0)  # arrives after the writer completed
+        assert d.stats["pim_directory.conflicts"] == 0
+        assert d.stats["pim_directory.wait_cycles"] == 0.0
+        assert d.stats["pim_directory.accesses"] == 2
+
+
+class TestFenceLatency:
+    def test_fence_adds_directory_latency(self):
+        d = PimDirectory(latency=2.0)
+        assert d.fence_time(10.0) == 12.0
+
+    def test_ideal_fence_is_free(self):
+        d = PimDirectory(latency=2.0, ideal=True)
+        assert d.fence_time(10.0) == 10.0
+
+    def test_quiesce_vs_fence_after_mixed_traffic(self):
+        # fence_time covers writers only; quiesce_time covers everything.
+        d = PimDirectory(latency=0.0, handoff_penalty=0.0)
+        e, _ = d.acquire(5, True, 0.0)
+        d.release(e, True, 60.0)
+        e, _ = d.acquire(6, False, 0.0)
+        d.release(e, False, 90.0)
+        assert d.fence_time(10.0) == 60.0
+        assert d.quiesce_time(10.0) == 90.0
 
 
 class TestHandoffPenalty:

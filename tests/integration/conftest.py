@@ -35,9 +35,11 @@ def simsan_guard(request, monkeypatch):
             result = original_run(self, *args, **kwargs)
         finally:
             executor.tracer = prior
+        directory = self.machine.directory
         report = sanitize_tracer(
             tracer,
             operand_buffer_entries=self.config.pcu_operand_buffer_entries,
+            directory_entries=None if directory.ideal else directory.entries,
         )
         assert report.ok, f"simsan protocol violation:\n{report.format()}"
         return result

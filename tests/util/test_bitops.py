@@ -14,6 +14,7 @@ from repro.util.bitops import (
     mask,
     xor_fold,
 )
+from repro.util.rng import make_rng
 
 
 class TestIsPowerOfTwo:
@@ -87,6 +88,34 @@ class TestXorFold:
         # The atomicity guarantee: equal blocks always map to equal entries.
         if a == b:
             assert xor_fold(a, 11) == xor_fold(b, 11)
+
+
+class TestXorFoldProperties:
+    """The fold is a chunk-wise XOR; pin its defining recurrence and its
+    determinism over a reproducible seeded block stream."""
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=1, max_value=16))
+    def test_fold_recurrence(self, value, bits):
+        # Folding is XOR of bits-wide chunks, LSB first:
+        # fold(v) == (v & mask) ^ fold(v >> bits).
+        assert xor_fold(value, bits) == \
+            (value & mask(bits)) ^ xor_fold(value >> bits, bits)
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1),
+           st.integers(min_value=1, max_value=16))
+    def test_fold_is_identity_below_width(self, value, bits):
+        if value < (1 << bits):
+            assert xor_fold(value, bits) == value
+
+    def test_seeded_stream_is_stable_and_in_range(self):
+        rng = make_rng(2015, "tests.bitops.fold")
+        blocks = [int(rng.integers(0, 2**48)) for _ in range(500)]
+        for bits in (2, 8, 11):
+            first = [xor_fold(block, bits) for block in blocks]
+            second = [xor_fold(block, bits) for block in blocks]
+            assert first == second
+            assert all(0 <= f < (1 << bits) for f in first)
 
 
 class TestBlockHelpers:

@@ -1,0 +1,24 @@
+"""Smoke tests for the ``python -m repro.verify`` command-line driver."""
+
+from repro.verify.__main__ import main
+
+
+class TestVerifyCli:
+    def test_explore_tiny_bound_passes(self, capsys):
+        status = main(["explore", "--max-peis", "2", "--durations", "3",
+                       "--strides", "0", "--no-fences"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "PASS" in out
+
+    def test_diff_tiny_bound_passes(self, capsys):
+        status = main(["diff", "--max-peis", "2", "--durations", "3",
+                       "--strides", "0", "--no-fences"])
+        assert status == 0
+        assert "explore+diff" in capsys.readouterr().out
+
+    def test_mutants_pass_and_are_listed(self, capsys):
+        status = main(["mutants"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "KILLED" in out and "SURVIVED" not in out

@@ -1,0 +1,83 @@
+"""Tests for the differential checker (real directory vs. golden model)."""
+
+from repro.verify.differential import diff_schedule, golden_index_fn, run_all
+from repro.verify.explorer import replay
+from repro.verify.schedule import (
+    DirectoryCase,
+    ExploreBounds,
+    PeiStep,
+    Schedule,
+)
+
+TINY = ExploreBounds(max_peis=2, n_blocks=2, durations=(3.0,),
+                     strides=(0.0, 7.0))
+
+CASE = DirectoryCase(name="unit", entries=4, latency=2.0,
+                     handoff_penalty=10.0, ideal=False, blocks=(1, 4))
+
+MEMORY_LEAD = 6.0
+
+
+def writer(block=0):
+    return PeiStep(is_writer=True, on_host=True, block=block, duration=3.0)
+
+
+class TestGoldenIndex:
+    def test_matches_real_directory(self):
+        from repro.verify.explorer import build_directory
+        directory = build_directory(CASE)
+        fn = golden_index_fn(CASE)
+        for block in (0, 1, 4, 5, 1023, 2**20 + 7):
+            assert fn(block) == directory.index_of(block)
+
+
+class TestDiff:
+    def test_faithful_replay_diffs_clean(self):
+        sched = Schedule(steps=(writer(0), writer(1), writer(0)), stride=7.0)
+        result = replay(CASE, sched, MEMORY_LEAD)
+        assert diff_schedule(CASE, sched, result, MEMORY_LEAD) == []
+
+    def test_tampered_grant_fires_ver007(self):
+        sched = Schedule(steps=(writer(0), writer(0)), stride=0.0)
+        result = replay(CASE, sched, MEMORY_LEAD)
+        pei = result.peis[1]
+        result.peis[1] = type(pei)(
+            step_index=pei.step_index, step=pei.step, block=pei.block,
+            entry=pei.entry, issue=pei.issue,
+            grant=pei.grant + 1.0, completion=pei.completion + 1.0)
+        codes = {v.code for v in diff_schedule(CASE, sched, result,
+                                               MEMORY_LEAD)}
+        assert "VER007" in codes
+
+    def test_wrong_entry_fires_ver007(self):
+        sched = Schedule(steps=(writer(0),), stride=0.0)
+        result = replay(CASE, sched, MEMORY_LEAD)
+        pei = result.peis[0]
+        result.peis[0] = type(pei)(
+            step_index=pei.step_index, step=pei.step, block=pei.block,
+            entry=(pei.entry + 1) % CASE.entries, issue=pei.issue,
+            grant=pei.grant, completion=pei.completion)
+        codes = {v.code for v in diff_schedule(CASE, sched, result,
+                                               MEMORY_LEAD)}
+        assert "VER007" in codes
+
+    def test_protocol_breaking_timeline_fires_ver008(self):
+        # Two writers granted concurrently cannot be admitted by the golden
+        # entry at all: that is a VER008 (golden admission failure).
+        sched = Schedule(steps=(writer(0), writer(0)), stride=0.0)
+        result = replay(CASE, sched, MEMORY_LEAD)
+        pei = result.peis[1]
+        result.peis[1] = type(pei)(
+            step_index=pei.step_index, step=pei.step, block=pei.block,
+            entry=pei.entry, issue=pei.issue,
+            grant=result.peis[0].grant, completion=result.peis[0].completion)
+        codes = {v.code for v in diff_schedule(CASE, sched, result,
+                                               MEMORY_LEAD)}
+        assert codes & {"VER007", "VER008"}
+
+
+class TestSweep:
+    def test_tiny_differential_sweep_is_clean(self):
+        report = run_all(TINY)
+        assert report.ok, report.summary()
+        assert report.schedules > 0

@@ -1,0 +1,122 @@
+"""Tests for the bounded exhaustive explorer and its invariant checks."""
+
+from repro.verify.explorer import (
+    ExploreReport,
+    Violation,
+    check_invariants,
+    explore,
+    replay,
+)
+from repro.verify.schedule import (
+    DirectoryCase,
+    ExploreBounds,
+    FENCE,
+    PeiStep,
+    Schedule,
+    count_schedules,
+    enumerate_schedules,
+)
+
+TINY = ExploreBounds(max_peis=2, n_blocks=2, durations=(3.0,),
+                     strides=(0.0, 7.0), include_fences=True,
+                     include_memory_side=True)
+
+CASE = DirectoryCase(name="unit", entries=4, latency=2.0,
+                     handoff_penalty=10.0, ideal=False, blocks=(1, 4))
+
+
+def writer(block=0, host=True, duration=3.0):
+    return PeiStep(is_writer=True, on_host=host, block=block,
+                   duration=duration)
+
+
+def reader(block=0, host=True, duration=3.0):
+    return PeiStep(is_writer=False, on_host=host, block=block,
+                   duration=duration)
+
+
+class TestEnumeration:
+    def test_count_matches_enumeration(self):
+        schedules = list(enumerate_schedules(TINY))
+        assert len(schedules) == count_schedules(TINY)
+
+    def test_every_stride_appears(self):
+        strides = {sched.stride for sched in enumerate_schedules(TINY)}
+        assert strides == {0.0, 7.0}
+
+    def test_fences_can_be_excluded(self):
+        bare = ExploreBounds(max_peis=2, n_blocks=2, durations=(3.0,),
+                             strides=(0.0,), include_fences=False)
+        for sched in enumerate_schedules(bare):
+            assert FENCE not in sched.steps
+
+
+class TestReplay:
+    def test_contended_writers_serialize_with_handoff(self):
+        sched = Schedule(steps=(writer(), writer()), stride=0.0)
+        result = replay(CASE, sched, memory_lead=6.0)
+        first, second = result.peis
+        assert first.grant == 2.0            # issue + latency
+        assert first.completion == 5.0
+        assert second.grant == 15.0          # completion + handoff
+        assert check_invariants(CASE, sched, result) == []
+
+    def test_memory_side_occupancy_includes_lead(self):
+        sched = Schedule(steps=(writer(host=False),), stride=0.0)
+        result = replay(CASE, sched, memory_lead=6.0)
+        assert result.peis[0].completion == result.peis[0].grant + 9.0
+
+    def test_fence_waits_for_writer(self):
+        sched = Schedule(steps=(writer(), FENCE), stride=0.0)
+        result = replay(CASE, sched, memory_lead=6.0)
+        assert result.fences[0].release >= result.peis[0].completion
+
+
+class TestInvariants:
+    def test_overlapping_writers_fire_ver001(self):
+        sched = Schedule(steps=(writer(), writer()), stride=0.0)
+        result = replay(CASE, sched, memory_lead=6.0)
+        # Tamper: pull the second writer's grant inside the first's window.
+        tampered = result.peis[1]
+        result.peis[1] = type(tampered)(
+            step_index=tampered.step_index, step=tampered.step,
+            block=tampered.block, entry=tampered.entry,
+            issue=tampered.issue, grant=3.0, completion=6.0)
+        codes = {v.code for v in check_invariants(CASE, sched, result)}
+        assert "VER001" in codes
+
+    def test_early_grant_fires_ver004(self):
+        sched = Schedule(steps=(writer(),), stride=0.0)
+        result = replay(CASE, sched, memory_lead=6.0)
+        pei = result.peis[0]
+        result.peis[0] = type(pei)(
+            step_index=pei.step_index, step=pei.step, block=pei.block,
+            entry=pei.entry, issue=pei.issue, grant=0.5, completion=3.5)
+        codes = {v.code for v in check_invariants(CASE, sched, result)}
+        assert "VER004" in codes
+
+    def test_fence_below_writer_completion_fires_ver005(self):
+        sched = Schedule(steps=(writer(), FENCE), stride=0.0)
+        result = replay(CASE, sched, memory_lead=6.0)
+        fence = result.fences[0]
+        result.fences[0] = type(fence)(step_index=fence.step_index,
+                                       issue=fence.issue, release=1.0)
+        codes = {v.code for v in check_invariants(CASE, sched, result)}
+        assert "VER005" in codes
+
+
+class TestExplore:
+    def test_tiny_sweep_is_clean(self):
+        report = explore(TINY)
+        assert report.ok, report.summary()
+        assert report.schedules == count_schedules(TINY)
+        assert report.replays > report.schedules  # several geometries each
+
+    def test_report_caps_kept_violations(self):
+        report = ExploreReport(max_kept=2)
+        for i in range(5):
+            report.record([Violation(code="VER001", case="c",
+                                     schedule=f"s{i}", detail="d")])
+        assert len(report.violations) == 2
+        assert report.by_code["VER001"] == 5
+        assert not report.ok

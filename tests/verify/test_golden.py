@@ -1,0 +1,154 @@
+"""Unit tests for the golden reference model (paper-literal protocol)."""
+
+import pytest
+
+from repro.verify.golden import (
+    GoldenCacheState,
+    GoldenDirectory,
+    GoldenEntry,
+    GoldenError,
+)
+
+
+def make_directory(latency=2.0, handoff=10.0, ideal=False, entries=4):
+    return GoldenDirectory(index_fn=lambda block: block % entries,
+                           entries=entries, latency=latency,
+                           handoff_penalty=handoff, ideal=ideal)
+
+
+class TestAdmission:
+    def test_uncontended_pei_granted_at_arrival(self):
+        d = make_directory()
+        record = d.admit_pei(block=1, is_writer=True, issue=10.0,
+                             occupancy=5.0)
+        assert record.grant == 12.0          # issue + directory latency
+        assert record.completion == 17.0
+        assert not record.blocked
+
+    def test_reader_blocks_behind_writer_with_handoff(self):
+        d = make_directory(latency=0.0)
+        d.admit_pei(block=1, is_writer=True, issue=0.0, occupancy=50.0)
+        record = d.admit_pei(block=1, is_writer=False, issue=1.0,
+                             occupancy=5.0)
+        assert record.blocked
+        assert record.grant == 60.0          # writer completion + handoff
+
+    def test_readers_share_the_entry(self):
+        d = make_directory(latency=0.0)
+        d.admit_pei(block=1, is_writer=False, issue=0.0, occupancy=50.0)
+        record = d.admit_pei(block=1, is_writer=False, issue=1.0,
+                             occupancy=5.0)
+        assert not record.blocked
+        assert record.grant == 1.0
+
+    def test_writer_waits_for_readers(self):
+        d = make_directory(latency=0.0)
+        d.admit_pei(block=1, is_writer=False, issue=0.0, occupancy=30.0)
+        d.admit_pei(block=1, is_writer=False, issue=0.0, occupancy=80.0)
+        record = d.admit_pei(block=1, is_writer=True, issue=1.0,
+                             occupancy=5.0)
+        assert record.blocked
+        assert record.grant == 90.0          # latest reader + handoff
+
+    def test_aliased_blocks_serialize(self):
+        d = make_directory(latency=0.0, entries=4)
+        d.admit_pei(block=1, is_writer=True, issue=0.0, occupancy=50.0)
+        record = d.admit_pei(block=5, is_writer=True, issue=1.0,
+                             occupancy=5.0)
+        assert record.blocked                # 1 and 5 fold onto entry 1
+
+    def test_ideal_directory_has_no_latency(self):
+        d = make_directory(latency=2.0, ideal=True)
+        record = d.admit_pei(block=1, is_writer=True, issue=10.0,
+                             occupancy=5.0)
+        assert record.grant == 10.0
+
+    def test_index_escaping_table_raises(self):
+        d = GoldenDirectory(index_fn=lambda block: 99, entries=4,
+                            latency=0.0, handoff_penalty=0.0)
+        with pytest.raises(GoldenError):
+            d.admit_pei(block=1, is_writer=True, issue=0.0, occupancy=1.0)
+
+
+class TestFenceSemantics:
+    def test_fence_covers_writers(self):
+        d = make_directory(latency=0.0)
+        d.admit_pei(block=1, is_writer=True, issue=0.0, occupancy=100.0)
+        assert d.fence(issue=10.0).release == 100.0
+
+    def test_fence_ignores_readers(self):
+        d = make_directory(latency=0.0)
+        d.admit_pei(block=1, is_writer=False, issue=0.0, occupancy=100.0)
+        assert d.fence(issue=10.0).release == 10.0
+
+    def test_fence_pays_directory_latency(self):
+        d = make_directory(latency=2.0)
+        assert d.fence(issue=10.0).release == 12.0
+
+    def test_quiesce_includes_readers(self):
+        d = make_directory(latency=0.0)
+        d.admit_pei(block=1, is_writer=False, issue=0.0, occupancy=100.0)
+        assert d.quiesce(issue=10.0) == 100.0
+
+
+class TestCounterWidths:
+    def test_two_overlapping_writers_overflow_the_writer_bit(self):
+        entry = GoldenEntry()
+        entry.admit(is_writer=True, grant=0.0, completion=100.0)
+        with pytest.raises(GoldenError):
+            entry.admit(is_writer=True, grant=50.0, completion=150.0)
+
+    def test_writer_over_readers_is_rejected(self):
+        entry = GoldenEntry()
+        entry.admit(is_writer=False, grant=0.0, completion=100.0)
+        with pytest.raises(GoldenError):
+            entry.admit(is_writer=True, grant=50.0, completion=150.0)
+
+    def test_reader_during_writer_is_rejected(self):
+        entry = GoldenEntry()
+        entry.admit(is_writer=True, grant=0.0, completion=100.0)
+        with pytest.raises(GoldenError):
+            entry.admit(is_writer=False, grant=50.0, completion=150.0)
+
+    def test_serialized_occupants_are_fine(self):
+        entry = GoldenEntry()
+        entry.admit(is_writer=True, grant=0.0, completion=100.0)
+        entry.admit(is_writer=False, grant=100.0, completion=200.0)
+        entry.admit(is_writer=True, grant=200.0, completion=300.0)
+
+
+class TestCacheState:
+    def test_cold_block_needs_nothing(self):
+        state = GoldenCacheState()
+        expectation = state.expect_clean(is_writer=True)
+        assert not expectation.touches_hierarchy
+        assert not expectation.must_write_back
+        assert expectation.expected_stat() is None
+
+    def test_writer_invalidates_shared_clean_copy(self):
+        state = GoldenCacheState()
+        state.host_access(is_write=False)
+        expectation = state.expect_clean(is_writer=True)
+        assert expectation.touches_hierarchy and expectation.invalidates
+        assert not expectation.must_write_back
+        assert not expectation.present_after
+        assert expectation.expected_stat() == (
+            "pmu.back_invalidations", "pmu.back_writebacks")
+        assert not state.present
+
+    def test_reader_writes_back_dirty_copy_but_keeps_it(self):
+        state = GoldenCacheState()
+        state.host_access(is_write=True)
+        expectation = state.expect_clean(is_writer=False)
+        assert expectation.must_write_back
+        assert expectation.present_after
+        assert expectation.expected_stat() == (
+            "pmu.back_writebacks", "pmu.back_invalidations")
+        assert state.present and state.memory_fresh
+
+    def test_memory_fresh_after_any_clean(self):
+        state = GoldenCacheState()
+        state.host_access(is_write=True)
+        assert not state.memory_fresh
+        state.expect_clean(is_writer=True)
+        assert state.memory_fresh

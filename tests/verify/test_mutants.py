@@ -1,0 +1,43 @@
+"""Self-validation: every seeded protocol defect must be killed.
+
+This is the acceptance criterion for the checker itself — a harness that
+cannot detect a dropped handoff penalty or a skipped back-invalidation
+would pass silently on a broken simulator too.
+"""
+
+from repro.verify.mutants import MUTANTS, run_mutants
+
+
+class TestCatalogue:
+    def test_at_least_five_mutants(self):
+        assert len(MUTANTS) >= 5
+
+    def test_names_are_unique_and_described(self):
+        names = [mutant.name for mutant in MUTANTS]
+        assert len(names) == len(set(names))
+        for mutant in MUTANTS:
+            assert mutant.description
+
+    def test_catalogue_covers_both_layers(self):
+        # Directory-timing defects and machine-level coherence defects.
+        assert any(mutant.needs_machine for mutant in MUTANTS)
+        assert any(not mutant.needs_machine for mutant in MUTANTS)
+
+
+class TestKills:
+    def test_every_mutant_is_killed(self):
+        report = run_mutants()
+        assert report.ok, report.summary()
+        assert len(report.outcomes) == len(MUTANTS)
+        for outcome in report.outcomes:
+            assert outcome.killed, outcome.describe()
+            assert outcome.codes  # at least one VER/SAN code fired
+
+
+class TestBaselineStillClean:
+    def test_unmutated_simulator_passes_kill_bounds(self):
+        # The mutant harness's own bounds must be green on the real code,
+        # or a kill would be indistinguishable from a flaky bound.
+        from repro.verify.differential import run_all
+        from repro.verify.mutants import kill_bounds
+        assert run_all(kill_bounds()).ok
