@@ -1,6 +1,6 @@
 # Convenience targets for the PEI reproduction.
 
-.PHONY: install test lint sanitize verify determinism telemetry bench experiments quick clean
+.PHONY: install test lint sanitize verify determinism telemetry bench bench-smoke experiments quick clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -42,6 +42,15 @@ telemetry:
 # Regenerate every table and figure (writes benchmarks/results/).
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Runner smoke check: cold run simulates and fills the disk cache, warm run
+# must be served entirely from it (asserted via the BENCH_*.json trajectory
+# records in bench-history/; see docs/benchmarks.md).
+bench-smoke:
+	rm -rf .bench_cache bench-history
+	PYTHONPATH=src python -m repro.bench run smoke --jobs 2
+	PYTHONPATH=src python -m repro.bench run smoke --jobs 2
+	PYTHONPATH=src python -m repro.bench history --assert-warm
 
 # Same, via the CLI (no pytest-benchmark timing around it).
 experiments:

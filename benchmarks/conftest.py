@@ -3,11 +3,35 @@
 Each benchmark regenerates one table/figure of the paper; its rendered
 report is printed (run pytest with ``-s`` to see it live) and persisted
 under ``benchmarks/results/`` so the output survives pytest's capture.
+
+The suite honours the runner's environment knobs:
+
+* ``REPRO_BENCH_JOBS`` — worker processes for independent simulation
+  points (default 1, serial);
+* ``REPRO_BENCH_CACHE`` — on-disk result cache directory (default
+  ``.bench_cache``; set to ``0`` to disable caching).
 """
 
+import os
 import pathlib
 
+import pytest
+
+from repro.bench import runner
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def runner_backend():
+    """Configure parallelism and the disk cache from the environment."""
+    runner.set_jobs(int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+    cache = os.environ.get("REPRO_BENCH_CACHE", runner.DEFAULT_CACHE_DIR)
+    if cache != "0":
+        runner.enable_disk_cache(cache)
+    yield
+    runner.set_jobs(1)
+    runner.disable_disk_cache()
 
 
 def emit(report) -> None:

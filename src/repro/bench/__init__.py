@@ -1,13 +1,29 @@
 """Experiment harness regenerating every table and figure of the paper."""
 
-from repro.bench.runner import BenchSettings, run_config, run_workload
+from repro.bench.frontier import RunRequest, WorkloadSpec, run_batch
+from repro.bench.runner import (
+    BenchSettings,
+    current_settings,
+    prefetch,
+    run_config,
+    run_multiprog,
+    run_request,
+    run_workload,
+)
 from repro.bench.tables import format_series, format_table, geometric_mean
 
 __all__ = [
     "BenchSettings",
+    "RunRequest",
+    "WorkloadSpec",
+    "current_settings",
     "format_series",
     "format_table",
     "geometric_mean",
+    "prefetch",
+    "run_batch",
     "run_config",
+    "run_multiprog",
+    "run_request",
     "run_workload",
 ]

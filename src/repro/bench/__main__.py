@@ -4,20 +4,34 @@ Usage::
 
     python -m repro.bench list
     python -m repro.bench run fig8
-    python -m repro.bench run all
+    python -m repro.bench run all --jobs 4
     python -m repro.bench run fig10 --telemetry telemetry-out
+    python -m repro.bench run smoke --jobs 2 --cache-dir .bench_cache
+    python -m repro.bench history --assert-warm
 
 Results are printed and, with ``--out DIR``, persisted one text file per
 experiment.  ``--telemetry [DIR]`` additionally writes a full observability
 bundle (interval time-series JSONL, Chrome trace JSON, run summary) per
 simulated run; inspect with ``python -m repro.obs report <stem>.run.json``.
+
+Every ``run`` fans independent simulation points across ``--jobs`` worker
+processes, serves repeats from a content-addressed disk cache (default
+``.bench_cache/``; ``--no-cache`` disables it), and appends a
+``BENCH_<runid>.json`` trajectory record — wall-clock per experiment,
+simulated ops/sec, cache hit counts — under ``--history-dir`` (default
+``bench-history/``).  ``history`` summarizes those records; with
+``--assert-warm`` it exits non-zero unless the latest run performed zero
+simulations, which is how CI proves the warm path works.
 """
 
 import argparse
 import pathlib
 import sys
+import time
 
 from repro.bench import experiments, runner
+from repro.bench.cache import DEFAULT_CACHE_DIR
+from repro.bench.history import BenchTrajectory, latest_record, load_records, settings_dict
 
 EXPERIMENTS = {
     "fig2": experiments.fig2_pagerank_potential,
@@ -30,7 +44,121 @@ EXPERIMENTS = {
     "fig11b": experiments.fig11b_issue_width,
     "sec76": experiments.sec76_pmu_overhead,
     "fig12": experiments.fig12_energy,
+    "smoke": experiments.smoke_suite,
 }
+
+#: ``run all`` regenerates the paper figures; the smoke suite is a CI/runner
+#: check, not part of the paper, so it only runs when named explicitly.
+NOT_IN_ALL = ("smoke",)
+
+DEFAULT_HISTORY_DIR = "bench-history"
+
+
+def _add_run_parser(sub) -> None:
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    run.add_argument("--out", type=pathlib.Path, default=None,
+                     help="directory to write <experiment>.txt files into")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes for independent simulation "
+                     "points (default: 1, serial)")
+    run.add_argument("--cache-dir", type=pathlib.Path,
+                     default=pathlib.Path(DEFAULT_CACHE_DIR), metavar="DIR",
+                     help="on-disk result cache location "
+                     f"(default: {DEFAULT_CACHE_DIR})")
+    run.add_argument("--no-cache", action="store_true",
+                     help="disable the on-disk result cache")
+    run.add_argument("--history-dir", type=pathlib.Path,
+                     default=pathlib.Path(DEFAULT_HISTORY_DIR), metavar="DIR",
+                     help="directory for BENCH_<runid>.json trajectory "
+                     f"records (default: {DEFAULT_HISTORY_DIR})")
+    run.add_argument("--telemetry", nargs="?", const="telemetry",
+                     default=None, metavar="DIR",
+                     help="write per-run telemetry bundles (interval JSONL, "
+                     "Chrome trace, run summary) into DIR "
+                     "(default: ./telemetry)")
+
+
+def _add_history_parser(sub) -> None:
+    hist = sub.add_parser(
+        "history", help="summarize BENCH_* trajectory records")
+    hist.add_argument("--history-dir", type=pathlib.Path,
+                      default=pathlib.Path(DEFAULT_HISTORY_DIR),
+                      metavar="DIR")
+    hist.add_argument("--assert-warm", action="store_true",
+                      help="exit 1 unless the latest record shows zero "
+                      "simulations (everything cache-served)")
+
+
+def _cmd_run(args) -> int:
+    runner.set_jobs(args.jobs)
+    if args.no_cache:
+        runner.disable_disk_cache()
+        cache_info = {"enabled": False}
+    else:
+        cache = runner.enable_disk_cache(args.cache_dir)
+        cache_info = {"enabled": True, "dir": str(cache.root),
+                      "salt": cache.salt}
+    if args.telemetry is not None:
+        telemetry_dir = runner.enable_telemetry(pathlib.Path(args.telemetry))
+        print(f"telemetry bundles -> {telemetry_dir}")
+
+    if args.experiment == "all":
+        names = [n for n in sorted(EXPERIMENTS) if n not in NOT_IN_ALL]
+    else:
+        names = [args.experiment]
+
+    trajectory = BenchTrajectory(
+        jobs=args.jobs, cache_info=cache_info,
+        settings=settings_dict(runner.current_settings()))
+    for name in names:
+        before = runner.accounting().snapshot()
+        t0 = time.perf_counter()  # simlint: ignore[SIM001] -- harness wall-clock for the trajectory record; never feeds simulated time
+        report = EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - t0  # simlint: ignore[SIM001] -- harness wall-clock for the trajectory record; never feeds simulated time
+        entry = trajectory.record(name, elapsed,
+                                  before, runner.accounting().snapshot())
+        print(report)
+        print(f"[{name}: {entry['wall_seconds']:.2f}s wall, "
+              f"{entry['simulations']:.0f} simulated, "
+              f"{entry['memo_hits']:.0f} memo / "
+              f"{entry['disk_hits']:.0f} disk hits]\n")
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(str(report) + "\n")
+    cache = runner.disk_cache()
+    if cache is not None:
+        trajectory.cache_info.update(cache.counters())
+    path = trajectory.write(args.history_dir)
+    totals = trajectory.payload()["totals"]
+    print(f"trajectory -> {path} "
+          f"({totals['simulations']:.0f} simulations, "
+          f"{totals['disk_hits']:.0f} disk hits, "
+          f"{totals['wall_seconds']:.2f}s wall)")
+    return 0
+
+
+def _cmd_history(args) -> int:
+    records = load_records(args.history_dir)
+    if not records:
+        print(f"no BENCH_*.json records under {args.history_dir}")
+        return 1
+    for path, record in records:
+        totals = record.get("totals", {})
+        print(f"{path.name}: jobs={record.get('jobs')} "
+              f"sims={totals.get('simulations', 0):.0f} "
+              f"disk_hits={totals.get('disk_hits', 0):.0f} "
+              f"wall={totals.get('wall_seconds', 0.0):.2f}s "
+              f"sim_ops/s={totals.get('sim_ops_per_second', 0.0):.0f}")
+    if args.assert_warm:
+        path, record = latest_record(args.history_dir)
+        sims = record.get("totals", {}).get("simulations", 0)
+        if sims:
+            print(f"ASSERT-WARM FAILED: {path.name} ran "
+                  f"{sims:.0f} simulations (expected 0)")
+            return 1
+        print(f"assert-warm OK: {path.name} served entirely from cache")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -40,15 +168,8 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
-    run = sub.add_parser("run", help="run one experiment (or 'all')")
-    run.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
-    run.add_argument("--out", type=pathlib.Path, default=None,
-                     help="directory to write <experiment>.txt files into")
-    run.add_argument("--telemetry", nargs="?", const="telemetry",
-                     default=None, metavar="DIR",
-                     help="write per-run telemetry bundles (interval JSONL, "
-                     "Chrome trace, run summary) into DIR "
-                     "(default: ./telemetry)")
+    _add_run_parser(sub)
+    _add_history_parser(sub)
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -56,19 +177,9 @@ def main(argv=None) -> int:
             summary = (fn.__doc__ or "").strip().splitlines()[0]
             print(f"{name:<8} {summary}")
         return 0
-
-    if args.telemetry is not None:
-        telemetry_dir = runner.enable_telemetry(pathlib.Path(args.telemetry))
-        print(f"telemetry bundles -> {telemetry_dir}")
-
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        report = EXPERIMENTS[name]()
-        print(report)
-        if args.out is not None:
-            args.out.mkdir(parents=True, exist_ok=True)
-            (args.out / f"{name}.txt").write_text(str(report) + "\n")
-    return 0
+    if args.command == "history":
+        return _cmd_history(args)
+    return _cmd_run(args)
 
 
 if __name__ == "__main__":

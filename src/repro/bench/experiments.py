@@ -5,6 +5,13 @@ rows/series the paper reports.  Absolute numbers differ (this is a scaled
 Python timing model, not the authors' Pin-based testbed); the *shape* — who
 wins, by roughly what factor, where crossovers fall — is the reproduction
 target (see EXPERIMENTS.md for the side-by-side record).
+
+Each experiment declares its whole frontier of simulation points as
+:class:`~repro.bench.frontier.RunRequest` batches and submits them through
+:func:`~repro.bench.runner.prefetch` before rendering — so with ``--jobs N``
+the independent points fan across worker processes and with the disk cache
+enabled a repeat invocation simulates nothing at all; the figure bodies then
+read every result out of the memo.
 """
 
 from dataclasses import dataclass, field
@@ -12,13 +19,18 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.dispatch import DispatchPolicy
 from repro.bench.charts import bar_chart
-from repro.bench.runner import current_settings, run_config, run_workload
+from repro.bench.frontier import RunRequest
+from repro.bench.runner import (
+    current_settings,
+    prefetch,
+    run_config,
+    run_multiprog,
+)
 from repro.bench.tables import format_series, format_table, geometric_mean
 from repro.system.config import scaled_config
 from repro.util.rng import make_rng
 from repro.workloads.graph.generators import GRAPH_SUITE
-from repro.workloads.multiprog import MultiprogrammedWorkload
-from repro.workloads.registry import WORKLOAD_NAMES, make_workload
+from repro.workloads.registry import WORKLOAD_NAMES
 
 P = DispatchPolicy
 
@@ -51,6 +63,8 @@ def fig2_pagerank_potential(graphs: Sequence[str] = SUITE_ORDER) -> ExperimentRe
     (p2p-Gnutella31), establishing the locality dependence that motivates
     the whole design.
     """
+    prefetch(RunRequest.single("PR", "small", policy, graph_name=graph)
+             for graph in graphs for policy in (P.IDEAL_HOST, P.PIM_ONLY))
     speedups = []
     for graph in graphs:
         ideal = run_config("PR", "small", P.IDEAL_HOST, graph_name=graph)
@@ -79,6 +93,9 @@ def fig6_speedup(sizes: Sequence[str] = SIZES,
     Paper: PIM-Only +44% on large but -20% on small; Locality-Aware tracks
     the winner everywhere and beats both on medium graph inputs.
     """
+    prefetch(RunRequest.single(name, size, policy)
+             for size in sizes for name in workloads
+             for policy in (P.IDEAL_HOST,) + FIG6_POLICIES)
     data: Dict[str, Dict[str, Dict[str, float]]] = {}
     blocks = []
     for size in sizes:
@@ -124,6 +141,9 @@ def fig7_offchip_traffic(sizes: Sequence[str] = SIZES,
     Paper: PIM-Only slashes traffic on large inputs but inflates it by up
     to 502x (SC) on small ones.
     """
+    prefetch(RunRequest.single(name, size, policy)
+             for size in sizes for name in workloads
+             for policy in (P.IDEAL_HOST, P.HOST_ONLY, P.PIM_ONLY))
     data: Dict[str, Dict[str, Dict[str, float]]] = {}
     blocks = []
     for size in sizes:
@@ -170,6 +190,10 @@ def fig8_input_size_sweep(graphs: Sequence[str] = SUITE_ORDER) -> ExperimentRepo
     87% (cit-Patents) as graphs grow, tracking the better of Host-Only and
     PIM-Only throughout.
     """
+    prefetch(RunRequest.single("PR", "small", policy, graph_name=graph)
+             for graph in graphs
+             for policy in (P.IDEAL_HOST, P.HOST_ONLY, P.PIM_ONLY,
+                            P.LOCALITY_AWARE))
     rows = []
     data = {"graphs": list(graphs), "host-only": [], "pim-only": [],
             "locality-aware": [], "pim_fraction": []}
@@ -219,22 +243,23 @@ def fig9_multiprogrammed(n_mixes: Optional[int] = None, seed: int = 7) -> Experi
     rng = make_rng(seed, "fig9")
     names = list(WORKLOAD_NAMES)
     sizes = list(SIZES)
-    rows = []
-    aware_norm, pim_norm = [], []
+    ops = max(1000, current_settings().max_ops_per_thread // 2)
+    mixes = []
     for mix_idx in range(n_mixes):
         first, second = rng.choice(names, size=2, replace=True)
         size_a, size_b = rng.choice(sizes, size=2, replace=True)
-
-        def build():
-            return MultiprogrammedWorkload(
-                make_workload(str(first), str(size_a), seed=int(mix_idx)),
-                make_workload(str(second), str(size_b), seed=int(mix_idx) + 1),
-            )
-
-        ops = max(1000, current_settings().max_ops_per_thread // 2)
-        host = run_workload(build(), P.HOST_ONLY, max_ops_per_thread=ops)
-        pim = run_workload(build(), P.PIM_ONLY, max_ops_per_thread=ops)
-        aware = run_workload(build(), P.LOCALITY_AWARE, max_ops_per_thread=ops)
+        mixes.append(((str(first), str(size_a), int(mix_idx)),
+                      (str(second), str(size_b), int(mix_idx) + 1)))
+    fig9_policies = (P.HOST_ONLY, P.PIM_ONLY, P.LOCALITY_AWARE)
+    prefetch(RunRequest.multiprog(parts, policy, max_ops_per_thread=ops)
+             for parts in mixes for policy in fig9_policies)
+    rows = []
+    aware_norm, pim_norm = [], []
+    for parts in mixes:
+        (first, size_a, _), (second, size_b, _) = parts
+        host = run_multiprog(parts, P.HOST_ONLY, max_ops_per_thread=ops)
+        pim = run_multiprog(parts, P.PIM_ONLY, max_ops_per_thread=ops)
+        aware = run_multiprog(parts, P.LOCALITY_AWARE, max_ops_per_thread=ops)
         base = max(host.ipc_sum, 1e-12)
         aware_norm.append(aware.ipc_sum / base)
         pim_norm.append(pim.ipc_sum / base)
@@ -268,6 +293,10 @@ def fig10_balanced_dispatch(workloads: Sequence[str] = FIG10_WORKLOADS) -> Exper
     Paper: up to +25% on the read-dominated SC/SVM by steering PEIs toward
     whichever off-chip direction has spare bandwidth.
     """
+    prefetch(RunRequest.single(name, "large", policy)
+             for name in workloads
+             for policy in (P.IDEAL_HOST, P.LOCALITY_AWARE,
+                            P.LOCALITY_BALANCED))
     rows = []
     data = {}
     for name in workloads:
@@ -310,6 +339,12 @@ def fig11a_operand_buffer(entries: Sequence[int] = FIG11_ENTRIES,
     parallelism across PEIs is saturated.  (Bench subset: a representative
     workload per domain — large inputs, where the buffer binds.)
     """
+    prefetch(
+        [RunRequest.single(name, "large", P.LOCALITY_AWARE)
+         for name in workloads]
+        + [RunRequest.single(name, "large", P.LOCALITY_AWARE,
+                             config=scaled_config(pcu_operand_buffer_entries=n))
+           for n in entries for name in workloads])
     per_entry = {}
     for n in entries:
         speedups = []
@@ -333,6 +368,12 @@ def fig11b_issue_width(widths: Sequence[int] = FIG11_WIDTHS,
 
     Paper: negligible — PEI time is dominated by memory access latency.
     """
+    prefetch(
+        [RunRequest.single(name, "large", P.LOCALITY_AWARE)
+         for name in workloads]
+        + [RunRequest.single(name, "large", P.LOCALITY_AWARE,
+                             config=scaled_config(pcu_issue_width=w))
+           for w in widths for name in workloads])
     per_width = {}
     for w in widths:
         speedups = []
@@ -361,6 +402,10 @@ def sec76_pmu_overhead(workloads: Sequence[str] = SEC76_WORKLOADS) -> Experiment
     Paper: idealizing buys only 0.13% (directory) and 0.31% (monitor) —
     the cost-effective structures are nearly free.
     """
+    prefetch(RunRequest.single(name, "large", P.LOCALITY_AWARE, config=cfg)
+             for name in workloads
+             for cfg in (None, scaled_config(ideal_pim_directory=True),
+                         scaled_config(ideal_locality_monitor=True)))
     rows = []
     dir_gains, mon_gains = [], []
     for name in workloads:
@@ -399,6 +444,10 @@ def fig12_energy(sizes: Sequence[str] = SIZES,
     PIM-Only inflates DRAM + link energy on small inputs; memory-side PCUs
     are ~1.4% of HMC energy.
     """
+    prefetch(RunRequest.single(name, size, policy)
+             for size in sizes for name in workloads
+             for policy in (P.IDEAL_HOST, P.HOST_ONLY, P.PIM_ONLY,
+                            P.LOCALITY_AWARE))
     blocks = []
     data: Dict[str, Dict] = {}
     mem_pcu_fracs = []
@@ -433,3 +482,46 @@ def fig12_energy(sizes: Sequence[str] = SIZES,
             f"(paper: 1.4%)")
     return ExperimentReport("fig12", "\n\n".join(blocks) + "\n" + tail,
                             {**data, "mem_pcu_fraction": frac})
+
+
+# ----------------------------------------------------------------------
+# Smoke suite: a reduced matrix exercising the full runner path quickly
+# ----------------------------------------------------------------------
+
+SMOKE_WORKLOADS = ("HG", "PR")
+SMOKE_POLICIES = (P.HOST_ONLY, P.LOCALITY_AWARE)
+SMOKE_MAX_OPS = 600
+
+
+def smoke_suite(workloads: Sequence[str] = SMOKE_WORKLOADS) -> ExperimentReport:
+    """Two small workloads under three policies (runner/CI smoke check).
+
+    Not a paper figure: a seconds-scale matrix that drives the whole
+    plan/execute pipeline — prefetch, parallel fan-out, the disk cache,
+    trajectory accounting — which `make bench-smoke` runs twice to assert
+    that the warm invocation performs zero simulations.
+    """
+    ops = min(current_settings().max_ops_per_thread, SMOKE_MAX_OPS)
+    policies = (P.IDEAL_HOST,) + SMOKE_POLICIES
+    prefetch(RunRequest.single(name, "small", policy, max_ops_per_thread=ops)
+             for name in workloads for policy in policies)
+    rows = []
+    data: Dict[str, Dict[str, float]] = {}
+    for name in workloads:
+        ideal = run_config(name, "small", P.IDEAL_HOST,
+                           max_ops_per_thread=ops)
+        row = [name]
+        data[name] = {}
+        for policy in SMOKE_POLICIES:
+            result = run_config(name, "small", policy,
+                                max_ops_per_thread=ops)
+            speedup = result.speedup_over(ideal)
+            row.append(speedup)
+            data[name][policy.value] = speedup
+        rows.append(row)
+    text = format_table(
+        ["workload"] + [p.value for p in SMOKE_POLICIES], rows,
+        title=f"Smoke suite (small inputs, {ops} ops/thread): "
+              f"speedup vs Ideal-Host",
+    )
+    return ExperimentReport("smoke", text, data)

@@ -1,0 +1,261 @@
+"""The plan/execute frontier: declarative run requests and their execution.
+
+The paper's evaluation is a large matrix of *independent* simulations —
+Figs. 6, 7 and 12 share runs across 10 workloads x sizes x policies — so the
+natural unit of work is a :class:`RunRequest`: a frozen, picklable, fully
+deterministic description of one simulation point (workload spec(s), dispatch
+policy, machine config, operation cap).  Figure scripts build their whole
+frontier of requests up front and submit the batch; the backend then
+
+* executes independent points across processes (:func:`run_batch` with
+  ``jobs > 1`` uses a ``ProcessPoolExecutor``), and
+* merges results deterministically — results come back keyed in request
+  order, and because every request pins its seeds and caps, parallel
+  execution is bit-identical to serial execution (``make determinism``
+  checks the underlying engine; ``tests/bench/test_frontier.py`` checks the
+  backend).
+
+Requests also carry a stable content fingerprint (:meth:`RunRequest.
+fingerprint`) that keys the on-disk result cache (:mod:`repro.bench.cache`).
+
+This module is deliberately free of runner policy (memoization, telemetry
+globals, accounting) — that lives in :mod:`repro.bench.runner`, which layers
+caching over these primitives.
+"""
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dispatch import DispatchPolicy
+from repro.obs.telemetry import Telemetry, bundle_stem
+from repro.system.config import SystemConfig, scaled_config
+from repro.system.result import RunResult
+from repro.system.system import System
+from repro.workloads.base import Workload
+from repro.workloads.multiprog import MultiprogrammedWorkload
+from repro.workloads.registry import make_workload
+
+__all__ = [
+    "RunRequest",
+    "WorkloadSpec",
+    "build_workload",
+    "run_batch",
+    "simulate",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registry workload, fully pinned: (name, size, seed, overrides)."""
+
+    name: str
+    size: str
+    seed: Optional[int] = None
+    overrides: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, name: str, size: str, seed: Optional[int] = None,
+             **overrides) -> "WorkloadSpec":
+        return cls(name=name, size=size, seed=seed,
+                   overrides=tuple(sorted(overrides.items())))
+
+    def build(self) -> Workload:
+        if self.seed is None:
+            raise ValueError("cannot build an unresolved spec (seed unset)")
+        return make_workload(self.name, self.size, seed=self.seed,
+                             **dict(self.overrides))
+
+    def describe(self) -> Dict:
+        return {
+            "name": self.name,
+            "size": self.size,
+            "seed": self.seed,
+            "overrides": dict(self.overrides),
+        }
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One independent simulation point of the evaluation matrix.
+
+    ``workloads`` holds one spec for a single-application run or several for
+    a multiprogrammed mix (Fig. 9).  ``config=None`` and
+    ``max_ops_per_thread=None`` mean "the defaults in effect at execution
+    time"; :meth:`resolve` pins them so the request becomes a complete,
+    environment-independent description of the run.
+    """
+
+    workloads: Tuple[WorkloadSpec, ...]
+    policy: DispatchPolicy
+    config: Optional[SystemConfig] = None
+    max_ops_per_thread: Optional[int] = None
+
+    # Construction ------------------------------------------------------
+
+    @classmethod
+    def single(cls, name: str, size: str, policy: DispatchPolicy,
+               config: Optional[SystemConfig] = None,
+               max_ops_per_thread: Optional[int] = None,
+               seed: Optional[int] = None, **overrides) -> "RunRequest":
+        """A request for one registry workload (the ``run_config`` shape)."""
+        return cls(workloads=(WorkloadSpec.make(name, size, seed, **overrides),),
+                   policy=policy, config=config,
+                   max_ops_per_thread=max_ops_per_thread)
+
+    @classmethod
+    def multiprog(cls, parts: Sequence[Tuple[str, str, int]],
+                  policy: DispatchPolicy,
+                  config: Optional[SystemConfig] = None,
+                  max_ops_per_thread: Optional[int] = None) -> "RunRequest":
+        """A multiprogrammed mix of ``(name, size, seed)`` parts (Fig. 9)."""
+        specs = tuple(WorkloadSpec.make(name, size, seed)
+                      for name, size, seed in parts)
+        if len(specs) < 2:
+            raise ValueError("a multiprogrammed request needs >= 2 workloads")
+        return cls(workloads=specs, policy=policy, config=config,
+                   max_ops_per_thread=max_ops_per_thread)
+
+    # Resolution --------------------------------------------------------
+
+    @property
+    def resolved(self) -> bool:
+        return (self.config is not None
+                and self.max_ops_per_thread is not None
+                and all(spec.seed is not None for spec in self.workloads))
+
+    def resolve(self, settings) -> "RunRequest":
+        """Pin every default against ``settings`` (a BenchSettings).
+
+        The resolved request no longer depends on the environment: two equal
+        resolved requests describe bit-identical simulations, which is what
+        makes them usable as memoization and disk-cache keys.
+        """
+        workloads = tuple(
+            spec if spec.seed is not None else replace(spec, seed=settings.seed)
+            for spec in self.workloads)
+        config = self.config if self.config is not None else scaled_config()
+        max_ops = (self.max_ops_per_thread
+                   if self.max_ops_per_thread is not None
+                   else settings.max_ops_per_thread)
+        return RunRequest(workloads=workloads, policy=self.policy,
+                          config=config, max_ops_per_thread=max_ops)
+
+    # Identity ----------------------------------------------------------
+
+    def describe(self) -> Dict:
+        """A JSON-safe description (cache metadata, fingerprint input)."""
+        if not self.resolved:
+            raise ValueError("describe() requires a resolved request")
+        return {
+            "workloads": [spec.describe() for spec in self.workloads],
+            "policy": self.policy.value,
+            "config": self.config.fingerprint(),
+            "max_ops_per_thread": self.max_ops_per_thread,
+        }
+
+    def fingerprint(self, salt: str = "") -> str:
+        """Content hash of this (resolved) request, mixed with ``salt``.
+
+        The disk cache passes a code-version salt so results persisted by an
+        older simulator can never satisfy a newer one.
+        """
+        payload = json.dumps({"salt": salt, "request": self.describe()},
+                             sort_keys=True, default=repr)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable tag (telemetry stems, progress lines)."""
+        names = "+".join(f"{s.name}-{s.size[0]}" for s in self.workloads)
+        return f"{names}/{self.policy.value}"
+
+
+# ----------------------------------------------------------------------
+# Execution primitives
+# ----------------------------------------------------------------------
+
+
+def build_workload(request: RunRequest) -> Workload:
+    """Instantiate the workload(s) a resolved request describes."""
+    specs = request.workloads
+    if len(specs) == 1:
+        return specs[0].build()
+    first, second, *rest = [spec.build() for spec in specs]
+    if rest:
+        raise ValueError("multiprogrammed mixes support exactly two parts")
+    return MultiprogrammedWorkload(first, second)
+
+
+def simulate(request: RunRequest,
+             telemetry: Optional[Telemetry] = None) -> RunResult:
+    """Run one resolved request on a fresh machine (no caching)."""
+    if not request.resolved:
+        raise ValueError(f"cannot simulate unresolved request {request!r}")
+    workload = build_workload(request)
+    system = System(request.config, request.policy, telemetry=telemetry)
+    return system.run(workload,
+                      max_ops_per_thread=request.max_ops_per_thread)
+
+
+def _bundle_stem(request: RunRequest, workload_name: str,
+                 unique: bool) -> str:
+    # A fingerprint prefix keeps concurrent workers sweeping the same
+    # (workload, policy) across sizes/configs from overwriting bundles;
+    # serial execution keeps the short legacy stems.
+    if unique:
+        return bundle_stem(workload_name, request.policy.value,
+                           request.fingerprint()[:10])
+    return bundle_stem(workload_name, request.policy.value)
+
+
+def _execute_payload(payload) -> Dict:
+    """Process-pool worker: simulate one request, return the result dict.
+
+    Top-level (picklable) and fed everything through the payload, so it is
+    correct under both the fork and spawn start methods.  Returns
+    ``RunResult.to_dict()`` — plain data the parent re-hydrates — rather
+    than the live object graph.
+    """
+    request, telemetry_dir, telemetry_interval, unique_stem = payload
+    telemetry = (Telemetry(interval=telemetry_interval)
+                 if telemetry_dir is not None else None)
+    result = simulate(request, telemetry=telemetry)
+    if telemetry is not None:
+        telemetry.write(Path(telemetry_dir),
+                        _bundle_stem(request, result.workload, unique_stem),
+                        result=result)
+    return result.to_dict()
+
+
+def run_batch(
+    requests: Sequence[RunRequest],
+    jobs: int = 1,
+    telemetry_dir: Optional[Path] = None,
+    telemetry_interval: float = 10_000.0,
+) -> List[RunResult]:
+    """Execute resolved requests, fanning across ``jobs`` processes.
+
+    Results are returned in request order regardless of completion order,
+    and each simulation runs on a fresh machine seeded entirely by its
+    request — so the merged results are bit-identical to a serial loop
+    (asserted by ``tests/bench/test_frontier.py``).  With ``jobs <= 1`` or a
+    single request the batch runs in-process.  Every result — serial or
+    parallel — is rehydrated from its ``to_dict()`` form, so both modes
+    return the identical representation.
+    """
+    for request in requests:
+        if not request.resolved:
+            raise ValueError(f"cannot execute unresolved request {request!r}")
+    parallel = jobs > 1 and len(requests) > 1
+    tdir = str(telemetry_dir) if telemetry_dir is not None else None
+    payloads = [(request, tdir, telemetry_interval, parallel)
+                for request in requests]
+    if not parallel:
+        return [RunResult.from_dict(_execute_payload(p)) for p in payloads]
+    workers = min(jobs, len(requests))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        dicts = list(pool.map(_execute_payload, payloads))
+    return [RunResult.from_dict(d) for d in dicts]

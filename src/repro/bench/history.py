@@ -1,0 +1,125 @@
+"""BENCH trajectory records: the benchmark suite's own perf history.
+
+Every ``python -m repro.bench run`` invocation emits one
+``BENCH_<runid>.json`` file recording, per experiment and in total, the
+harness's own performance: wall-clock, simulations executed vs served from
+the memo/disk cache, instructions simulated and the resulting simulated
+ops/sec.  Accumulated over time (CI uploads the file as an artifact) these
+records are the perf trajectory of the experiment pipeline itself — the
+series that shows whether runner changes made regeneration faster.
+
+Format (all times in seconds, all counters cumulative over the record's
+scope)::
+
+    {
+      "schema": "repro.bench.trajectory/1",
+      "runid": "20260806T101500-1234",
+      "jobs": 2,
+      "cache": {"enabled": true, "dir": ".bench_cache", ...counters},
+      "settings": {"max_ops_per_thread": 8000, "n_mixes": 24, "seed": 42},
+      "experiments": [
+        {"name": "fig10", "wall_seconds": 1.9, "simulations": 12,
+         "memo_hits": 4, "disk_hits": 0, "instructions": 3.1e6,
+         "sim_wall_seconds": 1.7, "sim_ops_per_second": 1.8e6}, ...
+      ],
+      "totals": { ...same fields, summed... }
+    }
+"""
+
+import json
+import os
+import time
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["BenchTrajectory", "latest_record", "load_records", "new_runid"]
+
+SCHEMA = "repro.bench.trajectory/1"
+
+#: Fields accumulated per experiment and in the totals block.
+_COUNTER_FIELDS = ("wall_seconds", "simulations", "memo_hits", "disk_hits",
+                   "instructions", "sim_wall_seconds")
+
+
+def new_runid() -> str:
+    """A sortable, collision-resistant id: local timestamp + pid."""
+    stamp = time.strftime("%Y%m%dT%H%M%S")
+    return f"{stamp}-{os.getpid()}"
+
+
+def _with_throughput(record: Dict) -> Dict:
+    wall = record.get("sim_wall_seconds", 0.0)
+    insts = record.get("instructions", 0.0)
+    record["sim_ops_per_second"] = insts / wall if wall > 0 else 0.0
+    return record
+
+
+class BenchTrajectory:
+    """Accumulates per-experiment perf records for one suite invocation."""
+
+    def __init__(self, runid: Optional[str] = None, jobs: int = 1,
+                 cache_info: Optional[Dict] = None,
+                 settings: Optional[Dict] = None):
+        self.runid = runid if runid is not None else new_runid()
+        self.jobs = jobs
+        self.cache_info = dict(cache_info) if cache_info is not None else {}
+        self.settings = dict(settings) if settings is not None else {}
+        self.experiments: List[Dict] = []
+
+    def record(self, name: str, wall_seconds: float,
+               before: Dict[str, float], after: Dict[str, float]) -> Dict:
+        """Append one experiment's record from accounting snapshots."""
+        entry: Dict = {"name": name, "wall_seconds": wall_seconds}
+        for key in set(before) | set(after):
+            entry[key] = after.get(key, 0.0) - before.get(key, 0.0)
+        entry = _with_throughput(entry)
+        self.experiments.append(entry)
+        return entry
+
+    def payload(self) -> Dict:
+        totals: Dict = {}
+        for field_name in _COUNTER_FIELDS:
+            totals[field_name] = sum(e.get(field_name, 0.0)
+                                     for e in self.experiments)
+        return {
+            "schema": SCHEMA,
+            "runid": self.runid,
+            "jobs": self.jobs,
+            "cache": self.cache_info,
+            "settings": self.settings,
+            "experiments": self.experiments,
+            "totals": _with_throughput(totals),
+        }
+
+    def write(self, out_dir) -> Path:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"BENCH_{self.runid}.json"
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.payload(), fh, indent=2, sort_keys=True)
+        return path
+
+
+def load_records(history_dir) -> List[Tuple[Path, Dict]]:
+    """All ``BENCH_*.json`` records in a directory, oldest first.
+
+    Runids are timestamp-prefixed, so lexicographic filename order is
+    chronological order.
+    """
+    history_dir = Path(history_dir)
+    records = []
+    for path in sorted(history_dir.glob("BENCH_*.json")):
+        with open(path, "r", encoding="utf-8") as fh:
+            records.append((path, json.load(fh)))
+    return records
+
+
+def latest_record(history_dir) -> Optional[Tuple[Path, Dict]]:
+    records = load_records(history_dir)
+    return records[-1] if records else None
+
+
+def settings_dict(settings) -> Dict:
+    """JSON form of a BenchSettings (kept here to avoid a runner import)."""
+    return asdict(settings)

@@ -1,36 +1,53 @@
-"""Shared experiment runner with result memoization.
+"""Shared experiment runner: memoization, disk cache, parallel batches.
 
 Several figures consume the same underlying runs (Fig. 6's speedups and
 Fig. 7's traffic and Fig. 12's energy all come from the same simulations),
-so the runner memoizes RunResults by their full parameterization —
-*including* the :class:`BenchSettings` in effect at call time, so changing
-``REPRO_BENCH_OPS`` mid-process can never serve a stale cached result.
+so the runner memoizes RunResults by their fully *resolved*
+:class:`~repro.bench.frontier.RunRequest` — the request pins the operation
+cap and seed from the :class:`BenchSettings` in effect at call time, so
+changing ``REPRO_BENCH_OPS`` mid-process can never serve a stale result.
+
+Layered on top of the in-process memo:
+
+* a **disk cache** (:func:`enable_disk_cache`) persisting results under a
+  content fingerprint + code-version salt, so repeated suite invocations
+  and CI skip simulation entirely (``python -m repro.bench`` enables it by
+  default under ``.bench_cache/``); and
+* a **parallel backend** (:func:`set_jobs`): :func:`prefetch` takes a
+  figure script's whole frontier of requests and fans the uncached points
+  across a process pool, bit-identical to serial execution.
 
 Environment knobs (for quick or exhaustive regeneration):
 
 * ``REPRO_BENCH_OPS`` — operations per thread per run (default 8000);
 * ``REPRO_BENCH_MIXES`` — multiprogrammed mixes for Fig. 9 (default 24,
-  paper used 200).
+  paper used 200);
+* ``REPRO_BENCH_SEED`` — base RNG seed for workload generation (default 42).
 
-Telemetry: :func:`enable_telemetry` makes every *uncached* run write a
-full observability bundle (interval JSONL, Chrome trace, run summary) into
-the given directory — this is what ``python -m repro.bench run <exp>
---telemetry`` switches on.
+Telemetry: :func:`enable_telemetry` makes every *simulated* (i.e. uncached)
+run write a full observability bundle (interval JSONL, Chrome trace, run
+summary) into the given directory — this is what ``python -m repro.bench
+run <exp> --telemetry`` switches on.  Parallel workers suffix their bundle
+stems with a request-fingerprint prefix so concurrent sweeps of the same
+(workload, policy) never overwrite each other.
 """
 
 import os
-import re
+import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.bench import frontier
+from repro.bench.cache import DEFAULT_CACHE_DIR, BenchCache
+from repro.bench.frontier import RunRequest
 from repro.core.dispatch import DispatchPolicy
-from repro.obs.telemetry import Telemetry
+from repro.obs.telemetry import Telemetry, bundle_stem
 from repro.system.config import SystemConfig, scaled_config
 from repro.system.result import RunResult
 from repro.system.system import System
 from repro.workloads.base import Workload
-from repro.workloads.registry import make_workload
 
 
 def _env_int(name: str, default: int) -> int:
@@ -50,7 +67,8 @@ class BenchSettings:
         default_factory=lambda: _env_int("REPRO_BENCH_OPS", 8000))
     n_mixes: int = field(
         default_factory=lambda: _env_int("REPRO_BENCH_MIXES", 24))
-    seed: int = 42
+    seed: int = field(
+        default_factory=lambda: _env_int("REPRO_BENCH_SEED", 42))
 
 
 def current_settings() -> BenchSettings:
@@ -58,19 +76,106 @@ def current_settings() -> BenchSettings:
     return BenchSettings()
 
 
-#: Snapshot of the settings at import time (kept for backward compatibility;
-#: prefer :func:`current_settings`, which tracks environment changes).
-SETTINGS = BenchSettings()
+def __getattr__(name: str):
+    # The import-time snapshot predates current_settings() and could go
+    # stale the moment REPRO_BENCH_* changed; resolve it lazily and warn.
+    if name == "SETTINGS":
+        warnings.warn(
+            "repro.bench.runner.SETTINGS is deprecated: it was an "
+            "import-time snapshot that ignored later environment changes; "
+            "call current_settings() instead",
+            DeprecationWarning, stacklevel=2)
+        return current_settings()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-_CACHE: Dict[Tuple, RunResult] = {}
 
-#: When set, uncached runs write telemetry bundles into this directory.
+# ----------------------------------------------------------------------
+# Runner state: memo, disk cache, parallelism, telemetry, accounting
+# ----------------------------------------------------------------------
+
+_MEMO: Dict[RunRequest, RunResult] = {}
+_DISK_CACHE: Optional[BenchCache] = None
+_JOBS = 1
+
+#: When set, simulated (uncached) runs write telemetry bundles here.
 _TELEMETRY_DIR: Optional[Path] = None
 _TELEMETRY_INTERVAL = 10_000.0
 
 
+@dataclass
+class RunnerAccounting:
+    """Work counters for one runner session (feeds BENCH_* trajectories).
+
+    ``simulations`` counts actual simulator executions; ``memo_hits`` counts
+    results served from the in-process memo by :func:`run_request`/
+    :func:`run_config`; ``disk_hits`` counts results loaded from the disk
+    cache (by lookups and by :func:`prefetch`).  ``instructions`` and
+    ``sim_wall_seconds`` cover simulated runs only, so
+    ``instructions / sim_wall_seconds`` is the harness's simulated-ops/sec
+    throughput.
+    """
+
+    simulations: int = 0
+    memo_hits: int = 0
+    disk_hits: int = 0
+    instructions: float = 0.0
+    sim_wall_seconds: float = 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "simulations": self.simulations,
+            "memo_hits": self.memo_hits,
+            "disk_hits": self.disk_hits,
+            "instructions": self.instructions,
+            "sim_wall_seconds": self.sim_wall_seconds,
+        }
+
+
+_ACCOUNTING = RunnerAccounting()
+
+
+def accounting() -> RunnerAccounting:
+    """The live accounting object (snapshot() it around experiments)."""
+    return _ACCOUNTING
+
+
+def reset_accounting() -> None:
+    global _ACCOUNTING
+    _ACCOUNTING = RunnerAccounting()
+
+
+def set_jobs(jobs: int) -> int:
+    """Worker processes for batch execution (1 = serial, the default)."""
+    global _JOBS
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    _JOBS = jobs
+    return _JOBS
+
+
+def get_jobs() -> int:
+    return _JOBS
+
+
+def enable_disk_cache(root=DEFAULT_CACHE_DIR,
+                      salt: Optional[str] = None) -> BenchCache:
+    """Persist every result to (and serve hits from) ``root``."""
+    global _DISK_CACHE
+    _DISK_CACHE = BenchCache(root, salt=salt)
+    return _DISK_CACHE
+
+
+def disable_disk_cache() -> None:
+    global _DISK_CACHE
+    _DISK_CACHE = None
+
+
+def disk_cache() -> Optional[BenchCache]:
+    return _DISK_CACHE
+
+
 def enable_telemetry(out_dir, interval: float = 10_000.0) -> Path:
-    """Write a telemetry bundle for every subsequent uncached run."""
+    """Write a telemetry bundle for every subsequent simulated run."""
     global _TELEMETRY_DIR, _TELEMETRY_INTERVAL
     _TELEMETRY_DIR = Path(out_dir)
     _TELEMETRY_INTERVAL = interval
@@ -82,9 +187,89 @@ def disable_telemetry() -> None:
     _TELEMETRY_DIR = None
 
 
-def _telemetry_stem(workload: Workload, policy: DispatchPolicy) -> str:
-    raw = f"{workload.name}_{policy.value}"
-    return re.sub(r"[^A-Za-z0-9._-]+", "-", raw).lower()
+def clear_cache() -> None:
+    """Drop the in-process memo (the disk cache is left untouched)."""
+    _MEMO.clear()
+
+
+# ----------------------------------------------------------------------
+# Execution: single requests and prefetched batches
+# ----------------------------------------------------------------------
+
+
+def _execute(requests: Sequence[RunRequest]) -> List[RunResult]:
+    """Simulate resolved cache-missing requests; memoize and persist."""
+    t0 = time.perf_counter()  # simlint: ignore[SIM001] -- harness throughput accounting; never feeds simulated time
+    results = frontier.run_batch(
+        requests,
+        jobs=_JOBS,
+        telemetry_dir=_TELEMETRY_DIR,
+        telemetry_interval=_TELEMETRY_INTERVAL,
+    )
+    elapsed = time.perf_counter() - t0  # simlint: ignore[SIM001] -- harness throughput accounting; never feeds simulated time
+    _ACCOUNTING.simulations += len(requests)
+    _ACCOUNTING.sim_wall_seconds += elapsed
+    for request, result in zip(requests, results):
+        _ACCOUNTING.instructions += result.instructions
+        _MEMO[request] = result
+        if _DISK_CACHE is not None:
+            _DISK_CACHE.put(request, result)
+    return results
+
+
+def run_request(request: RunRequest) -> RunResult:
+    """Resolve and run one request through memo -> disk cache -> simulate."""
+    request = request.resolve(current_settings())
+    hit = _MEMO.get(request)
+    if hit is not None:
+        _ACCOUNTING.memo_hits += 1
+        return hit
+    if _DISK_CACHE is not None:
+        cached = _DISK_CACHE.get(request)
+        if cached is not None:
+            _ACCOUNTING.disk_hits += 1
+            _MEMO[request] = cached
+            return cached
+    return _execute([request])[0]
+
+
+def prefetch(requests: Iterable[RunRequest]) -> int:
+    """Materialize a figure script's frontier of requests in one batch.
+
+    Resolves and dedupes the requests, loads whatever the disk cache
+    already holds, and fans the remaining points across the configured
+    worker pool — after which every ``run_config``/``run_request`` call in
+    the figure body is a memo hit.  Returns the number of simulations that
+    actually ran.
+    """
+    settings = current_settings()
+    resolved: List[RunRequest] = []
+    seen = set()
+    for request in requests:
+        request = request.resolve(settings)
+        if request in seen:
+            continue
+        seen.add(request)
+        resolved.append(request)
+    misses: List[RunRequest] = []
+    for request in resolved:
+        if request in _MEMO:
+            continue
+        if _DISK_CACHE is not None:
+            cached = _DISK_CACHE.get(request)
+            if cached is not None:
+                _ACCOUNTING.disk_hits += 1
+                _MEMO[request] = cached
+                continue
+        misses.append(request)
+    if misses:
+        _execute(misses)
+    return len(misses)
+
+
+# ----------------------------------------------------------------------
+# Public entry points used by the experiment definitions
+# ----------------------------------------------------------------------
 
 
 def run_workload(
@@ -96,7 +281,9 @@ def run_workload(
 ) -> RunResult:
     """Run an already-constructed workload on a fresh system (uncached).
 
-    An explicitly passed ``telemetry`` is attached but not written to disk
+    The escape hatch for workload objects that are not expressible as a
+    :class:`RunRequest`; results are neither memoized nor persisted.  An
+    explicitly passed ``telemetry`` is attached but not written to disk
     (the caller owns it); with :func:`enable_telemetry` active and no
     explicit telemetry, a bundle is created and written automatically.
     """
@@ -109,7 +296,8 @@ def run_workload(
         max_ops_per_thread = current_settings().max_ops_per_thread
     result = system.run(workload, max_ops_per_thread=max_ops_per_thread)
     if auto_telemetry:
-        telemetry.write(_TELEMETRY_DIR, _telemetry_stem(workload, policy),
+        telemetry.write(_TELEMETRY_DIR,
+                        bundle_stem(workload.name, policy.value),
                         result=result)
     return result
 
@@ -123,29 +311,20 @@ def run_config(
     seed: Optional[int] = None,
     **workload_overrides,
 ) -> RunResult:
-    """Run a registry workload under one configuration (memoized)."""
-    settings = current_settings()
-    if seed is None:
-        seed = settings.seed
-    if max_ops_per_thread is None:
-        max_ops_per_thread = settings.max_ops_per_thread
-    key = (
-        name,
-        size,
-        policy,
-        config if config is not None else "default",
-        max_ops_per_thread,
-        seed,
-        settings,
-        tuple(sorted(workload_overrides.items())),
-    )
-    result = _CACHE.get(key)
-    if result is None:
-        workload = make_workload(name, size, seed=seed, **workload_overrides)
-        result = run_workload(workload, policy, config, max_ops_per_thread)
-        _CACHE[key] = result
-    return result
+    """Run a registry workload under one configuration (memoized/cached)."""
+    return run_request(RunRequest.single(
+        name, size, policy, config=config,
+        max_ops_per_thread=max_ops_per_thread, seed=seed,
+        **workload_overrides))
 
 
-def clear_cache() -> None:
-    _CACHE.clear()
+def run_multiprog(
+    parts: Sequence[Tuple[str, str, int]],
+    policy: DispatchPolicy,
+    config: Optional[SystemConfig] = None,
+    max_ops_per_thread: Optional[int] = None,
+) -> RunResult:
+    """Run a multiprogrammed mix of ``(name, size, seed)`` parts (Fig. 9)."""
+    return run_request(RunRequest.multiprog(
+        parts, policy, config=config,
+        max_ops_per_thread=max_ops_per_thread))

@@ -37,7 +37,7 @@ class DispatchPolicy(enum.Enum):
 
 
 def balanced_choice(op: PimOp, channel: OffChipChannel, time: float,
-                    obs: NullObs = NULL_OBS) -> bool:
+                    block_size: int = 64, obs: NullObs = NULL_OBS) -> bool:
     """Section 7.4's balanced dispatch decision on a locality-monitor miss.
 
     Returns True to execute on the host.  Compares the exponentially-averaged
@@ -46,15 +46,17 @@ def balanced_choice(op: PimOp, channel: OffChipChannel, time: float,
     direction.  Off-chip byte costs per side:
 
     * host-side execution of a monitor-missing PEI fetches the block:
-      16 B request, 80 B response (a later dirty writeback is not charged
-      here, matching the counter-driven greedy heuristic);
+      a header-only request, header + one cache block of response (a later
+      dirty writeback is not charged here, matching the counter-driven
+      greedy heuristic) — ``block_size`` must be the *configured* block
+      size, not an assumed 64 B, or non-64 B ablations mis-decide;
     * memory-side execution ships the operands: header+input request,
       header+output response.
     """
     c_req = channel.req_flits.read(time)
     c_res = channel.res_flits.read(time)
     host_req = channel.packet_bytes(0)
-    host_res = channel.packet_bytes(64)
+    host_res = channel.packet_bytes(block_size)
     mem_req = channel.packet_bytes(op.input_bytes)
     mem_res = channel.packet_bytes(op.output_bytes)
     if obs.enabled:

@@ -133,6 +133,13 @@ class LocalityMonitor:
 
     @property
     def storage_bits(self) -> int:
-        """1 valid + partial tag + 4-bit LRU + 1 ignore bit per entry."""
-        per_entry = 1 + self.partial_tag_bits + 4 + 1
+        """1 valid + partial tag + ceil(log2(ways))-bit LRU + 1 ignore bit.
+
+        The LRU rank needs log2(associativity) bits per entry — 4 at the
+        paper's 16-way LLC geometry, 2 for a 4-way monitor.  (``(n-1).
+        bit_length()`` equals ``ilog2(n)`` for powers of two and rounds up
+        for the non-power-of-two associativities the monitor also accepts.)
+        """
+        lru_bits = (self.n_ways - 1).bit_length()
+        per_entry = 1 + self.partial_tag_bits + lru_bits + 1
         return self.n_sets * self.n_ways * per_entry

@@ -131,7 +131,13 @@ class PimDirectory:
 
     @property
     def storage_bits(self) -> int:
-        """Storage cost: 13 bits per entry (Section 6.1)."""
+        """Storage cost: 13 bits per entry (Section 6.1).
+
+        Unlike the locality monitor's LRU field, nothing here scales with a
+        geometry knob: the directory is direct-mapped and tag-less, and the
+        counter widths are the paper-fixed hardware widths above, so the
+        per-entry cost is a constant regardless of the entry count.
+        """
         if self.ideal:
             return 0
         # readable + writeable + reader counter + writer counter

@@ -111,7 +111,9 @@ class Pmu:
         if self.monitor.advise_host(block):
             return True
         if policy.is_balanced:
-            host = balanced_choice(op, self.channel, time, obs=self.obs)
+            host = balanced_choice(op, self.channel, time,
+                                   block_size=self.hierarchy.block_size,
+                                   obs=self.obs)
             if host:
                 self.stats.add("pei.balanced_host_overrides")
             return host

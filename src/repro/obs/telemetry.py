@@ -19,6 +19,7 @@ consume.
 """
 
 import json
+import re
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -27,7 +28,21 @@ from repro.obs.hooks import Obs
 from repro.obs.sampler import IntervalSampler
 from repro.obs.trace_export import ChromeTraceExporter
 
-__all__ = ["Telemetry"]
+__all__ = ["Telemetry", "bundle_stem"]
+
+
+def bundle_stem(*parts: str) -> str:
+    """A filesystem-safe bundle stem joined from identifying parts.
+
+    Every non-empty part is sanitized and joined with ``_``; callers that
+    may write several bundles of the same (workload, policy) into one
+    directory — parallel benchmark workers sweeping sizes or configs —
+    append a discriminator part (e.g. a request-fingerprint prefix) so
+    bundles never overwrite each other across processes.
+    """
+    cleaned = [re.sub(r"[^A-Za-z0-9._-]+", "-", p).lower()
+               for p in parts if p]
+    return "_".join(cleaned)
 
 #: Default retained trace events; bounds memory on long runs (the tracer
 #: counts overflow in ``dropped`` and the exporter records it).

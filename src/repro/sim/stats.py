@@ -15,6 +15,7 @@ Typed instruments (including latency histograms) live in
 """
 
 from collections import defaultdict
+from contextlib import contextmanager
 from typing import Dict, FrozenSet, Iterator, Tuple
 
 
@@ -87,6 +88,23 @@ class Stats:
                 out._counters[name] = value * factor
         out._gauges = set(self._gauges)
         return out
+
+    @contextmanager
+    def suspended(self):
+        """Discard every ``add``/``set`` made inside the block.
+
+        Used for modeled-but-unmeasured phases (cache warm-start emulates the
+        paper's skipped initialization): component state still mutates, but
+        no event may be charged to the measured run.  Implemented by swapping
+        in throwaway storage, so the hot-path ``add`` stays branch-free.
+        """
+        counters, gauges = self._counters, self._gauges
+        self._counters = defaultdict(float)
+        self._gauges = set()
+        try:
+            yield self
+        finally:
+            self._counters, self._gauges = counters, gauges
 
     def to_dict(self) -> Dict[str, float]:
         return dict(self._counters)

@@ -15,7 +15,9 @@ the paper's effects live in the footprint/capacity ratio, not in absolute
 sizes.
 """
 
-from dataclasses import dataclass, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
 
 from repro.util.bitops import is_power_of_two
 
@@ -156,6 +158,18 @@ class SystemConfig:
     def with_overrides(self, **kwargs) -> "SystemConfig":
         """Return a copy with the given fields replaced (sweep helper)."""
         return replace(self, **kwargs)
+
+    def fingerprint(self) -> str:
+        """Stable hex digest over every field of this configuration.
+
+        Two configs share a fingerprint iff every hardware parameter is
+        equal; any field change — including ones added in future versions,
+        since the field dict is serialized wholesale — produces a different
+        digest.  Used by the benchmark disk cache
+        (:mod:`repro.bench.cache`) to key persisted results.
+        """
+        payload = json.dumps(asdict(self), sort_keys=True, default=repr)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def scaled_config(**overrides) -> SystemConfig:

@@ -218,7 +218,10 @@ class System:
         Inserts each block (clean) into the L3 and, when the policy uses the
         locality monitor, mirrors the access there — the state a real run
         would have right after its (skipped) initialization phase.  No
-        statistics or timing are charged.
+        statistics or timing are charged: the shared Stats object is
+        suspended for the duration, so e.g. monitor evictions during warming
+        (which a large footprint produces by the hundred thousand) never
+        pollute the measured run.
         """
         machine = self.machine
         hierarchy = machine.hierarchy
@@ -226,12 +229,13 @@ class System:
         block_size = self.config.block_size
         observe = (machine.monitor.observe_llc_access
                    if self.policy.uses_monitor else None)
-        for region in space.regions.values():
-            for vaddr in range(region.base, region.end, block_size):
-                block = page_table.translate(vaddr) >> hierarchy.block_bits
-                hierarchy.l3.insert(block, dirty=False)
-                if observe is not None:
-                    observe(block)
+        with machine.stats.suspended():
+            for region in space.regions.values():
+                for vaddr in range(region.base, region.end, block_size):
+                    block = page_table.translate(vaddr) >> hierarchy.block_bits
+                    hierarchy.l3.insert(block, dirty=False)
+                    if observe is not None:
+                        observe(block)
 
     # ------------------------------------------------------------------
 

@@ -1,22 +1,30 @@
 """Tests for the benchmark CLI (python -m repro.bench)."""
 
+import json
+
 import pytest
 
-from repro.bench.__main__ import EXPERIMENTS, main
+from repro.bench import __main__ as cli
+from repro.bench import runner
+from repro.bench.__main__ import EXPERIMENTS, NOT_IN_ALL, main
+from repro.bench.experiments import ExperimentReport
 
 
 class TestCli:
     def test_list_runs(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for name in ("fig2", "fig6", "fig12", "sec76"):
+        for name in ("fig2", "fig6", "fig12", "sec76", "smoke"):
             assert name in out
 
     def test_experiment_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "fig2", "fig6", "fig7", "fig8", "fig9", "fig10",
-            "fig11a", "fig11b", "sec76", "fig12",
+            "fig11a", "fig11b", "sec76", "fig12", "smoke",
         }
+
+    def test_smoke_excluded_from_all(self):
+        assert "smoke" in NOT_IN_ALL
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
@@ -25,3 +33,94 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_rejects_bad_jobs(self, tmp_path):
+        with pytest.raises(ValueError):
+            main(["run", "smoke", "--jobs", "0", "--no-cache",
+                  "--history-dir", str(tmp_path)])
+
+
+@pytest.fixture
+def fake_experiments(monkeypatch):
+    """Replace every experiment with an instant stub (records calls)."""
+    calls = []
+
+    def make(name):
+        def fake():
+            calls.append(name)
+            return ExperimentReport(name, f"{name} body", {})
+        fake.__doc__ = f"Stub for {name}."
+        return fake
+
+    monkeypatch.setattr(cli, "EXPERIMENTS",
+                        {name: make(name) for name in EXPERIMENTS})
+    yield calls
+    runner.set_jobs(1)
+    runner.disable_disk_cache()
+    runner.clear_cache()
+    runner.reset_accounting()
+
+
+class TestRunCommand:
+    def test_run_all_skips_smoke(self, fake_experiments, tmp_path, capsys):
+        assert main(["run", "all", "--no-cache",
+                     "--history-dir", str(tmp_path)]) == 0
+        assert "smoke" not in fake_experiments
+        assert set(fake_experiments) == set(EXPERIMENTS) - set(NOT_IN_ALL)
+
+    def test_run_writes_trajectory_record(self, fake_experiments, tmp_path):
+        history = tmp_path / "hist"
+        assert main(["run", "smoke", "--no-cache",
+                     "--history-dir", str(history)]) == 0
+        [record] = history.glob("BENCH_*.json")
+        payload = json.loads(record.read_text())
+        assert payload["schema"] == "repro.bench.trajectory/1"
+        assert payload["jobs"] == 1
+        assert payload["cache"] == {"enabled": False}
+        assert [e["name"] for e in payload["experiments"]] == ["smoke"]
+        assert "sim_ops_per_second" in payload["totals"]
+
+    def test_run_configures_jobs_and_cache(self, fake_experiments, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(["run", "smoke", "--jobs", "3",
+                     "--cache-dir", str(cache_dir),
+                     "--history-dir", str(tmp_path / "hist")]) == 0
+        assert runner.get_jobs() == 3
+        cache = runner.disk_cache()
+        assert cache is not None
+        assert cache.root == cache_dir
+
+    def test_run_out_writes_reports(self, fake_experiments, tmp_path):
+        out = tmp_path / "out"
+        assert main(["run", "smoke", "--no-cache", "--out", str(out),
+                     "--history-dir", str(tmp_path / "hist")]) == 0
+        assert "smoke body" in (out / "smoke.txt").read_text()
+
+
+class TestHistoryCommand:
+    def test_empty_history_fails(self, tmp_path, capsys):
+        assert main(["history", "--history-dir", str(tmp_path)]) == 1
+
+    def test_assert_warm(self, fake_experiments, tmp_path):
+        history = tmp_path / "hist"
+        args = ["run", "smoke", "--no-cache", "--history-dir", str(history)]
+        assert main(args) == 0
+        # The stub experiments never simulate, so the record is "warm".
+        assert main(["history", "--history-dir", str(history),
+                     "--assert-warm"]) == 0
+
+    def test_assert_warm_fails_on_simulations(self, fake_experiments,
+                                              tmp_path, monkeypatch):
+        history = tmp_path / "hist"
+        calls = fake_experiments
+
+        def simulating():
+            runner.accounting().simulations += 3
+            return ExperimentReport("smoke", "body", {})
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "smoke", simulating)
+        assert main(["run", "smoke", "--no-cache",
+                     "--history-dir", str(history)]) == 0
+        assert main(["history", "--history-dir", str(history),
+                     "--assert-warm"]) == 1
+        assert calls == []

@@ -20,13 +20,14 @@ from repro.bench.experiments import (
 
 @pytest.fixture(scope="module", autouse=True)
 def small_runs():
-    """Shrink every run made by this module."""
-    original = runner.SETTINGS
-    runner.SETTINGS = runner.BenchSettings(max_ops_per_thread=1200,
-                                           n_mixes=1, seed=7)
+    """Shrink every run made by this module (settings re-read the env)."""
+    mp = pytest.MonkeyPatch()
+    mp.setenv("REPRO_BENCH_OPS", "1200")
+    mp.setenv("REPRO_BENCH_MIXES", "1")
+    mp.setenv("REPRO_BENCH_SEED", "7")
     runner.clear_cache()
     yield
-    runner.SETTINGS = original
+    mp.undo()
     runner.clear_cache()
 
 

@@ -10,8 +10,10 @@ from repro.system.config import tiny_config
 @pytest.fixture(autouse=True)
 def clean_cache():
     runner.clear_cache()
+    runner.reset_accounting()
     yield
     runner.clear_cache()
+    runner.reset_accounting()
 
 
 TINY = dict(config=tiny_config(), max_ops_per_thread=300)
@@ -72,6 +74,59 @@ class TestSettings:
 
     def test_settings_hashable_for_cache_key(self):
         assert hash(runner.BenchSettings()) == hash(runner.BenchSettings())
+
+    def test_seed_rereads_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SEED", "9")
+        assert runner.current_settings().seed == 9
+
+    def test_settings_attribute_deprecated(self):
+        with pytest.deprecated_call(match="current_settings"):
+            snapshot = runner.SETTINGS
+        assert snapshot == runner.current_settings()
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            runner.NO_SUCH_NAME
+
+
+class TestPrefetchAndAccounting:
+    def test_prefetch_populates_memo(self):
+        from repro.bench.frontier import RunRequest
+        requests = [
+            RunRequest.single("HG", "small", DispatchPolicy.HOST_ONLY,
+                              n_values=2000, **TINY),
+            RunRequest.single("HG", "small", DispatchPolicy.LOCALITY_AWARE,
+                              n_values=2000, **TINY),
+        ]
+        assert runner.prefetch(requests) == 2
+        before = runner.accounting().snapshot()
+        for request in requests:
+            assert runner.run_request(request).cycles > 0
+        after = runner.accounting().snapshot()
+        assert after["simulations"] == before["simulations"]
+        assert after["memo_hits"] == before["memo_hits"] + 2
+
+    def test_prefetch_dedupes(self):
+        from repro.bench.frontier import RunRequest
+        request = RunRequest.single("HG", "small", DispatchPolicy.HOST_ONLY,
+                                    n_values=2000, **TINY)
+        assert runner.prefetch([request, request]) == 1
+        assert runner.prefetch([request]) == 0
+
+    def test_accounting_tracks_simulated_work(self):
+        runner.run_config("HG", "small", DispatchPolicy.HOST_ONLY,
+                          n_values=2000, **TINY)
+        acct = runner.accounting()
+        assert acct.simulations == 1
+        assert acct.instructions > 0
+        assert acct.sim_wall_seconds > 0
+
+    def test_set_jobs_validates(self):
+        assert runner.set_jobs(2) == 2
+        assert runner.get_jobs() == 2
+        runner.set_jobs(1)
+        with pytest.raises(ValueError):
+            runner.set_jobs(0)
 
 
 class TestEnvChangeInvalidation:

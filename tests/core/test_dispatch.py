@@ -1,7 +1,7 @@
 """Tests for dispatch policies and balanced dispatch (Section 7.4)."""
 
 from repro.core.dispatch import DispatchPolicy, balanced_choice
-from repro.core.isa import EUCLIDEAN_DIST, FP_ADD, HISTOGRAM_BIN
+from repro.core.isa import EUCLIDEAN_DIST, FP_ADD, HISTOGRAM_BIN, PimOp
 from repro.mem.link import OffChipChannel
 
 
@@ -63,6 +63,16 @@ class TestBalancedChoice:
         channel = make_channel()
         assert balanced_choice(HISTOGRAM_BIN, channel, 0.0) is True
 
+    def test_block_size_defaults_to_64(self):
+        # Same decision whether 64 B is implied or explicit.
+        for bias in ("req_flits", "res_flits"):
+            implied = make_channel()
+            explicit = make_channel()
+            getattr(implied, bias).add(0.0, 1000.0)
+            getattr(explicit, bias).add(0.0, 1000.0)
+            assert (balanced_choice(FP_ADD, implied, 0.0)
+                    == balanced_choice(FP_ADD, explicit, 0.0, block_size=64))
+
     def test_ema_decay_changes_decision(self):
         # Old response pressure fades: after many halvings the request side
         # dominates again.
@@ -74,3 +84,40 @@ class TestBalancedChoice:
         # traffic to flip the balance.
         channel.req_flits.add(1000.0, 100.0)
         assert balanced_choice(FP_ADD, channel, 1000.0) is True
+
+
+class TestBalancedChoiceBlockSize:
+    """Host-side response cost is one *configured* cache block, not 64 B."""
+
+    # Largest legal output operand: memory-side response is 16 B header +
+    # 64 B payload = 80 wire bytes, so the host/memory comparison lands on
+    # either side of it depending on the configured block size.
+    BIG_OUTPUT = PimOp(
+        name="test op", mnemonic="pim.test", reads=True, writes=False,
+        input_bytes=0, output_bytes=64, compute_cycles=1.0,
+        applications=(),
+    )
+
+    def make_response_heavy(self):
+        channel = make_channel()
+        channel.res_flits.add(0.0, 1000.0)
+        return channel
+
+    def test_small_blocks_prefer_host(self):
+        # 32 B blocks: host response (48 wire bytes) < memory's 80.
+        channel = self.make_response_heavy()
+        assert balanced_choice(self.BIG_OUTPUT, channel, 0.0,
+                               block_size=32) is True
+
+    def test_large_blocks_prefer_memory(self):
+        # 128 B blocks: host response (144 wire bytes) > memory's 80.
+        channel = self.make_response_heavy()
+        assert balanced_choice(self.BIG_OUTPUT, channel, 0.0,
+                               block_size=128) is False
+
+    def test_hardcoded_64_would_misdecide_both(self):
+        # The pre-fix behavior (always 80 host response bytes vs. 80) chose
+        # memory for both geometries above — the regression this guards.
+        channel = self.make_response_heavy()
+        assert balanced_choice(self.BIG_OUTPUT, channel, 0.0,
+                               block_size=64) is False

@@ -25,6 +25,21 @@ class TestConstruction:
         monitor = LocalityMonitor(n_sets=16384, n_ways=16)
         assert monitor.storage_bits / 8 / 1024 == pytest.approx(512.0)
 
+    def test_storage_lru_bits_track_associativity(self):
+        # The LRU rank is ceil(log2(ways)) bits, not a hardcoded 4: a 4-way
+        # monitor needs 1 valid + 10 tag + 2 LRU + 1 ignore = 14 bits/entry.
+        monitor = LocalityMonitor(n_sets=1024, n_ways=4)
+        assert monitor.storage_bits == 1024 * 4 * 14
+
+    def test_storage_lru_bits_round_up_for_odd_ways(self):
+        # 6 ways need a 3-bit rank (ceil(log2(6))).
+        monitor = LocalityMonitor(n_sets=1024, n_ways=6)
+        assert monitor.storage_bits == 1024 * 6 * 15
+
+    def test_storage_direct_mapped_needs_no_lru(self):
+        monitor = LocalityMonitor(n_sets=1024, n_ways=1)
+        assert monitor.storage_bits == 1024 * 1 * 12
+
 
 class TestAdvice:
     def test_unknown_block_advised_to_memory(self):
