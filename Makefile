@@ -1,6 +1,6 @@
 # Convenience targets for the PEI reproduction.
 
-.PHONY: install test lint sanitize verify determinism telemetry bench bench-smoke experiments quick clean
+.PHONY: install test lint sanitize verify determinism telemetry bench bench-smoke perf-smoke experiments quick clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -51,6 +51,15 @@ bench-smoke:
 	PYTHONPATH=src python -m repro.bench run smoke --jobs 2
 	PYTHONPATH=src python -m repro.bench run smoke --jobs 2
 	PYTHONPATH=src python -m repro.bench history --assert-warm
+
+# Engine-throughput gate: two runs each embed an engine microbenchmark
+# reading in their trajectory record; --compare fails on a >20% drop
+# against the best earlier record (see docs/performance.md).
+perf-smoke:
+	rm -rf bench-history
+	PYTHONPATH=src python -m repro.bench run smoke --jobs 2
+	PYTHONPATH=src python -m repro.bench run smoke --jobs 2
+	PYTHONPATH=src python -m repro.bench history --compare
 
 # Same, via the CLI (no pytest-benchmark timing around it).
 experiments:

@@ -9,47 +9,42 @@ their wall time IS the measurement.
 
 import pytest
 
+from repro.bench.microbench import EngineMicroload, capture_engine_trace
 from repro.core.dispatch import DispatchPolicy
-from repro.core.isa import FP_ADD
 from repro.core.locality_monitor import LocalityMonitor
 from repro.core.pim_directory import PimDirectory
-from repro.cpu.trace import Compute, Load, Pei
 from repro.system.config import tiny_config
 from repro.system.system import System
-from repro.workloads.base import Workload
 
 
-class _Microload(Workload):
-    name = "micro"
-
-    def __init__(self, n_ops=4000):
-        super().__init__()
-        self.n_ops = n_ops
-
-    def prepare(self, space):
-        self.space = space
-        self.region = space.alloc("data", 1 << 20)
-
-    def make_threads(self, n_threads):
-        def thread(t):
-            base = self.region.base
-            for i in range(self.n_ops):
-                addr = base + ((i * 2654435761 + t) % (1 << 20)) // 64 * 64
-                if i % 3 == 0:
-                    yield Pei(FP_ADD, addr)
-                elif i % 3 == 1:
-                    yield Load(addr)
-                else:
-                    yield Compute(4)
-        return [thread(t) for t in range(n_threads)]
+@pytest.fixture(scope="module")
+def engine_trace():
+    """One capture shared by every replay round (capture cost excluded)."""
+    return capture_engine_trace()
 
 
-def test_engine_throughput(benchmark):
-    """End-to-end engine throughput (mixed loads/PEIs/compute)."""
+def test_engine_throughput(benchmark, engine_trace):
+    """End-to-end engine throughput: trace replay, the runner's hot path.
+
+    This is the number ``python -m repro.bench history --compare`` tracks
+    (via :func:`repro.bench.microbench.engine_ops_per_second`, which uses
+    the same workload and replay path).
+    """
 
     def run():
         system = System(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
-        return system.run(_Microload())
+        return system.run(engine_trace)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.instructions > 0
+
+
+def test_engine_throughput_generator(benchmark):
+    """Generator-driven engine throughput (capture path included)."""
+
+    def run():
+        system = System(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
+        return system.run(EngineMicroload())
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.instructions > 0

@@ -18,10 +18,15 @@ Every ``run`` fans independent simulation points across ``--jobs`` worker
 processes, serves repeats from a content-addressed disk cache (default
 ``.bench_cache/``; ``--no-cache`` disables it), and appends a
 ``BENCH_<runid>.json`` trajectory record — wall-clock per experiment,
-simulated ops/sec, cache hit counts — under ``--history-dir`` (default
-``bench-history/``).  ``history`` summarizes those records; with
-``--assert-warm`` it exits non-zero unless the latest run performed zero
-simulations, which is how CI proves the warm path works.
+simulated ops/sec, cache hit counts, and an engine microbenchmark reading —
+under ``--history-dir`` (default ``bench-history/``).  Workloads are
+captured once per (input, seed) into compiled traces that replay across
+every policy/config of a sweep; the traces persist under
+``<cache-dir>/traces`` even with ``--no-cache``.  ``history`` summarizes
+the records; ``--assert-warm`` exits non-zero unless the latest run
+performed zero simulations (CI's warm-path proof), and ``--compare`` exits
+non-zero if the latest engine throughput regressed more than 20% against
+the best earlier record (CI's perf-smoke gate; see docs/performance.md).
 """
 
 import argparse
@@ -31,7 +36,13 @@ import time
 
 from repro.bench import experiments, runner
 from repro.bench.cache import DEFAULT_CACHE_DIR
-from repro.bench.history import BenchTrajectory, latest_record, load_records, settings_dict
+from repro.bench.history import (
+    BenchTrajectory,
+    compare_engine,
+    latest_record,
+    load_records,
+    settings_dict,
+)
 
 EXPERIMENTS = {
     "fig2": experiments.fig2_pagerank_potential,
@@ -67,7 +78,12 @@ def _add_run_parser(sub) -> None:
                      help="on-disk result cache location "
                      f"(default: {DEFAULT_CACHE_DIR})")
     run.add_argument("--no-cache", action="store_true",
-                     help="disable the on-disk result cache")
+                     help="disable the on-disk result cache (captured "
+                     "workload traces stay cached: a re-simulation never "
+                     "needs to re-run the functional algorithms)")
+    run.add_argument("--no-microbench", action="store_true",
+                     help="skip the engine microbenchmark normally embedded "
+                     "in the trajectory record")
     run.add_argument("--history-dir", type=pathlib.Path,
                      default=pathlib.Path(DEFAULT_HISTORY_DIR), metavar="DIR",
                      help="directory for BENCH_<runid>.json trajectory "
@@ -88,6 +104,9 @@ def _add_history_parser(sub) -> None:
     hist.add_argument("--assert-warm", action="store_true",
                       help="exit 1 unless the latest record shows zero "
                       "simulations (everything cache-served)")
+    hist.add_argument("--compare", action="store_true",
+                      help="exit 1 if the latest record's engine throughput "
+                      "regressed >20%% against the best earlier record")
 
 
 def _cmd_run(args) -> int:
@@ -99,6 +118,10 @@ def _cmd_run(args) -> int:
         cache = runner.enable_disk_cache(args.cache_dir)
         cache_info = {"enabled": True, "dir": str(cache.root),
                       "salt": cache.salt}
+    # Captured traces persist under the cache dir even with --no-cache:
+    # disabling the *result* cache forces re-simulation, which never
+    # requires re-running the functional workloads.
+    runner.enable_trace_cache(args.cache_dir / "traces")
     if args.telemetry is not None:
         telemetry_dir = runner.enable_telemetry(pathlib.Path(args.telemetry))
         print(f"telemetry bundles -> {telemetry_dir}")
@@ -129,11 +152,19 @@ def _cmd_run(args) -> int:
     cache = runner.disk_cache()
     if cache is not None:
         trajectory.cache_info.update(cache.counters())
+    trajectory.cache_info["traces"] = runner.trace_store().counters()
+    if not args.no_microbench:
+        from repro.bench.microbench import engine_ops_per_second
+        trajectory.engine = engine_ops_per_second()
+        print(f"engine: {trajectory.engine['ops_per_second']:,.0f} ops/s "
+              f"({trajectory.engine['ms_per_run']:.1f} ms/run, best of "
+              f"{trajectory.engine['rounds']:.0f})")
     path = trajectory.write(args.history_dir)
     totals = trajectory.payload()["totals"]
     print(f"trajectory -> {path} "
           f"({totals['simulations']:.0f} simulations, "
           f"{totals['disk_hits']:.0f} disk hits, "
+          f"{totals['trace_captures']:.0f} trace captures, "
           f"{totals['wall_seconds']:.2f}s wall)")
     return 0
 
@@ -145,11 +176,20 @@ def _cmd_history(args) -> int:
         return 1
     for path, record in records:
         totals = record.get("totals", {})
-        print(f"{path.name}: jobs={record.get('jobs')} "
-              f"sims={totals.get('simulations', 0):.0f} "
-              f"disk_hits={totals.get('disk_hits', 0):.0f} "
-              f"wall={totals.get('wall_seconds', 0.0):.2f}s "
-              f"sim_ops/s={totals.get('sim_ops_per_second', 0.0):.0f}")
+        engine = record.get("engine", {})
+        line = (f"{path.name}: jobs={record.get('jobs')} "
+                f"sims={totals.get('simulations', 0):.0f} "
+                f"disk_hits={totals.get('disk_hits', 0):.0f} "
+                f"wall={totals.get('wall_seconds', 0.0):.2f}s "
+                f"sim_ops/s={totals.get('sim_ops_per_second', 0.0):.0f}")
+        if engine.get("ops_per_second"):
+            line += f" engine_ops/s={engine['ops_per_second']:.0f}"
+        print(line)
+    if args.compare:
+        ok, message = compare_engine(records)
+        print(message)
+        if not ok:
+            return 1
     if args.assert_warm:
         path, record = latest_record(args.history_dir)
         sims = record.get("totals", {}).get("simulations", 0)

@@ -32,7 +32,8 @@ from typing import Dict, Optional
 import repro
 from repro.system.result import RunResult
 
-__all__ = ["BenchCache", "DEFAULT_CACHE_DIR", "code_version_salt"]
+__all__ = ["BenchCache", "DEFAULT_CACHE_DIR", "atomic_write_json",
+           "code_version_salt"]
 
 #: Default cache location, relative to the invocation directory.
 DEFAULT_CACHE_DIR = ".bench_cache"
@@ -60,6 +61,27 @@ def code_version_salt() -> str:
     if env:
         return env
     return _source_tree_digest()[:16]
+
+
+def atomic_write_json(path: Path, payload: Dict) -> Path:
+    """Publish ``payload`` at ``path`` via temp-file + ``os.replace``.
+
+    Shared by the result cache and the trace store: concurrent workers and
+    interrupted runs can never leave a torn entry behind.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 class BenchCache:
@@ -100,25 +122,13 @@ class BenchCache:
     def put(self, request, result: RunResult) -> Path:
         """Persist ``result`` under ``request``'s fingerprint (atomic)."""
         key = self.key(request)
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "fingerprint": key,
             "salt": self.salt,
             "request": request.describe(),
             "result": result.to_dict(),
         }
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        path = atomic_write_json(self.path_for(key), payload)
         self.stores += 1
         return path
 

@@ -190,13 +190,21 @@ def build_workload(request: RunRequest) -> Workload:
 
 
 def simulate(request: RunRequest,
-             telemetry: Optional[Telemetry] = None) -> RunResult:
-    """Run one resolved request on a fresh machine (no caching)."""
+             telemetry: Optional[Telemetry] = None,
+             trace=None) -> RunResult:
+    """Run one resolved request on a fresh machine (no caching).
+
+    With a ``trace`` (a :class:`~repro.cpu.trace.CompiledTrace` captured
+    from this request's workload under the same thread count, page size and
+    ops cap), the engine replays it instead of re-running the functional
+    algorithm — bit-identical to the generator path, asserted by
+    ``tests/bench/test_traces.py``.
+    """
     if not request.resolved:
         raise ValueError(f"cannot simulate unresolved request {request!r}")
-    workload = build_workload(request)
+    runnable = trace if trace is not None else build_workload(request)
     system = System(request.config, request.policy, telemetry=telemetry)
-    return system.run(workload,
+    return system.run(runnable,
                       max_ops_per_thread=request.max_ops_per_thread)
 
 
@@ -219,10 +227,10 @@ def _execute_payload(payload) -> Dict:
     ``RunResult.to_dict()`` — plain data the parent re-hydrates — rather
     than the live object graph.
     """
-    request, telemetry_dir, telemetry_interval, unique_stem = payload
+    request, telemetry_dir, telemetry_interval, unique_stem, trace = payload
     telemetry = (Telemetry(interval=telemetry_interval)
                  if telemetry_dir is not None else None)
-    result = simulate(request, telemetry=telemetry)
+    result = simulate(request, telemetry=telemetry, trace=trace)
     if telemetry is not None:
         telemetry.write(Path(telemetry_dir),
                         _bundle_stem(request, result.workload, unique_stem),
@@ -235,6 +243,7 @@ def run_batch(
     jobs: int = 1,
     telemetry_dir: Optional[Path] = None,
     telemetry_interval: float = 10_000.0,
+    traces: Optional[Sequence] = None,
 ) -> List[RunResult]:
     """Execute resolved requests, fanning across ``jobs`` processes.
 
@@ -245,14 +254,24 @@ def run_batch(
     single request the batch runs in-process.  Every result — serial or
     parallel — is rehydrated from its ``to_dict()`` form, so both modes
     return the identical representation.
+
+    ``traces`` (aligned with ``requests``; None entries allowed) carries
+    pre-captured CompiledTraces: those points replay instead of re-running
+    the functional workload.  Traces ship to parallel workers through the
+    payload, so a figure's whole sweep pays one capture in the parent.
     """
     for request in requests:
         if not request.resolved:
             raise ValueError(f"cannot execute unresolved request {request!r}")
+    if traces is None:
+        traces = [None] * len(requests)
+    elif len(traces) != len(requests):
+        raise ValueError(f"got {len(traces)} traces for {len(requests)} "
+                         f"requests — the sequences must align")
     parallel = jobs > 1 and len(requests) > 1
     tdir = str(telemetry_dir) if telemetry_dir is not None else None
-    payloads = [(request, tdir, telemetry_interval, parallel)
-                for request in requests]
+    payloads = [(request, tdir, telemetry_interval, parallel, trace)
+                for request, trace in zip(requests, traces)]
     if not parallel:
         return [RunResult.from_dict(_execute_payload(p)) for p in payloads]
     workers = min(jobs, len(requests))

@@ -33,13 +33,19 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["BenchTrajectory", "latest_record", "load_records", "new_runid"]
+__all__ = ["BenchTrajectory", "compare_engine", "latest_record",
+           "load_records", "new_runid"]
 
 SCHEMA = "repro.bench.trajectory/1"
 
 #: Fields accumulated per experiment and in the totals block.
 _COUNTER_FIELDS = ("wall_seconds", "simulations", "memo_hits", "disk_hits",
-                   "instructions", "sim_wall_seconds")
+                   "instructions", "sim_wall_seconds", "trace_captures",
+                   "trace_hits")
+
+#: Relative engine-throughput drop (vs the best prior record) that
+#: ``history --compare`` treats as a regression.
+ENGINE_REGRESSION_THRESHOLD = 0.20
 
 
 def new_runid() -> str:
@@ -66,6 +72,9 @@ class BenchTrajectory:
         self.cache_info = dict(cache_info) if cache_info is not None else {}
         self.settings = dict(settings) if settings is not None else {}
         self.experiments: List[Dict] = []
+        #: Engine microbenchmark measurement for this invocation
+        #: (:func:`repro.bench.microbench.engine_ops_per_second` output).
+        self.engine: Dict = {}
 
     def record(self, name: str, wall_seconds: float,
                before: Dict[str, float], after: Dict[str, float]) -> Dict:
@@ -88,6 +97,7 @@ class BenchTrajectory:
             "jobs": self.jobs,
             "cache": self.cache_info,
             "settings": self.settings,
+            "engine": self.engine,
             "experiments": self.experiments,
             "totals": _with_throughput(totals),
         }
@@ -118,6 +128,37 @@ def load_records(history_dir) -> List[Tuple[Path, Dict]]:
 def latest_record(history_dir) -> Optional[Tuple[Path, Dict]]:
     records = load_records(history_dir)
     return records[-1] if records else None
+
+
+def compare_engine(records: List[Tuple[Path, Dict]],
+                   threshold: float = ENGINE_REGRESSION_THRESHOLD,
+                   ) -> Tuple[bool, str]:
+    """Flag engine-throughput regressions in a record series.
+
+    Compares the newest record's ``engine.ops_per_second`` against the
+    *best* earlier record (minimum-of-rounds measurements regress by
+    slowing down, not by losing a lucky draw).  Returns ``(ok, message)``;
+    ``ok`` is False when the newest throughput is more than ``threshold``
+    below the prior best.  Series with fewer than two engine-bearing
+    records vacuously pass — there is nothing to compare against.
+    """
+    bearing = [(path, record) for path, record in records
+               if record.get("engine", {}).get("ops_per_second")]
+    if len(bearing) < 2:
+        return True, (f"engine-compare: skipped "
+                      f"({len(bearing)} record(s) with engine data; need 2)")
+    newest_path, newest = bearing[-1]
+    best_path, best = max(bearing[:-1],
+                          key=lambda pr: pr[1]["engine"]["ops_per_second"])
+    current = newest["engine"]["ops_per_second"]
+    reference = best["engine"]["ops_per_second"]
+    drop = 1.0 - current / reference
+    detail = (f"{newest_path.name}: {current:,.0f} engine ops/s vs best "
+              f"{reference:,.0f} ({best_path.name}); "
+              f"change {-drop:+.1%}, threshold -{threshold:.0%}")
+    if drop > threshold:
+        return False, f"ENGINE REGRESSION: {detail}"
+    return True, f"engine-compare OK: {detail}"
 
 
 def settings_dict(settings) -> Dict:

@@ -42,6 +42,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.bench import frontier
 from repro.bench.cache import DEFAULT_CACHE_DIR, BenchCache
 from repro.bench.frontier import RunRequest
+from repro.bench.traces import TraceStore
 from repro.core.dispatch import DispatchPolicy
 from repro.obs.telemetry import Telemetry, bundle_stem
 from repro.system.config import SystemConfig, scaled_config
@@ -97,6 +98,12 @@ _MEMO: Dict[RunRequest, RunResult] = {}
 _DISK_CACHE: Optional[BenchCache] = None
 _JOBS = 1
 
+#: Capture-once trace store.  The in-process memo is always on — one
+#: runner session captures each (workload, input, seed) stream exactly once
+#: however many policies/configs sweep it — and :func:`enable_trace_cache`
+#: adds a disk generation shared across invocations.
+_TRACE_STORE = TraceStore()
+
 #: When set, simulated (uncached) runs write telemetry bundles here.
 _TELEMETRY_DIR: Optional[Path] = None
 _TELEMETRY_INTERVAL = 10_000.0
@@ -112,7 +119,8 @@ class RunnerAccounting:
     cache (by lookups and by :func:`prefetch`).  ``instructions`` and
     ``sim_wall_seconds`` cover simulated runs only, so
     ``instructions / sim_wall_seconds`` is the harness's simulated-ops/sec
-    throughput.
+    throughput.  ``trace_captures``/``trace_hits`` count functional
+    workload captures vs trace-store hits (capture-once replay).
     """
 
     simulations: int = 0
@@ -120,6 +128,8 @@ class RunnerAccounting:
     disk_hits: int = 0
     instructions: float = 0.0
     sim_wall_seconds: float = 0.0
+    trace_captures: int = 0
+    trace_hits: int = 0
 
     def snapshot(self) -> Dict[str, float]:
         return {
@@ -128,6 +138,8 @@ class RunnerAccounting:
             "disk_hits": self.disk_hits,
             "instructions": self.instructions,
             "sim_wall_seconds": self.sim_wall_seconds,
+            "trace_captures": self.trace_captures,
+            "trace_hits": self.trace_hits,
         }
 
 
@@ -174,6 +186,29 @@ def disk_cache() -> Optional[BenchCache]:
     return _DISK_CACHE
 
 
+def enable_trace_cache(root, salt: Optional[str] = None) -> TraceStore:
+    """Persist captured traces to (and serve them from) ``root``.
+
+    Independent of the result cache: ``python -m repro.bench run
+    --no-cache`` still keeps the trace generation, because a re-simulation
+    never needs to re-run the functional workloads.
+    """
+    global _TRACE_STORE
+    _TRACE_STORE = TraceStore(root, salt=salt)
+    return _TRACE_STORE
+
+
+def disable_trace_cache() -> TraceStore:
+    """Drop the disk generation; capture-once memoization stays on."""
+    global _TRACE_STORE
+    _TRACE_STORE = TraceStore()
+    return _TRACE_STORE
+
+
+def trace_store() -> TraceStore:
+    return _TRACE_STORE
+
+
 def enable_telemetry(out_dir, interval: float = 10_000.0) -> Path:
     """Write a telemetry bundle for every subsequent simulated run."""
     global _TELEMETRY_DIR, _TELEMETRY_INTERVAL
@@ -188,8 +223,9 @@ def disable_telemetry() -> None:
 
 
 def clear_cache() -> None:
-    """Drop the in-process memo (the disk cache is left untouched)."""
+    """Drop the in-process memos (the disk caches are left untouched)."""
     _MEMO.clear()
+    _TRACE_STORE.clear()
 
 
 # ----------------------------------------------------------------------
@@ -198,13 +234,27 @@ def clear_cache() -> None:
 
 
 def _execute(requests: Sequence[RunRequest]) -> List[RunResult]:
-    """Simulate resolved cache-missing requests; memoize and persist."""
+    """Simulate resolved cache-missing requests; memoize and persist.
+
+    Each request's workload is captured once into a CompiledTrace (served
+    from the trace store when a sibling config already paid the capture)
+    and the batch replays the traces — parallel workers receive them
+    through the payload, so a sweep's functional runs happen exactly once,
+    in the parent.
+    """
+    store = _TRACE_STORE
+    captures0 = store.captures
+    hits0 = store.memo_hits + store.disk_hits
+    traces = [store.get_or_capture(request) for request in requests]
+    _ACCOUNTING.trace_captures += store.captures - captures0
+    _ACCOUNTING.trace_hits += store.memo_hits + store.disk_hits - hits0
     t0 = time.perf_counter()  # simlint: ignore[SIM001] -- harness throughput accounting; never feeds simulated time
     results = frontier.run_batch(
         requests,
         jobs=_JOBS,
         telemetry_dir=_TELEMETRY_DIR,
         telemetry_interval=_TELEMETRY_INTERVAL,
+        traces=traces,
     )
     elapsed = time.perf_counter() - t0  # simlint: ignore[SIM001] -- harness throughput accounting; never feeds simulated time
     _ACCOUNTING.simulations += len(requests)

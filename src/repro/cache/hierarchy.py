@@ -17,12 +17,27 @@ The hierarchy exposes ``flush_block`` implementing both back-invalidation
 through which the PMU's locality monitor sees every last-level-cache access.
 """
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, NamedTuple, Optional, Set, Tuple, List
 
 from repro.cache.array import SetAssocArray
 from repro.mem.hmc import HmcSystem
 from repro.sim.resource import BankedResource
+from repro.sim.stat_keys import (
+    SLOT_COHERENCE_BACK_INVALIDATIONS,
+    SLOT_COHERENCE_CACHE_TO_CACHE,
+    SLOT_COHERENCE_INVALIDATIONS,
+    SLOT_L1_ACCESSES,
+    SLOT_L1_HITS,
+    SLOT_L2_ACCESSES,
+    SLOT_L2_HITS,
+    SLOT_L2_WRITEBACKS,
+    SLOT_L3_ACCESSES,
+    SLOT_L3_HITS,
+    SLOT_L3_MISSES,
+    SLOT_L3_WRITEBACKS,
+    SLOT_PMU_BACK_INVALIDATIONS,
+    SLOT_PMU_BACK_WRITEBACKS,
+)
 from repro.sim.stats import Stats
 from repro.util.bitops import ilog2
 from repro.xbar.crossbar import Crossbar
@@ -31,9 +46,12 @@ from repro.xbar.crossbar import Crossbar
 L1, L2, L3, MEMORY = "l1", "l2", "l3", "mem"
 
 
-@dataclass(frozen=True)
-class AccessResult:
-    """Outcome of one load/store: completion time and the level that hit."""
+class AccessResult(NamedTuple):
+    """Outcome of one load/store: completion time and the level that hit.
+
+    A NamedTuple: one is built per cache access, so construction cost is a
+    hot-path concern (frozen dataclasses cost over twice as much).
+    """
 
     finish: float
     level: str
@@ -75,11 +93,26 @@ class CacheHierarchy:
         self.l2_latency = l2_latency
         self.l3_latency = l3_latency
         self.l3_banks = BankedResource("l3.bank", l3_banks)
+        self._l3_bank_list = self.l3_banks.banks
+        self._n_l3_banks = len(self._l3_bank_list)
         self.l3_bank_occupancy = l3_bank_occupancy
         self.crossbar = crossbar
+        # Crossbar geometry flattened for the inlined traversals in
+        # access(): every shared-level access crosses the crossbar twice.
+        self._xbar_ports = crossbar.ports
+        self._n_xbar_ports = len(crossbar.ports)
+        self._xbar_latency = crossbar.latency
+        self._response_bytes = block_size + 16
         self.hmc = hmc
         self.stats = stats
+        # Batched counter fast path: per-op events accumulate into the
+        # shared slot list (see repro.sim.stat_keys) instead of paying a
+        # string-keyed dict update per access.
+        self._slots = stats.slots
         self.cache_to_cache_penalty = cache_to_cache_penalty
+        # True LRU promotes on hit; fifo/random do not.  Cached so the
+        # inlined L1 probe in access() can branch without a string compare.
+        self._lru = replacement_policy == "lru"
         # Directory state: which cores hold private copies, and which single
         # core (if any) holds the block modified.
         self.sharers: Dict[int, Set[int]] = {}
@@ -100,11 +133,15 @@ class CacheHierarchy:
         return block << self.block_bits
 
     def _fill_private(self, core: int, block: int, dirty: bool, time: float) -> None:
-        """Install ``block`` into core's L1 and L2, handling evictions."""
-        victim = self.l2[core].insert(block, dirty=False)
+        """Install ``block`` into core's L1 and L2, handling evictions.
+
+        Only reached on private misses, so the combined ``lookup_insert``
+        always takes its install path — one set resolution per level.
+        """
+        _, victim = self.l2[core].lookup_insert(block, dirty=False)
         if victim is not None:
             self._retire_private_victim(core, victim, time)
-        victim = self.l1[core].insert(block, dirty=dirty)
+        _, victim = self.l1[core].lookup_insert(block, dirty=dirty)
         if victim is not None:
             v_block, v_dirty = victim
             if v_dirty:
@@ -129,7 +166,7 @@ class CacheHierarchy:
             self.l3.mark_dirty(v_block)
             if self.owner.get(v_block) == core:
                 self.owner[v_block] = None
-            self.stats.add("l2.writebacks")
+            self._slots[SLOT_L2_WRITEBACKS] += 1.0
         self._remove_sharer(v_block, core)
 
     def _drop_private_if_absent(self, core: int, block: int) -> None:
@@ -149,7 +186,13 @@ class CacheHierarchy:
                 del self.sharers[block]
 
     def _add_sharer(self, block: int, core: int) -> None:
-        self.sharers.setdefault(block, set()).add(core)
+        # get + branch rather than setdefault: avoids allocating a fresh
+        # set() on every access to an already-shared block.
+        holders = self.sharers.get(block)
+        if holders is None:
+            self.sharers[block] = {core}
+        else:
+            holders.add(core)
 
     def _invalidate_other_sharers(self, block: int, core: int) -> float:
         """Invalidate every private copy except core's; return added latency."""
@@ -166,7 +209,7 @@ class CacheHierarchy:
                 # The previous owner's data folds into the L3 copy.
                 self.l3.mark_dirty(block)
             self._remove_sharer(block, other)
-            self.stats.add("coherence.invalidations")
+            self._slots[SLOT_COHERENCE_INVALIDATIONS] += 1.0
         if self.owner.get(block) not in (None, core):
             self.owner[block] = None
         return 2.0 * self.crossbar.latency
@@ -181,58 +224,156 @@ class CacheHierarchy:
         Returns the completion time and the level that serviced the access.
         Store misses are write-allocate.
         """
-        block = self.block_of(addr)
-        self.stats.add("l1.accesses")
-        # L1
-        if self.l1[core].lookup(block):
-            self.stats.add("l1.hits")
+        block = addr >> self.block_bits
+        slots = self._slots
+        slots[SLOT_L1_ACCESSES] += 1.0
+        # L1 — the probe is SetAssocArray.lookup + mark_dirty inlined: this
+        # is the single most frequent path in the simulator.
+        l1 = self.l1[core]
+        line_set = l1.sets[block & l1._set_mask]
+        prior = line_set.get(block)
+        if prior is not None:
+            l1.hits += 1
+            if self._lru:
+                line_set.move_to_end(block)
+            slots[SLOT_L1_HITS] += 1.0
             latency = self.l1_latency
             if is_write:
                 latency += self._promote_to_owner(block, core)
-                self.l1[core].mark_dirty(block)
+                if not prior:
+                    line_set[block] = True
             return AccessResult(time + latency, L1)
-        # L2
-        self.stats.add("l2.accesses")
-        if self.l2[core].lookup(block):
-            self.stats.add("l2.hits")
+        l1.misses += 1
+        # L2 — same inlined probe as the L1 above.
+        slots[SLOT_L2_ACCESSES] += 1.0
+        l2 = self.l2[core]
+        line_set = l2.sets[block & l2._set_mask]
+        if block in line_set:
+            l2.hits += 1
+            if self._lru:
+                line_set.move_to_end(block)
+            slots[SLOT_L2_HITS] += 1.0
             latency = self.l2_latency
             if is_write:
                 latency += self._promote_to_owner(block, core)
-            victim = self.l1[core].insert(block, dirty=is_write)
+            # The L1 missed above, so this is always an install; the dirty
+            # bit is set here directly (no separate mark_dirty probe).
+            # lookup_insert inlined on its (deterministic) miss path.
+            l1.misses += 1
+            if self._lru:
+                line_set = l1.sets[block & l1._set_mask]
+                victim = None
+                if len(line_set) >= l1.n_ways:
+                    victim = line_set.popitem(last=False)
+                    l1.evictions += 1
+                line_set[block] = is_write
+            else:
+                victim = l1.insert(block, dirty=is_write)
             if victim is not None:
                 v_block, v_dirty = victim
                 if v_dirty:
-                    evicted = self.l2[core].insert(v_block, dirty=True)
+                    evicted = l2.insert(v_block, dirty=True)
                     if evicted is not None:
                         self._retire_private_victim(core, evicted, time)
-                    self.l2[core].mark_dirty(v_block)
+                    l2.mark_dirty(v_block)
                 else:
                     self._drop_private_if_absent(core, v_block)
-            if is_write:
-                self.l1[core].mark_dirty(block)
             return AccessResult(time + latency, L2)
-        # L3 (via crossbar)
-        t = self.crossbar.traverse(core, time, 16)
-        t = self.l3_banks.acquire(block, t, self.l3_bank_occupancy)
+        l2.misses += 1
+        # L3 (via crossbar; the bank acquire skips the BankedResource
+        # modulo wrapper)
+        # Crossbar.traverse inlined, request direction (16 B control).
+        link = self._xbar_ports[core % self._n_xbar_ports]
+        occupancy = 16 / link.bytes_per_cycle
+        if time > link.clock:
+            gap = time - link.clock
+            link.backlog = link.backlog - gap if link.backlog > gap else 0.0
+            link.clock = time
+        t = time + link.backlog + occupancy + self._xbar_latency
+        link.backlog += occupancy
+        link.busy_cycles += occupancy
+        link.served += 1
+        link.bytes_transferred += 16
+        # Bank acquire (Resource.acquire inlined; skips the BankedResource
+        # modulo wrapper).
+        bank = self._l3_bank_list[block % self._n_l3_banks]
+        bank_occ = self.l3_bank_occupancy
+        if t > bank.clock:
+            gap = t - bank.clock
+            bank.backlog = bank.backlog - gap if bank.backlog > gap else 0.0
+            bank.clock = t
+        t = t + bank.backlog
+        bank.backlog += bank_occ
+        bank.busy_cycles += bank_occ
+        bank.served += 1
         t += self.l3_latency
-        self.stats.add("l3.accesses")
+        slots[SLOT_L3_ACCESSES] += 1.0
         if self.l3_observer is not None:
             self.l3_observer(block)
-        if self.l3.lookup(block):
-            self.stats.add("l3.hits")
+        l3 = self.l3
+        line_set = l3.sets[block & l3._set_mask]
+        if block in line_set:
+            l3.hits += 1
+            if self._lru:
+                line_set.move_to_end(block)
+            slots[SLOT_L3_HITS] += 1.0
             level = L3
             t += self._collect_remote_copy(block, core, is_write)
         else:
+            l3.misses += 1
             level = MEMORY
-            self.stats.add("l3.misses")
-            t = self.hmc.read_block(t, self.block_addr(block))
+            slots[SLOT_L3_MISSES] += 1.0
+            t = self.hmc.read_block(t, block << self.block_bits)
             self._install_in_l3(block, time)
         if is_write:
             t += self._promote_to_owner(block, core)
-        # Response crosses the crossbar back to the core.
-        t = self.crossbar.traverse(core, t, self.block_size + 16)
+        # Response crosses the crossbar back to the core (inlined traverse,
+        # header + one block of data).
+        nbytes = self._response_bytes
+        link = self._xbar_ports[core % self._n_xbar_ports]
+        occupancy = nbytes / link.bytes_per_cycle
+        if t > link.clock:
+            gap = t - link.clock
+            link.backlog = link.backlog - gap if link.backlog > gap else 0.0
+            link.clock = t
+        start = t + link.backlog
+        link.backlog += occupancy
+        link.busy_cycles += occupancy
+        link.served += 1
+        link.bytes_transferred += nbytes
+        t = start + occupancy + self._xbar_latency
         self._add_sharer(block, core)
-        self._fill_private(core, block, dirty=is_write, time=time)
+        # _fill_private inlined (it runs on every L3/memory service): both
+        # private levels missed above, so each lookup_insert would take its
+        # deterministic miss/install path — done here without the calls.
+        if self._lru:
+            l2.misses += 1
+            line_set = l2.sets[block & l2._set_mask]
+            victim = None
+            if len(line_set) >= l2.n_ways:
+                victim = line_set.popitem(last=False)
+                l2.evictions += 1
+            line_set[block] = False
+            if victim is not None:
+                self._retire_private_victim(core, victim, time)
+            l1.misses += 1
+            line_set = l1.sets[block & l1._set_mask]
+            victim = None
+            if len(line_set) >= l1.n_ways:
+                victim = line_set.popitem(last=False)
+                l1.evictions += 1
+            line_set[block] = is_write
+            if victim is not None:
+                v_block, v_dirty = victim
+                if v_dirty:
+                    evicted = l2.insert(v_block, dirty=True)
+                    if evicted is not None:
+                        self._retire_private_victim(core, evicted, time)
+                    l2.mark_dirty(v_block)
+                else:
+                    self._drop_private_if_absent(core, v_block)
+        else:
+            self._fill_private(core, block, dirty=is_write, time=time)
         return AccessResult(t, level)
 
     def _promote_to_owner(self, block: int, core: int) -> float:
@@ -259,7 +400,7 @@ class CacheHierarchy:
             self.l1[own].mark_clean(block)
             self.l2[own].mark_clean(block)
         self.owner[block] = None
-        self.stats.add("coherence.cache_to_cache")
+        self._slots[SLOT_COHERENCE_CACHE_TO_CACHE] += 1.0
         return self.cache_to_cache_penalty
 
     def _install_in_l3(self, block: int, time: float) -> None:
@@ -269,15 +410,15 @@ class CacheHierarchy:
             return
         v_block, v_dirty = victim
         # Inclusion: revoke every private copy of the victim.
-        holders = self.sharers.pop(v_block, set())
+        holders = self.sharers.pop(v_block, ())
         for holder in holders:
             d1 = self.l1[holder].remove(v_block)
             d2 = self.l2[holder].remove(v_block)
             v_dirty = v_dirty or bool(d1) or bool(d2)
-            self.stats.add("coherence.back_invalidations")
+            self._slots[SLOT_COHERENCE_BACK_INVALIDATIONS] += 1.0
         self.owner.pop(v_block, None)
         if v_dirty:
-            self.stats.add("l3.writebacks")
+            self._slots[SLOT_L3_WRITEBACKS] += 1.0
             self.hmc.write_block(time, self.block_addr(v_block))
 
     # ------------------------------------------------------------------
@@ -315,11 +456,11 @@ class CacheHierarchy:
             self.sharers.pop(block, None)
             self.owner.pop(block, None)
             self.l3.remove(block)
-            self.stats.add("pmu.back_invalidations")
+            self._slots[SLOT_PMU_BACK_INVALIDATIONS] += 1.0
         else:
             self.owner[block] = None
             self.l3.mark_clean(block)
-            self.stats.add("pmu.back_writebacks")
+            self._slots[SLOT_PMU_BACK_WRITEBACKS] += 1.0
         ready = time + latency
         if dirty:
             ready = self.hmc.write_block(ready, self.block_addr(block))

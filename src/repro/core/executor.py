@@ -19,7 +19,6 @@ own MLP window provides the overlap.
 from typing import List, Optional, Tuple
 
 from repro.cache.hierarchy import CacheHierarchy
-from repro.core.dispatch import DispatchPolicy
 from repro.core.isa import PimOp
 from repro.core.pcu import Pcu
 from repro.core.pmu import Pmu
@@ -27,6 +26,12 @@ from repro.core.tracer import FenceTrace, PeiTrace, PeiTracer
 from repro.cpu.core import CoreModel
 from repro.mem.hmc import HmcSystem
 from repro.obs.hooks import NULL_OBS
+from repro.sim.stat_keys import (
+    SLOT_PEI_HOST_EXECUTED,
+    SLOT_PEI_ISSUED,
+    SLOT_PEI_MEM_EXECUTED,
+    SLOT_PEI_OPERAND_BUFFER_STALL_CYCLES,
+)
 from repro.sim.stats import Stats
 
 
@@ -46,7 +51,13 @@ class PeiExecutor:
         self.hmc = hmc
         self.pmu = pmu
         self.hierarchy = hierarchy
+        # Crossbar geometry flattened for the two inlined traversals in
+        # _execute_memory_side (operand shipping and output return).
+        self._xbar_ports = pmu.crossbar.ports
+        self._n_xbar_ports = len(pmu.crossbar.ports)
+        self._xbar_latency = pmu.crossbar.latency
         self.stats = stats
+        self._slots = stats.slots  # batched counter fast path
         self.mmio_cost = mmio_cost
         # Optional tracer for per-PEI debugging and protocol sanitizing.
         self.tracer: Optional[PeiTracer] = None
@@ -67,15 +78,20 @@ class PeiExecutor:
         output) without blocking the core, modelling unrolled dependent
         probe sequences overlapped by the out-of-order window.
         """
+        if not self.obs.enabled:
+            # Hot path: skip the null-object context manager entirely.
+            return self._execute(core, op, vaddr, wait_output, chain)
         with self.obs.span("executor.pei"):
             return self._execute(core, op, vaddr, wait_output, chain)
 
     def _execute(
         self, core: CoreModel, op: PimOp, vaddr: int, wait_output: bool, chain=None
     ) -> float:
-        self.stats.add("pei.issued")
-        paddr = core.translate(vaddr)
-        block = self.hierarchy.block_of(paddr)
+        self._slots[SLOT_PEI_ISSUED] += 1.0
+        # core.translate inlined (runs once per PEI).
+        paddr, tlb_latency = core.tlb.translate(vaddr)
+        core.time += tlb_latency
+        block = paddr >> self.hierarchy.block_bits
         if chain is not None:
             ready = core.chain_completions.get(chain, 0.0)
             if ready > core.time:
@@ -86,31 +102,38 @@ class PeiExecutor:
         # retires PEIs as ordinary instructions: the issue costs one issue
         # slot and the PMU visit below is free (Section 7's idealization),
         # making it Host-Only minus every PEI-management overhead.
-        ideal = self.pmu.policy is DispatchPolicy.IDEAL_HOST
+        ideal = self.pmu._ideal_host
         core.time += (1.0 / core.issue_width) if ideal else self.mmio_cost
         core.instructions += 1
         pcu = self.host_pcus[core.core_id]
         issue_time = pcu.operand_buffer.allocate(core.time)
         if issue_time > core.time:
             # Operand buffer full: the host processor stalls (Section 4.2).
-            self.stats.add("pei.operand_buffer_stall_cycles", issue_time - core.time)
+            self._slots[SLOT_PEI_OPERAND_BUFFER_STALL_CYCLES] += (
+                issue_time - core.time)
             core.time = issue_time
 
         # Step 2: PMU — reader/writer lock and execution-location decision.
-        grant = self.pmu.begin_pei(core.core_id, block, op, issue_time)
+        # The begin_pei obs wrapper is bypassed when telemetry is off.
+        pmu = self.pmu
+        grant = (pmu._begin_pei(core.core_id, block, op, issue_time)
+                 if not pmu.obs.enabled
+                 else pmu.begin_pei(core.core_id, block, op, issue_time))
+        # One tuple unpack instead of repeated NamedTuple attribute reads.
+        entry, decision_time, grant_time, on_host = grant
 
         clean_time: Optional[float] = None
-        if grant.on_host:
+        if on_host:
             completion = self._execute_host_side(
-                core, pcu, op, paddr, grant.decision_time, grant.grant_time
+                core, pcu, op, paddr, decision_time, grant_time
             )
-            self.stats.add("pei.host_executed")
+            self._slots[SLOT_PEI_HOST_EXECUTED] += 1.0
             pcu.operand_buffer.release(completion)
         else:
             completion, clean_time = self._execute_memory_side(
-                core, op, paddr, block, grant.grant_time
+                core, op, paddr, block, grant_time
             )
-            self.stats.add("pei.mem_executed")
+            self._slots[SLOT_PEI_MEM_EXECUTED] += 1.0
             if op.output_bytes > 0:
                 # The entry's memory-mapped registers receive the output
                 # operands (Fig. 5 step 8): held until completion.
@@ -120,26 +143,26 @@ class PeiExecutor:
                 # operand buffer from hand-off onward (the 576-entry
                 # in-flight budget of Section 6.1 counts host and vault
                 # entries together); the host entry frees at dispatch.
-                pcu.operand_buffer.release(grant.grant_time)
+                pcu.operand_buffer.release(grant_time)
 
-        self.pmu.finish_pei(grant.entry, op, completion)
+        pmu.directory.release(entry, op.writes, completion)
 
         obs = self.obs
         if obs.enabled:
-            side = "host" if grant.on_host else "mem"
+            side = "host" if on_host else "mem"
             obs.observe("pei.latency", completion - issue_time)
             obs.observe(f"pei.latency.{side}", completion - issue_time)
-            obs.observe("pei.lock_wait", grant.grant_time - issue_time)
+            obs.observe("pei.lock_wait", grant_time - issue_time)
             obs.observe("pei.decision_to_completion",
-                        completion - grant.decision_time)
+                        completion - decision_time)
             obs.observe("queue.host_operand_buffer",
                         pcu.operand_buffer.in_flight)
         if self.tracer is not None:
             self.tracer.record(PeiTrace(
                 core=core.core_id, op=op.mnemonic, block=block,
-                on_host=grant.on_host, issue_time=issue_time,
-                grant_time=grant.grant_time, completion=completion,
-                decision_time=grant.decision_time, clean_time=clean_time,
+                on_host=on_host, issue_time=issue_time,
+                grant_time=grant_time, completion=completion,
+                decision_time=decision_time, clean_time=clean_time,
                 clean_invalidate=None if clean_time is None else op.is_writer,
             ))
         if chain is not None:
@@ -177,9 +200,12 @@ class PeiExecutor:
         core.window_acquire()
         if core.time > fetch_time:
             fetch_time = core.time
-        result = self.hierarchy.access(core.core_id, paddr, op.is_writer, fetch_time)
+        result = self.hierarchy.access(core.core_id, paddr, op.writes, fetch_time)
         start = result.finish if result.finish > grant_time else grant_time
-        completion = pcu.compute(start, op)
+        # pcu.compute inlined (once per host-side PEI).
+        occupancy = op.compute_cycles * pcu._compute_scale
+        completion = pcu.compute_logic.acquire(start, occupancy) + occupancy
+        pcu.executed += 1
         core.window_release(completion)
         return completion
 
@@ -196,9 +222,20 @@ class PeiExecutor:
         ready = self.pmu.clean_block_for_memory(block, op, time)
         # Step 4: input operands travel from the host-side PCU to the PMU
         # over the on-chip network (overlapped with step 3 — take the max).
-        operands_ready = self.pmu.crossbar.traverse(
-            core.core_id, time, 16 + op.input_bytes
-        )
+        # Crossbar.traverse inlined.
+        nbytes = 16 + op.input_bytes
+        link = self._xbar_ports[core.core_id % self._n_xbar_ports]
+        occupancy = nbytes / link.bytes_per_cycle
+        if time > link.clock:
+            gap = time - link.clock
+            link.backlog = link.backlog - gap if link.backlog > gap else 0.0
+            link.clock = time
+        operands_ready = (time + link.backlog + occupancy
+                          + self._xbar_latency)
+        link.backlog += occupancy
+        link.busy_cycles += occupancy
+        link.served += 1
+        link.bytes_transferred += nbytes
         t = ready if ready > operands_ready else operands_ready
         # Step 5: the PMU packetizes the PIM operation and ships it.
         t = self.hmc.pim_send_request(t, op.input_bytes, paddr)
@@ -211,8 +248,11 @@ class PeiExecutor:
                              vpcu.operand_buffer.in_flight)
         t = vpcu.operand_buffer.allocate(t)
         t = self.hmc.pim_read_block(t, paddr)
-        t = vpcu.compute(t, op)
-        if op.is_writer:
+        # vpcu.compute inlined (once per memory-side PEI).
+        occupancy = op.compute_cycles * vpcu._compute_scale
+        t = vpcu.compute_logic.acquire(t, occupancy) + occupancy
+        vpcu.executed += 1
+        if op.writes:
             # The write back into DRAM is posted: the vault's controller
             # schedules a PEI's accesses as an inseparable group (Section
             # 4.3), so later accesses to the block observe the write without
@@ -223,9 +263,19 @@ class PeiExecutor:
             vpcu.operand_buffer.release(t)
         # Step 6/7: response packet back to the PMU, outputs to the PCU.
         t = self.hmc.pim_send_response(t, op.output_bytes, paddr)
-        completion = self.pmu.crossbar.traverse(
-            self.pmu.pmu_port, t, 16 + op.output_bytes
-        )
+        # Crossbar.traverse inlined (PMU port back to the core).
+        nbytes = 16 + op.output_bytes
+        link = self._xbar_ports[self.pmu.pmu_port % self._n_xbar_ports]
+        occupancy = nbytes / link.bytes_per_cycle
+        if t > link.clock:
+            gap = t - link.clock
+            link.backlog = link.backlog - gap if link.backlog > gap else 0.0
+            link.clock = t
+        completion = t + link.backlog + occupancy + self._xbar_latency
+        link.backlog += occupancy
+        link.busy_cycles += occupancy
+        link.served += 1
+        link.bytes_transferred += nbytes
         return completion, ready
 
     # ------------------------------------------------------------------

@@ -19,8 +19,15 @@ false locality reports — the Section 7.6 ablation quantifies that cost.
 from collections import OrderedDict
 from typing import List, Optional
 
+from repro.sim.stat_keys import (
+    SLOT_LOCALITY_MONITOR_ACCESSES,
+    SLOT_LOCALITY_MONITOR_EVICTIONS,
+    SLOT_LOCALITY_MONITOR_HOST_ADVICE,
+    SLOT_LOCALITY_MONITOR_IGNORED_FIRST_HITS,
+    SLOT_LOCALITY_MONITOR_MISS_ADVICE,
+)
 from repro.sim.stats import Stats
-from repro.util.bitops import ilog2, is_power_of_two, xor_fold
+from repro.util.bitops import ilog2, is_power_of_two
 
 
 class LocalityMonitor:
@@ -47,7 +54,9 @@ class LocalityMonitor:
         self.latency = latency
         self.use_ignore_flag = use_ignore_flag
         self.stats = stats if stats is not None else Stats()
+        self._slots = self.stats.slots  # batched counter fast path
         self._set_bits = ilog2(n_sets)
+        self._tag_mask = (1 << partial_tag_bits) - 1
         # Per set: partial_tag -> ignore flag, in LRU order.
         self._sets: List[OrderedDict] = [OrderedDict() for _ in range(n_sets)]
 
@@ -59,8 +68,20 @@ class LocalityMonitor:
         return block & (self.n_sets - 1)
 
     def partial_tag(self, block: int) -> int:
-        """Fold the full tag into ``partial_tag_bits`` bits."""
-        return xor_fold(block >> self._set_bits, self.partial_tag_bits)
+        """Fold the full tag into ``partial_tag_bits`` bits.
+
+        The XOR-fold of :func:`repro.util.bitops.xor_fold`, inlined: this
+        runs on every L3 access via :meth:`observe_llc_access`, so the
+        call/validation overhead of the shared helper is measurable.
+        """
+        value = block >> self._set_bits
+        bits = self.partial_tag_bits
+        tag_mask = self._tag_mask
+        folded = 0
+        while value:
+            folded ^= value & tag_mask
+            value >>= bits
+        return folded
 
     # ------------------------------------------------------------------
     # Update sources
@@ -68,8 +89,15 @@ class LocalityMonitor:
 
     def observe_llc_access(self, block: int) -> None:
         """Mirror one last-level cache access (hook on the L3)."""
-        line_set = self._sets[self.set_index(block)]
-        tag = self.partial_tag(block)
+        line_set = self._sets[block & (self.n_sets - 1)]
+        # Inlined partial_tag: this hook runs on every L3 access.
+        value = block >> self._set_bits
+        bits = self.partial_tag_bits
+        tag_mask = self._tag_mask
+        tag = 0
+        while value:
+            tag ^= value & tag_mask
+            value >>= bits
         if tag in line_set:
             # Hit promotion; a real LLC access is direct locality evidence,
             # so any PIM-allocated ignore flag is cleared.
@@ -78,7 +106,7 @@ class LocalityMonitor:
         else:
             if len(line_set) >= self.n_ways:
                 line_set.popitem(last=False)
-                self.stats.add("locality_monitor.evictions")
+                self._slots[SLOT_LOCALITY_MONITOR_EVICTIONS] += 1.0
             line_set[tag] = False
 
     def note_pim_issue(self, block: int) -> None:
@@ -88,14 +116,21 @@ class LocalityMonitor:
         LLC access to the target block, except that a fresh allocation sets
         the ignore flag.
         """
-        line_set = self._sets[self.set_index(block)]
-        tag = self.partial_tag(block)
+        line_set = self._sets[block & (self.n_sets - 1)]
+        # Inlined partial_tag (one update per memory-dispatched PEI).
+        value = block >> self._set_bits
+        bits = self.partial_tag_bits
+        tag_mask = self._tag_mask
+        tag = 0
+        while value:
+            tag ^= value & tag_mask
+            value >>= bits
         if tag in line_set:
             line_set.move_to_end(tag)
         else:
             if len(line_set) >= self.n_ways:
                 line_set.popitem(last=False)
-                self.stats.add("locality_monitor.evictions")
+                self._slots[SLOT_LOCALITY_MONITOR_EVICTIONS] += 1.0
             line_set[tag] = self.use_ignore_flag
 
     # ------------------------------------------------------------------
@@ -109,20 +144,28 @@ class LocalityMonitor:
         is cleared so the block's *second* consecutive monitor hit does count
         as locality.
         """
-        line_set = self._sets[self.set_index(block)]
-        tag = self.partial_tag(block)
-        self.stats.add("locality_monitor.accesses")
+        line_set = self._sets[block & (self.n_sets - 1)]
+        # Inlined partial_tag (advice runs on every monitored PEI).
+        value = block >> self._set_bits
+        bits = self.partial_tag_bits
+        tag_mask = self._tag_mask
+        tag = 0
+        while value:
+            tag ^= value & tag_mask
+            value >>= bits
+        slots = self._slots
+        slots[SLOT_LOCALITY_MONITOR_ACCESSES] += 1.0
         if tag not in line_set:
-            self.stats.add("locality_monitor.miss_advice")
+            slots[SLOT_LOCALITY_MONITOR_MISS_ADVICE] += 1.0
             return False
         if line_set[tag]:
             # First hit of a PIM-allocated entry: ignored.
             line_set[tag] = False
             line_set.move_to_end(tag)
-            self.stats.add("locality_monitor.ignored_first_hits")
+            slots[SLOT_LOCALITY_MONITOR_IGNORED_FIRST_HITS] += 1.0
             return False
         line_set.move_to_end(tag)
-        self.stats.add("locality_monitor.host_advice")
+        slots[SLOT_LOCALITY_MONITOR_HOST_ADVICE] += 1.0
         return True
 
     def contains(self, block: int) -> bool:

@@ -60,7 +60,8 @@ class OperandBuffer:
 class Pcu:
     """One PEI Computation Unit (host-side per core, memory-side per vault)."""
 
-    __slots__ = ("name", "clock", "issue_width", "operand_buffer", "compute_logic", "executed")
+    __slots__ = ("name", "clock", "issue_width", "operand_buffer",
+                 "compute_logic", "executed", "_compute_scale")
 
     def __init__(
         self,
@@ -76,6 +77,9 @@ class Pcu:
         self.issue_width = issue_width
         self.operand_buffer = OperandBuffer(operand_buffer_entries)
         self.compute_logic = Resource(f"{name}.alu")
+        # Host-cycles-per-device-cycle over the issue width, precomputed:
+        # compute() runs once per PEI.
+        self._compute_scale = clock.cycles(1.0) / issue_width
         self.executed = 0
 
     def compute(self, arrival: float, op: PimOp) -> float:
@@ -84,7 +88,7 @@ class Pcu:
         The occupancy is the operation's compute cycles converted into this
         PCU's clock domain and divided by the issue width (Fig. 11b's knob).
         """
-        occupancy = self.clock.cycles(op.compute_cycles) / self.issue_width
+        occupancy = op.compute_cycles * self._compute_scale
         start = self.compute_logic.acquire(arrival, occupancy)
         self.executed += 1
         return start + occupancy

@@ -20,6 +20,11 @@ infinite zero-latency table, i.e. per-block entries and no access cost.
 
 from typing import Dict, Optional
 
+from repro.sim.stat_keys import (
+    SLOT_PIM_DIRECTORY_ACCESSES,
+    SLOT_PIM_DIRECTORY_CONFLICTS,
+    SLOT_PIM_DIRECTORY_WAIT_CYCLES,
+)
 from repro.sim.stats import Stats
 from repro.util.bitops import ilog2, is_power_of_two, xor_fold
 
@@ -56,7 +61,9 @@ class PimDirectory:
         # it models coherence, not directory storage.
         self.handoff_penalty = handoff_penalty
         self.stats = stats if stats is not None else Stats()
+        self._slots = self.stats.slots  # batched counter fast path
         self._index_bits = ilog2(entries) if not ideal else 0
+        self._index_mask = (1 << self._index_bits) - 1
         self._writer_free: Dict[int, float] = {}
         self._readers_max: Dict[int, float] = {}
         # Global completion horizon of all in-flight/completed writer PEIs —
@@ -80,9 +87,22 @@ class PimDirectory:
         ``grant_time`` already includes the directory access latency.  The
         caller must later pass ``entry`` to :meth:`release`.
         """
-        entry = self.index_of(block)
+        bits = self._index_bits
+        if self.ideal:
+            entry = block
+        elif bits:
+            # Inlined xor_fold (per-PEI hot path).
+            entry = 0
+            index_mask = self._index_mask
+            value = block
+            while value:
+                entry ^= value & index_mask
+                value >>= bits
+        else:
+            entry = xor_fold(block, bits)  # single-entry table: raises
         t = time + self.latency
-        self.stats.add("pim_directory.accesses")
+        slots = self._slots
+        slots[SLOT_PIM_DIRECTORY_ACCESSES] += 1.0
         writer_free = self._writer_free.get(entry, 0.0)
         if is_writer:
             readers_max = self._readers_max.get(entry, 0.0)
@@ -91,8 +111,8 @@ class PimDirectory:
             busy_until = writer_free
         if busy_until > t:
             grant = busy_until + self.handoff_penalty
-            self.stats.add("pim_directory.conflicts")
-            self.stats.add("pim_directory.wait_cycles", grant - t)
+            slots[SLOT_PIM_DIRECTORY_CONFLICTS] += 1.0
+            slots[SLOT_PIM_DIRECTORY_WAIT_CYCLES] += grant - t
         else:
             grant = t
         return entry, grant

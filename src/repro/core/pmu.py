@@ -8,7 +8,7 @@ out of the cache hierarchy (back-invalidation for writers, back-writeback
 for readers).  It also implements pfence.
 """
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.core.dispatch import DispatchPolicy, balanced_choice
@@ -17,13 +17,21 @@ from repro.core.locality_monitor import LocalityMonitor
 from repro.core.pim_directory import PimDirectory
 from repro.mem.link import OffChipChannel
 from repro.obs.hooks import NULL_OBS
+from repro.sim.stat_keys import (
+    SLOT_PEI_BALANCED_HOST_OVERRIDES,
+    SLOT_PEI_HOST_DISPATCHED,
+    SLOT_PEI_MEM_DISPATCHED,
+    SLOT_PEI_PFENCES,
+)
 from repro.sim.stats import Stats
 from repro.xbar.crossbar import Crossbar
 
 
-@dataclass(frozen=True)
-class PmuGrant:
+class PmuGrant(NamedTuple):
     """Outcome of a PEI's PMU visit.
+
+    A NamedTuple, not a dataclass: one is built per PEI, and NamedTuple
+    construction costs less than half of a frozen dataclass's.
 
     ``decision_time`` is when the PMU has decided the execution location
     (directory + monitor access latency paid, but no lock waiting) —
@@ -58,11 +66,36 @@ class Pmu:
         self.hierarchy = hierarchy
         self.channel = channel
         self.crossbar = crossbar
+        # Crossbar geometry flattened for the inlined control-packet
+        # traversal in _begin_pei (once per non-ideal PEI).
+        self._xbar_ports = crossbar.ports
+        self._n_xbar_ports = len(crossbar.ports)
+        self._xbar_latency = crossbar.latency
         self.pmu_port = pmu_port
-        self.policy = policy
+        self.policy = policy  # property: also derives the dispatch flags
         self.stats = stats
+        self._slots = stats.slots  # batched counter fast path
         # Telemetry sink (null object unless a Telemetry is attached).
         self.obs = NULL_OBS
+
+    @property
+    def policy(self) -> DispatchPolicy:
+        return self._policy
+
+    @policy.setter
+    def policy(self, policy: DispatchPolicy) -> None:
+        # Enum member and enum-property reads cost hundreds of nanoseconds
+        # each on CPython, and the admission path consults the policy
+        # several times per PEI — so every policy-derived predicate is
+        # precomputed here.  The differential verifier reassigns ``policy``
+        # mid-replay, which is why this is a setter and not __init__ code.
+        self._policy = policy
+        self._ideal_host = policy is DispatchPolicy.IDEAL_HOST
+        self._uses_monitor = policy.uses_monitor
+        self._pim_only = policy is DispatchPolicy.PIM_ONLY
+        self._always_host = policy in (DispatchPolicy.HOST_ONLY,
+                                       DispatchPolicy.IDEAL_HOST)
+        self._balanced = policy.is_balanced
 
     # ------------------------------------------------------------------
     # PEI admission (steps 2 of Figs. 4 and 5)
@@ -75,47 +108,60 @@ class Pmu:
         an infinitely large, zero-cycle PIM directory and no monitor), so the
         control-packet hop is skipped as well.
         """
+        if not self.obs.enabled:
+            # Hot path: skip the null-object context manager entirely.
+            return self._begin_pei(core_port, block, op, time)
         with self.obs.span("pmu.directory"):
             return self._begin_pei(core_port, block, op, time)
 
     def _begin_pei(self, core_port: int, block: int, op: PimOp, time: float) -> PmuGrant:
-        if self.policy is DispatchPolicy.IDEAL_HOST:
-            entry, grant = self.directory.acquire(block, op.is_writer, time)
+        if self._ideal_host:
+            entry, grant = self.directory.acquire(block, op.writes, time)
             return PmuGrant(entry=entry, decision_time=time, grant_time=grant,
                             on_host=True)
         # The host-side PCU reaches the PMU over the on-chip network with a
         # small control packet (operation type + target block address).
-        t = self.crossbar.traverse(core_port, time, 16)
-        entry, grant = self.directory.acquire(block, op.is_writer, t)
+        # Crossbar.traverse inlined.
+        link = self._xbar_ports[core_port % self._n_xbar_ports]
+        occupancy = 16 / link.bytes_per_cycle
+        if time > link.clock:
+            gap = time - link.clock
+            link.backlog = link.backlog - gap if link.backlog > gap else 0.0
+            link.clock = time
+        t = time + link.backlog + occupancy + self._xbar_latency
+        link.backlog += occupancy
+        link.busy_cycles += occupancy
+        link.served += 1
+        link.bytes_transferred += 16
+        entry, grant = self.directory.acquire(block, op.writes, t)
         decision = t + self.directory.latency
         on_host = self._decide_location(block, op, decision)
-        if self.policy.uses_monitor:
+        if self._uses_monitor:
             decision += self.monitor.latency
         if grant < decision:
             grant = decision
         if on_host:
-            self.stats.add("pei.host_dispatched")
+            self._slots[SLOT_PEI_HOST_DISPATCHED] += 1.0
         else:
-            self.stats.add("pei.mem_dispatched")
-            if self.policy.uses_monitor:
+            self._slots[SLOT_PEI_MEM_DISPATCHED] += 1.0
+            if self._uses_monitor:
                 self.monitor.note_pim_issue(block)
         return PmuGrant(entry=entry, decision_time=decision, grant_time=grant,
                         on_host=on_host)
 
     def _decide_location(self, block: int, op: PimOp, time: float) -> bool:
-        policy = self.policy
-        if policy is DispatchPolicy.PIM_ONLY:
+        if self._pim_only:
             return False
-        if policy in (DispatchPolicy.HOST_ONLY, DispatchPolicy.IDEAL_HOST):
+        if self._always_host:
             return True
         if self.monitor.advise_host(block):
             return True
-        if policy.is_balanced:
+        if self._balanced:
             host = balanced_choice(op, self.channel, time,
                                    block_size=self.hierarchy.block_size,
                                    obs=self.obs)
             if host:
-                self.stats.add("pei.balanced_host_overrides")
+                self._slots[SLOT_PEI_BALANCED_HOST_OVERRIDES] += 1.0
             return host
         return False
 
@@ -128,7 +174,7 @@ class Pmu:
 
         Returns the time main memory is guaranteed to hold the latest data.
         """
-        ready, _ = self.hierarchy.flush_block(block, invalidate=op.is_writer, time=time)
+        ready, _ = self.hierarchy.flush_block(block, invalidate=op.writes, time=time)
         if self.obs.enabled:
             self.obs.observe("pmu.clean_latency", ready - time)
         return ready
@@ -138,9 +184,9 @@ class Pmu:
     # ------------------------------------------------------------------
 
     def finish_pei(self, entry: int, op: PimOp, completion: float) -> None:
-        self.directory.release(entry, op.is_writer, completion)
+        self.directory.release(entry, op.writes, completion)
 
     def fence(self, time: float) -> float:
         """pfence: block until all previously issued writer PEIs complete."""
-        self.stats.add("pei.pfences")
+        self._slots[SLOT_PEI_PFENCES] += 1.0
         return self.directory.fence_time(time)

@@ -13,6 +13,7 @@ import heapq
 from typing import List
 
 from repro.cache.hierarchy import CacheHierarchy
+from repro.sim.stat_keys import SLOT_CORE_LOADS, SLOT_CORE_STORES
 from repro.sim.stats import Stats
 from repro.vm.tlb import Tlb
 
@@ -27,6 +28,7 @@ class CoreModel:
         "tlb",
         "hierarchy",
         "stats",
+        "_slots",
         "time",
         "instructions",
         "_window",
@@ -51,6 +53,7 @@ class CoreModel:
         self.tlb = tlb
         self.hierarchy = hierarchy
         self.stats = stats
+        self._slots = stats.slots  # batched counter fast path
         self.time = 0.0
         self.instructions = 0
         self._window: List[float] = []  # heap of in-flight completions
@@ -95,23 +98,35 @@ class CoreModel:
         if dep and self.last_load_completion > self.time:
             # Address depends on the previous load's value: serialize.
             self.time = self.last_load_completion
-        self.window_acquire()
-        result = self.hierarchy.access(self.core_id, paddr, False, self.time)
-        self.window_release(result.finish)
-        self.last_load_completion = result.finish
+        # window_acquire/window_release, inlined (per-load hot path).
+        window = self._window
+        if len(window) >= self.mlp:
+            oldest = heapq.heappop(window)
+            if oldest > self.time:
+                self.time = oldest
+        finish = self.hierarchy.access(self.core_id, paddr, False,
+                                       self.time).finish
+        heapq.heappush(window, finish)
+        self.last_load_completion = finish
         self.instructions += 1
-        self.stats.add("core.loads")
+        self._slots[SLOT_CORE_LOADS] += 1.0
 
     def do_store(self, vaddr: int) -> None:
         paddr, tlb_latency = self.tlb.translate(vaddr)
         self.time += 1.0 / self.issue_width + tlb_latency
-        self.window_acquire()
-        result = self.hierarchy.access(self.core_id, paddr, True, self.time)
+        # window_acquire/window_release, inlined (per-store hot path).
+        window = self._window
+        if len(window) >= self.mlp:
+            oldest = heapq.heappop(window)
+            if oldest > self.time:
+                self.time = oldest
         # Stores retire through the write buffer; the window bounds how many
         # can be outstanding but the core does not wait for completion.
-        self.window_release(result.finish)
+        heapq.heappush(
+            window,
+            self.hierarchy.access(self.core_id, paddr, True, self.time).finish)
         self.instructions += 1
-        self.stats.add("core.stores")
+        self._slots[SLOT_CORE_STORES] += 1.0
 
     def translate(self, vaddr: int) -> int:
         """TLB translation for a PEI target block (latency charged to core)."""

@@ -56,7 +56,10 @@ class DaisyChainChannel(OffChipChannel):
     def send_request_to(self, arrival: float, payload_bytes: int,
                         hop: int) -> float:
         """Send a request packet to the cube ``hop`` positions down-chain."""
-        t = self.send_request(arrival, payload_bytes)  # hop 0 (bottleneck)
+        # Hop 0 (the bottleneck) is the base implementation, called
+        # explicitly: self.send_request would dispatch back to this
+        # override via the base class's delegation.
+        t = OffChipChannel.send_request_to(self, arrival, payload_bytes, 0)
         nbytes = self.packet_bytes(payload_bytes)
         for link in self._request_hops[:hop]:
             t = link.transfer(t, nbytes) + self.hop_latency
@@ -69,7 +72,7 @@ class DaisyChainChannel(OffChipChannel):
         t = arrival
         for link in reversed(self._response_hops[:hop]):
             t = link.transfer(t, nbytes) + self.hop_latency
-        return self.send_response(t, payload_bytes)  # hop 0 last
+        return OffChipChannel.send_response_from(self, t, payload_bytes, 0)
 
     def reset(self) -> None:
         super().reset()

@@ -95,8 +95,18 @@ class DramBank:
             latency = t.t_rp + t.t_rcd + t.t_cl
             self.row_conflicts += 1
         self.open_row = row
-        start = self.resource.acquire(arrival, latency + t.burst)
-        return start + latency + t.burst
+        # Resource.acquire inlined: every DRAM access serializes here.
+        occupancy = latency + t.burst
+        r = self.resource
+        if arrival > r.clock:
+            gap = arrival - r.clock
+            r.backlog = r.backlog - gap if r.backlog > gap else 0.0
+            r.clock = arrival
+        start = arrival + r.backlog
+        r.backlog += occupancy
+        r.busy_cycles += occupancy
+        r.served += 1
+        return start + occupancy
 
     @property
     def accesses(self) -> int:

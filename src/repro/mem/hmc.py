@@ -14,6 +14,16 @@ from repro.mem.dram import DramTimings
 from repro.mem.link import OffChipChannel
 from repro.mem.vault import Vault
 from repro.obs.hooks import NULL_OBS
+from repro.sim.stat_keys import (
+    SLOT_DRAM_PIM_READS,
+    SLOT_DRAM_PIM_WRITES,
+    SLOT_DRAM_READS,
+    SLOT_DRAM_WRITES,
+    SLOT_OFFCHIP_PIM_REQUESTS,
+    SLOT_OFFCHIP_PIM_RESPONSES,
+    SLOT_OFFCHIP_READ_PACKETS,
+    SLOT_OFFCHIP_WRITE_PACKETS,
+)
 from repro.sim.stats import Stats
 
 
@@ -32,6 +42,16 @@ class HmcSystem:
         self.address_map = address_map
         self.channel = channel
         self.stats = stats
+        self._slots = stats.slots  # batched counter fast path
+        # Address-map geometry, flattened for the inlined locate()
+        # arithmetic below (one decomposition per DRAM access).
+        self._block_bits = address_map._block_bits
+        self._vault_mask = address_map.total_vaults - 1
+        self._vault_bits = address_map._vault_bits
+        self._bank_mask = address_map.banks_per_vault - 1
+        self._bank_bits = address_map._bank_bits
+        self._blocks_per_row = address_map._blocks_per_row
+        self._vaults_per_hmc = address_map.vaults_per_hmc
         # Telemetry sink (null object unless a Telemetry is attached).
         self.obs = NULL_OBS
         self.vaults: List[Vault] = [
@@ -53,14 +73,20 @@ class HmcSystem:
 
         Request: header only (16 B).  Response: header + 64 B of data.
         """
-        loc = self.address_map.locate(addr)
-        t = self.channel.send_request_to(arrival, 0, loc.hmc)
-        t = self.vaults[loc.vault].read_block(t, loc.bank, loc.row,
-                                              self.address_map.block_size)
-        t = self.channel.send_response_from(t, self.address_map.block_size,
-                                            loc.hmc)
-        self.stats.add("dram.reads")
-        self.stats.add("offchip.read_packets")
+        # AddressMap.locate, inlined (hot path: every LLC miss lands here).
+        block = addr >> self._block_bits
+        vault = block & self._vault_mask
+        rest = block >> self._vault_bits
+        hop = vault // self._vaults_per_hmc
+        block_size = self.address_map.block_size
+        t = self.channel.send_request_to(arrival, 0, hop)
+        t = self.vaults[vault].read_block(
+            t, rest & self._bank_mask,
+            (rest >> self._bank_bits) // self._blocks_per_row, block_size)
+        t = self.channel.send_response_from(t, block_size, hop)
+        slots = self._slots
+        slots[SLOT_DRAM_READS] += 1.0
+        slots[SLOT_OFFCHIP_READ_PACKETS] += 1.0
         if self.obs.enabled:
             self.obs.observe("dram.read_latency", t - arrival)
         return t
@@ -71,13 +97,19 @@ class HmcSystem:
         Returns the completion time inside the cube, but callers normally do
         not wait on it — writebacks are fire-and-forget.
         """
-        loc = self.address_map.locate(addr)
-        t = self.channel.send_request_to(arrival, self.address_map.block_size,
-                                         loc.hmc)
-        t = self.vaults[loc.vault].write_block(t, loc.bank, loc.row,
-                                               self.address_map.block_size)
-        self.stats.add("dram.writes")
-        self.stats.add("offchip.write_packets")
+        # AddressMap.locate, inlined (hot path: every writeback lands here).
+        block = addr >> self._block_bits
+        vault = block & self._vault_mask
+        rest = block >> self._vault_bits
+        block_size = self.address_map.block_size
+        t = self.channel.send_request_to(arrival, block_size,
+                                         vault // self._vaults_per_hmc)
+        t = self.vaults[vault].write_block(
+            t, rest & self._bank_mask,
+            (rest >> self._bank_bits) // self._blocks_per_row, block_size)
+        slots = self._slots
+        slots[SLOT_DRAM_WRITES] += 1.0
+        slots[SLOT_OFFCHIP_WRITE_PACKETS] += 1.0
         if self.obs.enabled:
             self.obs.observe("dram.write_latency", t - arrival)
         return t
@@ -89,33 +121,43 @@ class HmcSystem:
     def pim_send_request(self, arrival: float, input_bytes: int,
                          addr: int = 0) -> float:
         """Ship a PIM-operation packet (type + address + inputs) to its cube."""
-        self.stats.add("offchip.pim_requests")
-        hop = self.address_map.locate(addr).hmc
+        self._slots[SLOT_OFFCHIP_PIM_REQUESTS] += 1.0
+        hop = ((addr >> self._block_bits) & self._vault_mask) \
+            // self._vaults_per_hmc
         return self.channel.send_request_to(arrival, input_bytes, hop)
 
     def pim_send_response(self, arrival: float, output_bytes: int,
                           addr: int = 0) -> float:
         """Return a PIM operation's outputs (possibly empty) to the host."""
-        self.stats.add("offchip.pim_responses")
-        hop = self.address_map.locate(addr).hmc
+        self._slots[SLOT_OFFCHIP_PIM_RESPONSES] += 1.0
+        hop = ((addr >> self._block_bits) & self._vault_mask) \
+            // self._vaults_per_hmc
         return self.channel.send_response_from(arrival, output_bytes, hop)
 
     def pim_read_block(self, arrival: float, addr: int) -> float:
         """Vault-local block read feeding the memory-side PCU (no off-chip)."""
-        loc = self.address_map.locate(addr)
-        self.stats.add("dram.pim_reads")
-        t = self.vaults[loc.vault].read_block(arrival, loc.bank, loc.row,
-                                              self.address_map.block_size)
+        block = addr >> self._block_bits
+        vault = block & self._vault_mask
+        rest = block >> self._vault_bits
+        self._slots[SLOT_DRAM_PIM_READS] += 1.0
+        t = self.vaults[vault].read_block(
+            arrival, rest & self._bank_mask,
+            (rest >> self._bank_bits) // self._blocks_per_row,
+            self.address_map.block_size)
         if self.obs.enabled:
             self.obs.observe("dram.pim_read_latency", t - arrival)
         return t
 
     def pim_write_block(self, arrival: float, addr: int) -> float:
         """Vault-local block write from the memory-side PCU (no off-chip)."""
-        loc = self.address_map.locate(addr)
-        self.stats.add("dram.pim_writes")
-        return self.vaults[loc.vault].write_block(arrival, loc.bank, loc.row,
-                                                  self.address_map.block_size)
+        block = addr >> self._block_bits
+        vault = block & self._vault_mask
+        rest = block >> self._vault_bits
+        self._slots[SLOT_DRAM_PIM_WRITES] += 1.0
+        return self.vaults[vault].write_block(
+            arrival, rest & self._bank_mask,
+            (rest >> self._bank_bits) // self._blocks_per_row,
+            self.address_map.block_size)
 
     # ------------------------------------------------------------------
 

@@ -39,7 +39,13 @@ class EmaFlitCounter:
             self._epoch += steps * self.period
 
     def add(self, now: float, amount: float) -> None:
-        self._decay(now)
+        # _decay inlined: add runs once per off-chip packet.
+        epoch = self._epoch
+        if now > epoch:
+            steps = int((now - epoch) / self.period)
+            if steps > 0:
+                self.value *= 0.5 ** min(steps, 64)
+                self._epoch = epoch + steps * self.period
         self.value += amount
 
     def read(self, now: float) -> float:
@@ -69,6 +75,10 @@ class OffChipChannel:
         self.response = BandwidthLink("offchip.response", response_bytes_per_cycle)
         self.header_bytes = header_bytes
         self.flit_bytes = flit_bytes
+        # Power-of-two flit sizes let the per-packet padding in the send
+        # bodies be a mask operation instead of an align_up call.
+        self._flit_mask = (flit_bytes - 1
+                           if flit_bytes & (flit_bytes - 1) == 0 else None)
         self.serdes_latency = serdes_latency
         self.req_flits = EmaFlitCounter(ema_period)
         self.res_flits = EmaFlitCounter(ema_period)
@@ -81,7 +91,26 @@ class OffChipChannel:
 
     def send_request(self, arrival: float, payload_bytes: int) -> float:
         """Transfer a request packet; return its arrival time at the cube."""
-        nbytes = self.packet_bytes(payload_bytes)
+        return self.send_request_to(arrival, payload_bytes, 0)
+
+    def send_response(self, arrival: float, payload_bytes: int) -> float:
+        """Transfer a response packet; return its arrival time at the host."""
+        return self.send_response_from(arrival, payload_bytes, 0)
+
+    # The hop-aware variants are the implementation: every memory-system
+    # packet travels through them, so making them the real bodies spares
+    # that traffic a delegation call.  The base channel models the chain
+    # as its bottleneck hop (cube position ignored); the opt-in
+    # DaisyChainChannel (repro.mem.chain) overrides these with per-hop
+    # costs.
+
+    def send_request_to(self, arrival: float, payload_bytes: int,
+                        hop: int) -> float:
+        # packet_bytes inlined (mask padding) — once per request packet.
+        mask = self._flit_mask
+        nbytes = (((self.header_bytes + payload_bytes + mask) & ~mask)
+                  if mask is not None
+                  else self.packet_bytes(payload_bytes))
         if self.obs.enabled:
             # Backlog *before* this packet joined = its queueing delay.
             self.obs.observe("queue.offchip_request_backlog",
@@ -90,27 +119,18 @@ class OffChipChannel:
         self.req_flits.add(finish, nbytes / self.flit_bytes)
         return finish + self.serdes_latency
 
-    def send_response(self, arrival: float, payload_bytes: int) -> float:
-        """Transfer a response packet; return its arrival time at the host."""
-        nbytes = self.packet_bytes(payload_bytes)
+    def send_response_from(self, arrival: float, payload_bytes: int,
+                           hop: int) -> float:
+        mask = self._flit_mask
+        nbytes = (((self.header_bytes + payload_bytes + mask) & ~mask)
+                  if mask is not None
+                  else self.packet_bytes(payload_bytes))
         if self.obs.enabled:
             self.obs.observe("queue.offchip_response_backlog",
                              self.response.peek(arrival) - arrival)
         finish = self.response.transfer(arrival, nbytes)
         self.res_flits.add(finish, nbytes / self.flit_bytes)
         return finish + self.serdes_latency
-
-    # Hop-aware variants: the base channel models the chain as its
-    # bottleneck hop, so the cube position is ignored here; the opt-in
-    # DaisyChainChannel (repro.mem.chain) overrides these.
-
-    def send_request_to(self, arrival: float, payload_bytes: int,
-                        hop: int) -> float:
-        return self.send_request(arrival, payload_bytes)
-
-    def send_response_from(self, arrival: float, payload_bytes: int,
-                           hop: int) -> float:
-        return self.send_response(arrival, payload_bytes)
 
     @property
     def request_bytes(self) -> int:

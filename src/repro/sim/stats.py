@@ -6,27 +6,43 @@ energy model read them afterwards.  Keeping one flat namespace (rather than
 per-component objects) makes cross-cutting metrics such as "total off-chip
 request bytes" trivial to aggregate and compare across configurations.
 
+Hot-path counters additionally have a **batched fast path**: every key in
+:data:`repro.sim.stat_keys.SLOT_KEYS` owns a fixed index into
+:attr:`Stats.slots`, a plain list of floats.  The engine's per-op loops bind
+that list once and do ``slots[SLOT_X] += 1.0`` inline — no method call, no
+string hashing.  All read APIs (``get``, ``to_dict``, ``items``, ...)
+compose the pending slot values with the named counters on the fly, and
+:meth:`flush_slots` folds them in permanently, so consumers never observe
+the split.  The ``slots`` list identity is stable for the lifetime of the
+Stats object (``suspended()`` zeroes it in place), so components may cache
+a reference.
+
 Names written through :meth:`Stats.set` (runtime, byte totals read off the
 links at collection time) are *gauges*, not event counts: ``merge`` takes
 their maximum instead of summing and ``scaled`` copies them unscaled,
 so aggregating multiprogrammed per-core stats cannot double a runtime.
-Typed instruments (including latency histograms) live in
-:mod:`repro.obs.metrics`.
+Gauges are never slot-batched.  Typed instruments (including latency
+histograms) live in :mod:`repro.obs.metrics`.
 """
 
 from collections import defaultdict
 from contextlib import contextmanager
-from typing import Dict, FrozenSet, Iterator, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from repro.sim.stat_keys import N_SLOTS, SLOT_INDEX, SLOT_KEYS
 
 
 class Stats:
     """A dictionary of float counters with convenience arithmetic."""
 
-    __slots__ = ("_counters", "_gauges")
+    __slots__ = ("_counters", "_gauges", "slots")
 
     def __init__(self):
         self._counters = defaultdict(float)
         self._gauges = set()
+        #: Batched accumulators, one per SLOT_KEYS entry.  Hot components
+        #: bind this list at construction; its identity never changes.
+        self.slots: List[float] = [0.0] * N_SLOTS
 
     def add(self, name: str, value: float = 1.0) -> None:
         """Increment counter ``name`` by ``value``."""
@@ -37,8 +53,46 @@ class Stats:
         self._counters[name] = value
         self._gauges.add(name)
 
+    # Slot fast path ---------------------------------------------------
+
+    def flush_slots(self) -> None:
+        """Fold the batched slot accumulators into the named counters.
+
+        Each slot is the complete accumulation chain of its key (events add
+        into 0.0 in arrival order), so one flush into the (absent, i.e.
+        0.0-initialized) named counter is float-identical to having charged
+        every event through :meth:`add` directly.
+        """
+        slots = self.slots
+        counters = self._counters
+        for index in range(N_SLOTS):
+            value = slots[index]
+            if value:
+                counters[SLOT_KEYS[index]] += value
+                slots[index] = 0.0
+
+    def _composed(self) -> Dict[str, float]:
+        """Named counters plus pending slot values, without mutating."""
+        out = dict(self._counters)
+        slots = self.slots
+        for index in range(N_SLOTS):
+            value = slots[index]
+            if value:
+                key = SLOT_KEYS[index]
+                out[key] = out.get(key, 0.0) + value
+        return out
+
+    # Reads (all compose pending slot values on the fly) ---------------
+
     def get(self, name: str, default: float = 0.0) -> float:
-        return self._counters.get(name, default)
+        index = SLOT_INDEX.get(name)
+        pending = self.slots[index] if index is not None else 0.0
+        stored = self._counters.get(name)
+        if stored is not None:
+            return stored + pending
+        if pending:
+            return pending
+        return default
 
     def is_gauge(self, name: str) -> bool:
         """Was ``name`` last written through :meth:`set`?"""
@@ -49,13 +103,16 @@ class Stats:
         return frozenset(self._gauges)
 
     def __getitem__(self, name: str) -> float:
-        return self._counters.get(name, 0.0)
+        return self.get(name, 0.0)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._counters
+        if name in self._counters:
+            return True
+        index = SLOT_INDEX.get(name)
+        return index is not None and self.slots[index] != 0.0
 
     def items(self) -> Iterator[Tuple[str, float]]:
-        return iter(sorted(self._counters.items()))
+        return iter(sorted(self._composed().items()))
 
     def merge(self, other: "Stats") -> None:
         """Aggregate ``other`` into this object.
@@ -65,7 +122,8 @@ class Stats:
         link byte totals re-read at collection time) would fabricate work
         that never happened.
         """
-        for name, value in other._counters.items():
+        self.flush_slots()
+        for name, value in other._composed().items():
             if name in other._gauges or name in self._gauges:
                 current = self._counters.get(name)
                 if current is None or value > current:
@@ -81,7 +139,7 @@ class Stats:
         halve its runtime.
         """
         out = Stats()
-        for name, value in self._counters.items():
+        for name, value in self._composed().items():
             if name in self._gauges:
                 out._counters[name] = value
             else:
@@ -96,23 +154,32 @@ class Stats:
         Used for modeled-but-unmeasured phases (cache warm-start emulates the
         paper's skipped initialization): component state still mutates, but
         no event may be charged to the measured run.  Implemented by swapping
-        in throwaway storage, so the hot-path ``add`` stays branch-free.
+        in throwaway storage — and, for the slot fast path, by flushing the
+        slots on entry and zeroing them in place on exit, so components
+        holding a reference to ``slots`` keep writing to the same list.
         """
+        self.flush_slots()
         counters, gauges = self._counters, self._gauges
         self._counters = defaultdict(float)
         self._gauges = set()
         try:
             yield self
         finally:
+            slots = self.slots
+            for index in range(N_SLOTS):
+                slots[index] = 0.0
             self._counters, self._gauges = counters, gauges
 
     def to_dict(self) -> Dict[str, float]:
-        return dict(self._counters)
+        return self._composed()
 
     def clear(self) -> None:
         self._counters.clear()
         self._gauges.clear()
+        slots = self.slots
+        for index in range(N_SLOTS):
+            slots[index] = 0.0
 
     def __repr__(self) -> str:
-        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counters.items()))
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._composed().items()))
         return f"Stats({inner})"

@@ -1,18 +1,30 @@
 """The top-level simulated system and its run engine.
 
-The engine interleaves the workload's per-thread operation generators in
+The engine interleaves the workload's per-thread operation streams in
 approximate global-time order: a heap keyed by core time always advances the
 laggard thread, and each popped thread processes a small batch of operations
 before re-entering the heap.  Shared-resource contention (links, DRAM banks,
 L3 banks, PCU logic) is handled by the resources themselves, so the engine
 only has to keep threads roughly synchronized.
+
+Two stream sources drive the same engine semantics:
+
+* **generators** — the workload's functional algorithm runs as the stream
+  is consumed (the original mode); and
+* a **CompiledTrace** — the streams were captured once by
+  :func:`repro.cpu.trace.capture_trace` and replay here through an
+  index-based inner loop over compact arrays: no generator resumption, no
+  per-op object construction, locals-bound dispatch.  Replayed runs are
+  bit-identical to generator-driven runs because operation streams never
+  depend on the execution mode.
 """
 
 import heapq
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.core.dispatch import DispatchPolicy
+from repro.core.isa import PIM_OPS
 from repro.cpu.trace import (
     KIND_BARRIER,
     KIND_COMPUTE,
@@ -20,11 +32,14 @@ from repro.cpu.trace import (
     KIND_LOAD,
     KIND_PEI,
     KIND_STORE,
+    CompiledTrace,
+    TraceError,
 )
 from repro.energy.model import EnergyModel
 from repro.energy.params import EnergyParams
 from repro.obs.sampler import live_gauges
 from repro.obs.telemetry import Telemetry
+from repro.sim.stat_keys import SLOT_LOCALITY_MONITOR_EVICTIONS
 from repro.system.builder import build_machine
 from repro.system.config import SystemConfig, scaled_config
 from repro.system.result import RunResult
@@ -85,13 +100,18 @@ class System:
 
     def run(
         self,
-        workload: Workload,
+        workload: Union[Workload, CompiledTrace],
         max_ops_per_thread: Optional[int] = None,
         n_threads: Optional[int] = None,
         batch_window: float = 256.0,
         warm_start: bool = True,
     ) -> RunResult:
         """Simulate ``workload``; returns the collected metrics.
+
+        ``workload`` may be a live :class:`Workload` (its generators drive
+        the engine and the functional algorithm executes as a side effect)
+        or a :class:`CompiledTrace` captured earlier, which replays through
+        the array-based fast path with identical results.
 
         ``max_ops_per_thread`` caps each thread's operation count — the
         analogue of the paper's fixed two-billion-instruction simulation
@@ -103,11 +123,16 @@ class System:
         data leaves the last-level cache and the locality monitor populated
         with the most recently initialized blocks.
         """
+        if isinstance(workload, CompiledTrace):
+            return self._run_trace(workload, max_ops_per_thread, n_threads,
+                                   batch_window, warm_start)
         machine = self.machine
         space = AddressSpace(page_size=self.config.page_size)
         workload.prepare(space)
         if warm_start:
-            self._warm_caches(space)
+            spans = [(region.base, region.end)
+                     for region in space.regions.values()]
+            self._warm_caches(spans)
         if n_threads is None:
             n_threads = self.config.n_cores
         if n_threads > self.config.n_cores:
@@ -151,34 +176,45 @@ class System:
             if waiting and len(waiting) == group_active[group]:
                 release_group(group)
 
+        heappop, heappush = heapq.heappop, heapq.heappush
+        # With no telemetry attached, the executor's obs-guard wrapper is a
+        # dead frame on every PEI — bind past it.
+        execute = (executor._execute if not executor.obs.enabled
+                   else executor.execute)
+        fence = executor.fence
+        cap = max_ops_per_thread
         while heap:
-            _, tid = heapq.heappop(heap)
+            _, tid = heappop(heap)
             gen = generators[tid]
+            gen_next = gen.__next__
             core = cores[tid]
+            do_load, do_store = core.do_load, core.do_store
+            do_compute = core.do_compute
+            done = ops_done[tid]
             horizon = heap[0][0] + batch_window if heap else float("inf")
             parked = False
             finished = False
             while True:
-                if max_ops_per_thread is not None and ops_done[tid] >= max_ops_per_thread:
+                if cap is not None and done >= cap:
                     finished = True
                     break
                 try:
-                    op = next(gen)
+                    op = gen_next()
                 except StopIteration:
                     finished = True
                     break
-                ops_done[tid] += 1
+                done += 1
                 kind = op.kind
                 if kind == KIND_LOAD:
-                    core.do_load(op.addr, op.dep)
+                    do_load(op.addr, op.dep)
                 elif kind == KIND_PEI:
-                    executor.execute(core, op.op, op.addr, op.wait_output, op.chain)
+                    execute(core, op.op, op.addr, op.wait_output, op.chain)
                 elif kind == KIND_COMPUTE:
-                    core.do_compute(op.insts)
+                    do_compute(op.insts)
                 elif kind == KIND_STORE:
-                    core.do_store(op.addr)
+                    do_store(op.addr)
                 elif kind == KIND_FENCE:
-                    executor.fence(core)
+                    fence(core)
                 elif kind == KIND_BARRIER:
                     group = op.group
                     barrier_arrived[group].append(tid)
@@ -191,10 +227,11 @@ class System:
                     raise ValueError(f"unknown operation kind {kind}")
                 if core.time > horizon:
                     break
+            ops_done[tid] = done
             if finished:
                 finish_thread(tid)
             elif not parked:
-                heapq.heappush(heap, (core.time, tid))
+                heappush(heap, (core.time, tid))
             if telemetry is not None and heap:
                 # The heap front is the laggard thread: once it passes an
                 # interval boundary, every thread has simulated past it and
@@ -208,12 +245,172 @@ class System:
 
         for core in cores:
             core.drain()
-        return self._collect(workload, n_threads, max_ops_per_thread)
+        return self._collect(workload.name, workload.footprint,
+                             n_threads, max_ops_per_thread)
 
     # ------------------------------------------------------------------
 
-    def _warm_caches(self, space: AddressSpace) -> None:
-        """Touch every allocated block in initialization order.
+    def _run_trace(
+        self,
+        trace: CompiledTrace,
+        max_ops_per_thread: Optional[int],
+        n_threads: Optional[int],
+        batch_window: float,
+        warm_start: bool,
+    ) -> RunResult:
+        """Replay a compiled trace through the array-based fast path.
+
+        The trace pins the stream-shaping inputs (thread count, ops cap,
+        page size); mismatching replay arguments are rejected rather than
+        silently producing a run that a generator-driven System would never
+        have produced.
+        """
+        machine = self.machine
+        config = self.config
+        if trace.page_size != config.page_size:
+            raise TraceError(
+                f"trace regions were laid out with page size "
+                f"{trace.page_size}, config uses {config.page_size}")
+        if n_threads is None:
+            n_threads = trace.n_threads
+        if n_threads != trace.n_threads:
+            raise TraceError(
+                f"trace was captured with {trace.n_threads} threads, "
+                f"cannot replay with {n_threads}")
+        if n_threads > config.n_cores:
+            raise ValueError(
+                f"{n_threads} threads exceed {config.n_cores} cores"
+            )
+        if (max_ops_per_thread is not None
+                and max_ops_per_thread != trace.max_ops_per_thread):
+            raise TraceError(
+                f"trace was captured under ops cap "
+                f"{trace.max_ops_per_thread}, cannot replay under "
+                f"{max_ops_per_thread}")
+        try:
+            op_table = [PIM_OPS[m] for m in trace.op_mnemonics]
+        except KeyError as exc:
+            raise TraceError(
+                f"trace references unknown PIM op {exc.args[0]!r}") from exc
+        if warm_start:
+            self._warm_caches(
+                [(base, base + size) for _, base, size in trace.regions])
+        groups = trace.barrier_groups
+
+        cores = machine.cores
+        executor = machine.executor
+        # Unbox the compact arrays once: list indexing hands back existing
+        # int objects, where array('q') indexing would box a fresh int for
+        # every operand read in the loop below.
+        kinds_by_tid = [k.tolist() for k in trace.kinds]
+        a0_by_tid = [a.tolist() for a in trace.a0]
+        a1_by_tid = [a.tolist() for a in trace.a1]
+        a2_by_tid = [a.tolist() for a in trace.a2]
+        a3_by_tid = [a.tolist() for a in trace.a3]
+        lengths = [len(k) for k in kinds_by_tid]
+        indices = [0] * n_threads
+        group_active: Dict[int, int] = defaultdict(int)
+        for group in groups:
+            group_active[group] += 1
+        barrier_arrived: Dict[int, List[int]] = defaultdict(list)
+        parked_count = 0
+
+        heap = [(cores[tid].time, tid) for tid in range(n_threads)]
+        heapq.heapify(heap)
+        telemetry = self.telemetry
+
+        def release_group(group: int) -> None:
+            nonlocal parked_count
+            waiting = barrier_arrived[group]
+            resume = max(cores[tid].time for tid in waiting)
+            for tid in waiting:
+                cores[tid].time = resume
+                heapq.heappush(heap, (resume, tid))
+            parked_count -= len(waiting)
+            barrier_arrived[group] = []
+
+        def finish_thread(tid: int) -> None:
+            group = groups[tid]
+            group_active[group] -= 1
+            waiting = barrier_arrived[group]
+            if waiting and len(waiting) == group_active[group]:
+                release_group(group)
+
+        heappop, heappush = heapq.heappop, heapq.heappush
+        execute = (executor._execute if not executor.obs.enabled
+                   else executor.execute)
+        fence = executor.fence
+        while heap:
+            _, tid = heappop(heap)
+            core = cores[tid]
+            do_load, do_store = core.do_load, core.do_store
+            do_compute = core.do_compute
+            kinds = kinds_by_tid[tid]
+            a0, a1 = a0_by_tid[tid], a1_by_tid[tid]
+            a2, a3 = a2_by_tid[tid], a3_by_tid[tid]
+            i = indices[tid]
+            end = lengths[tid]
+            horizon = heap[0][0] + batch_window if heap else float("inf")
+            parked = False
+            finished = False
+            while True:
+                # The end-of-array check sits at the loop top, mirroring the
+                # generator loop's cap check / StopIteration: a thread whose
+                # batch broke on the horizon right at its last op re-enters
+                # the heap and finishes on its *next* pop, so barrier-group
+                # bookkeeping happens in the same order in both modes.
+                if i >= end:
+                    finished = True
+                    break
+                kind = kinds[i]
+                if kind == KIND_LOAD:
+                    do_load(a0[i], bool(a1[i]))
+                elif kind == KIND_PEI:
+                    chain = a3[i]
+                    execute(core, op_table[a1[i]], a0[i], bool(a2[i]),
+                            chain - 1 if chain else None)
+                elif kind == KIND_COMPUTE:
+                    do_compute(a0[i])
+                elif kind == KIND_STORE:
+                    do_store(a0[i])
+                elif kind == KIND_FENCE:
+                    fence(core)
+                elif kind == KIND_BARRIER:
+                    group = a0[i]
+                    i += 1
+                    barrier_arrived[group].append(tid)
+                    parked_count += 1
+                    parked = True
+                    if len(barrier_arrived[group]) == group_active[group]:
+                        release_group(group)
+                    break
+                else:
+                    raise ValueError(f"unknown operation kind {kind}")
+                i += 1
+                if core.time > horizon:
+                    break
+            indices[tid] = i
+            if finished:
+                finish_thread(tid)
+            elif not parked:
+                heappush(heap, (core.time, tid))
+            if telemetry is not None and heap:
+                telemetry.on_progress(machine, heap[0][0])
+
+        if parked_count:
+            raise RuntimeError(
+                "barrier deadlock: threads still parked when the run drained"
+            )
+
+        for core in cores:
+            core.drain()
+        return self._collect(trace.workload_name, trace.footprint,
+                             n_threads, trace.max_ops_per_thread)
+
+    # ------------------------------------------------------------------
+
+    def _warm_caches(self, spans: List[tuple]) -> None:
+        """Touch every block of the given ``(base, end)`` spans in order.
 
         Inserts each block (clean) into the L3 and, when the policy uses the
         locality monitor, mirrors the access there — the state a real run
@@ -222,25 +419,93 @@ class System:
         suspended for the duration, so e.g. monitor evictions during warming
         (which a large footprint produces by the hundred thousand) never
         pollute the measured run.
+
+        Spans are region extents and therefore page-aligned at the base
+        (AddressSpace allocations are page-aligned), which lets the sweep
+        translate once per page: within a page, physical blocks are
+        contiguous, so the per-block virtual addresses never need to be
+        formed at all.  The insert/observe sequence is exactly the naive
+        per-block loop's.
         """
         machine = self.machine
         hierarchy = machine.hierarchy
-        page_table = machine.page_table
+        translate = machine.page_table.translate
+        l3 = hierarchy.l3
+        l3_insert = l3.insert
         block_size = self.config.block_size
-        observe = (machine.monitor.observe_llc_access
-                   if self.policy.uses_monitor else None)
+        block_bits = hierarchy.block_bits
+        page_size = self.config.page_size
+        use_monitor = self.policy.uses_monitor
+        observe = machine.monitor.observe_llc_access if use_monitor else None
+        # The per-block loops below inline SetAssocArray.insert (LRU only)
+        # and LocalityMonitor.observe_llc_access: the sweep touches every
+        # block of the footprint, and at five-digit block counts the two
+        # calls per block dominate the warm time.  ``slots`` identity is
+        # stable under suspension, so the monitor-eviction slot can be
+        # bound outside the ``with``.
+        flat = hierarchy._lru
+        if flat:
+            l3_sets, l3_mask, l3_ways = l3.sets, l3._set_mask, l3.n_ways
+            if use_monitor:
+                mon = machine.monitor
+                m_sets = mon._sets
+                m_mask = mon.n_sets - 1
+                m_ways = mon.n_ways
+                m_set_bits = mon._set_bits
+                m_tag_bits = mon.partial_tag_bits
+                m_tag_mask = mon._tag_mask
+                m_slots = mon._slots
         with machine.stats.suspended():
-            for region in space.regions.values():
-                for vaddr in range(region.base, region.end, block_size):
-                    block = page_table.translate(vaddr) >> hierarchy.block_bits
-                    hierarchy.l3.insert(block, dirty=False)
-                    if observe is not None:
-                        observe(block)
+            for base, end in spans:
+                for page_vaddr in range(base, end, page_size):
+                    page_end = page_vaddr + page_size
+                    if page_end > end:
+                        page_end = end
+                    count = (page_end - page_vaddr + block_size - 1) // block_size
+                    first = translate(page_vaddr) >> block_bits
+                    if not flat:
+                        if observe is None:
+                            for block in range(first, first + count):
+                                l3_insert(block, dirty=False)
+                        else:
+                            for block in range(first, first + count):
+                                l3_insert(block, dirty=False)
+                                observe(block)
+                        continue
+                    for block in range(first, first + count):
+                        line_set = l3_sets[block & l3_mask]
+                        if block in line_set:
+                            line_set.move_to_end(block)
+                        else:
+                            if len(line_set) >= l3_ways:
+                                line_set.popitem(last=False)
+                                l3.evictions += 1
+                            line_set[block] = False
+                        if not use_monitor:
+                            continue
+                        m_set = m_sets[block & m_mask]
+                        value = block >> m_set_bits
+                        tag = 0
+                        while value:
+                            tag ^= value & m_tag_mask
+                            value >>= m_tag_bits
+                        if tag in m_set:
+                            m_set[tag] = False
+                            m_set.move_to_end(tag)
+                        else:
+                            if len(m_set) >= m_ways:
+                                m_set.popitem(last=False)
+                                m_slots[SLOT_LOCALITY_MONITOR_EVICTIONS] += 1.0
+                            m_set[tag] = False
 
     # ------------------------------------------------------------------
 
     def _collect(
-        self, workload: Workload, n_threads: int, max_ops_per_thread: Optional[int]
+        self,
+        workload_name: str,
+        footprint: int,
+        n_threads: int,
+        max_ops_per_thread: Optional[int],
     ) -> RunResult:
         machine = self.machine
         stats = machine.stats
@@ -255,7 +520,7 @@ class System:
         per_core = [core.instructions for core in machine.cores]
         energy = self.energy_model.compute(stats)
         return RunResult(
-            workload=workload.name,
+            workload=workload_name,
             policy=self.policy.value,
             cycles=cycles,
             instructions=sum(per_core),
@@ -265,7 +530,7 @@ class System:
             metadata={
                 "n_threads": n_threads,
                 "max_ops_per_thread": max_ops_per_thread,
-                "footprint_bytes": workload.footprint,
+                "footprint_bytes": footprint,
                 "config_l3_size": self.config.l3_size,
             },
         )

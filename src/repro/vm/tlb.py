@@ -14,7 +14,8 @@ from repro.vm.page_table import PageTable
 class Tlb:
     """Fully-associative LRU TLB in front of a shared page table."""
 
-    __slots__ = ("page_table", "entries", "_cache", "walk_latency", "hits", "misses")
+    __slots__ = ("page_table", "entries", "_cache", "walk_latency", "hits",
+                 "misses", "_page_bits", "_page_mask", "_mapping")
 
     def __init__(self, page_table: PageTable, entries: int = 64, walk_latency: float = 100.0):
         if entries <= 0:
@@ -23,27 +24,38 @@ class Tlb:
         self.entries = entries
         self.walk_latency = walk_latency
         self._cache: OrderedDict = OrderedDict()
+        # Cached geometry: translate() runs per memory op, and the
+        # page_table attribute chain costs more than the arithmetic.
+        self._page_bits = page_table.page_bits
+        self._page_mask = page_table.page_size - 1
+        # The page table's vpage->frame dict, cached for the inlined
+        # already-mapped fast path in translate() (the dict is created once
+        # in PageTable.__init__ and never replaced).
+        self._mapping = page_table._mapping
         self.hits = 0
         self.misses = 0
 
     def translate(self, vaddr: int) -> "tuple[int, float]":
         """Return ``(physical_address, extra_latency)`` for ``vaddr``."""
-        vpage = vaddr >> self.page_table.page_bits
-        frame = self._cache.get(vpage)
+        page_bits = self._page_bits
+        vpage = vaddr >> page_bits
+        cache = self._cache
+        frame = cache.get(vpage)
         if frame is not None:
-            self._cache.move_to_end(vpage)
+            cache.move_to_end(vpage)
             self.hits += 1
-            extra = 0.0
-        else:
-            self.misses += 1
-            paddr = self.page_table.translate(vaddr)
-            frame = paddr >> self.page_table.page_bits
-            self._cache[vpage] = frame
-            if len(self._cache) > self.entries:
-                self._cache.popitem(last=False)
-            extra = self.walk_latency
-        offset = vaddr & (self.page_table.page_size - 1)
-        return (frame << self.page_table.page_bits) | offset, extra
+            return (frame << page_bits) | (vaddr & self._page_mask), 0.0
+        self.misses += 1
+        # PageTable.translate inlined for already-mapped pages; only a
+        # first touch (fault) goes through the page table itself.
+        frame = self._mapping.get(vpage)
+        if frame is None:
+            frame = self.page_table.translate(vaddr) >> page_bits
+        cache[vpage] = frame
+        if len(cache) > self.entries:
+            cache.popitem(last=False)
+        return ((frame << page_bits) | (vaddr & self._page_mask),
+                self.walk_latency)
 
     def flush(self) -> None:
         self._cache.clear()

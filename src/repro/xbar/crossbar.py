@@ -26,8 +26,20 @@ class Crossbar:
 
     def traverse(self, port: int, arrival: float, nbytes: int) -> float:
         """Send ``nbytes`` from ``port``; return the delivery time."""
-        finish = self.ports[port % len(self.ports)].transfer(arrival, nbytes)
-        return finish + self.latency
+        # BandwidthLink.transfer, inlined: every L3 access and PMU visit
+        # crosses the crossbar at least twice.
+        link = self.ports[port % len(self.ports)]
+        occupancy = nbytes / link.bytes_per_cycle
+        if arrival > link.clock:
+            gap = arrival - link.clock
+            link.backlog = link.backlog - gap if link.backlog > gap else 0.0
+            link.clock = arrival
+        start = arrival + link.backlog
+        link.backlog += occupancy
+        link.busy_cycles += occupancy
+        link.served += 1
+        link.bytes_transferred += nbytes
+        return start + occupancy + self.latency
 
     @property
     def bytes_transferred(self) -> int:

@@ -258,6 +258,53 @@ class TestStatsKeyRegistry:
         assert out == []
 
 
+class TestHotLoopStats:
+    def test_stats_add_in_hot_module_fires(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def access(self, block):\n    self.stats.add('cache.hits')\n",
+            rel="core/executor.py")
+        assert codes(out) == ["SIM009"]
+        assert out[0].line == 2
+
+    def test_bare_stats_name_fires(self, tmp_path):
+        out = lint_source(
+            tmp_path, "def tick(stats):\n    stats.add('x', 2.0)\n",
+            rel="cache/hierarchy.py")
+        assert codes(out) == ["SIM009"]
+
+    def test_cold_module_is_fine(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def report(self):\n    self.stats.add('bench.runs')\n",
+            rel="bench/runner.py")
+        assert out == []
+
+    def test_stats_set_is_fine(self, tmp_path):
+        # One-shot summary writes at end of run are not per-event cost.
+        out = lint_source(
+            tmp_path,
+            "def finish(self):\n    self.stats.set('run.cycles', 1.0)\n",
+            rel="system/system.py")
+        assert out == []
+
+    def test_slot_fast_path_is_fine(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def access(self):\n    self._slots[KEY] += 1.0\n",
+            rel="core/pmu.py")
+        assert out == []
+
+    def test_waiver_applies(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def rare(self):\n"
+            "    self.stats.add('cold.path')"
+            "  # simlint: ignore[SIM009] -- once per run, not per op\n",
+            rel="mem/hmc.py")
+        assert out == []
+
+
 class TestWaivers:
     def test_justified_waiver_suppresses(self, tmp_path):
         out = lint_source(
@@ -344,7 +391,7 @@ class TestDriver:
     def test_rule_registry_is_complete(self):
         assert set(RULES) == {
             "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
-            "SIM007"}
+            "SIM007", "SIM009"}
         for rule in RULES.values():
             assert rule.title and rule.rationale
 

@@ -76,9 +76,15 @@ class TestRunCommand:
         payload = json.loads(record.read_text())
         assert payload["schema"] == "repro.bench.trajectory/1"
         assert payload["jobs"] == 1
-        assert payload["cache"] == {"enabled": False}
+        assert payload["cache"]["enabled"] is False
+        # Trace counters ride along even with --no-cache: re-simulation
+        # never needs to re-run the functional workloads.
+        assert set(payload["cache"]["traces"]) == {
+            "captures", "memo_hits", "disk_hits", "failures"}
         assert [e["name"] for e in payload["experiments"]] == ["smoke"]
         assert "sim_ops_per_second" in payload["totals"]
+        assert "trace_captures" in payload["totals"]
+        assert payload["engine"]["ops_per_second"] > 0
 
     def test_run_configures_jobs_and_cache(self, fake_experiments, tmp_path):
         cache_dir = tmp_path / "cache"
@@ -124,3 +130,45 @@ class TestHistoryCommand:
         assert main(["history", "--history-dir", str(history),
                      "--assert-warm"]) == 1
         assert calls == []
+
+    def _write_record(self, history, runid, ops_per_second):
+        history.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": "repro.bench.trajectory/1", "runid": runid,
+                   "jobs": 1, "cache": {}, "settings": {}, "experiments": [],
+                   "engine": {"ops_per_second": ops_per_second,
+                              "ms_per_run": 1.0, "instructions": 1.0,
+                              "rounds": 3},
+                   "totals": {"simulations": 0}}
+        (history / f"BENCH_{runid}.json").write_text(json.dumps(payload))
+
+    def test_compare_passes_within_threshold(self, tmp_path, capsys):
+        history = tmp_path / "hist"
+        self._write_record(history, "20260101T000000-1", 100_000.0)
+        self._write_record(history, "20260102T000000-1", 90_000.0)
+        assert main(["history", "--history-dir", str(history),
+                     "--compare"]) == 0
+        assert "engine-compare OK" in capsys.readouterr().out
+
+    def test_compare_flags_regression(self, tmp_path, capsys):
+        history = tmp_path / "hist"
+        self._write_record(history, "20260101T000000-1", 100_000.0)
+        self._write_record(history, "20260102T000000-1", 70_000.0)
+        assert main(["history", "--history-dir", str(history),
+                     "--compare"]) == 1
+        assert "ENGINE REGRESSION" in capsys.readouterr().out
+
+    def test_compare_uses_best_prior_record(self, tmp_path, capsys):
+        # A slow middle record must not lower the bar.
+        history = tmp_path / "hist"
+        self._write_record(history, "20260101T000000-1", 100_000.0)
+        self._write_record(history, "20260102T000000-1", 60_000.0)
+        self._write_record(history, "20260103T000000-1", 75_000.0)
+        assert main(["history", "--history-dir", str(history),
+                     "--compare"]) == 1
+
+    def test_compare_skips_thin_series(self, tmp_path, capsys):
+        history = tmp_path / "hist"
+        self._write_record(history, "20260101T000000-1", 100_000.0)
+        assert main(["history", "--history-dir", str(history),
+                     "--compare"]) == 0
+        assert "skipped" in capsys.readouterr().out

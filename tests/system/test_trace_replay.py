@@ -1,0 +1,74 @@
+"""Replay equivalence across the paper's configurations.
+
+The trace-once/replay-many engine is only usable if replay is perfectly
+invisible: for every workload family and every Figure 6 configuration,
+``System.run(trace)`` must produce a ``RunResult`` byte-identical to
+``System.run(workload)`` — cycles, every stats counter, per-core detail.
+One workload per family keeps the matrix cheap while covering the three
+stream shapes (barrier-phased graph traversal, compute-dense ML kernels,
+chained analytics probes).
+"""
+
+import json
+
+import pytest
+
+from repro.core.dispatch import DispatchPolicy
+from repro.cpu.trace import capture_trace
+from repro.system.config import tiny_config
+from repro.system.system import System
+from repro.workloads.registry import make_workload
+
+#: One representative per Table 3 family.
+FAMILY_WORKLOADS = (
+    ("graph", "BFS"),
+    ("ml", "SC"),
+    ("analytics", "HJ"),
+)
+
+#: The paper's four execution configurations (Fig. 6 / Section 7).
+PAPER_POLICIES = (
+    DispatchPolicy.HOST_ONLY,
+    DispatchPolicy.PIM_ONLY,
+    DispatchPolicy.LOCALITY_AWARE,
+    DispatchPolicy.IDEAL_HOST,
+)
+
+OPS_CAP = 400
+
+
+def canon(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+@pytest.fixture(scope="module", params=[name for _, name in FAMILY_WORKLOADS],
+                ids=[f"{family}-{name}" for family, name in FAMILY_WORKLOADS])
+def captured(request):
+    """(name, trace): one capture per family, shared across policies."""
+    name = request.param
+    config = tiny_config()
+    workload = make_workload(name, "small", seed=11)
+    trace = capture_trace(workload, n_threads=config.n_cores,
+                          max_ops_per_thread=OPS_CAP,
+                          page_size=config.page_size)
+    return name, trace
+
+
+@pytest.mark.parametrize("policy", PAPER_POLICIES,
+                         ids=[p.value for p in PAPER_POLICIES])
+def test_replay_bit_identical(captured, policy):
+    name, trace = captured
+    generated = System(tiny_config(), policy).run(
+        make_workload(name, "small", seed=11), max_ops_per_thread=OPS_CAP)
+    replayed = System(tiny_config(), policy).run(
+        trace, max_ops_per_thread=OPS_CAP)
+    assert canon(replayed) == canon(generated)
+
+
+def test_replay_is_deterministic(captured):
+    """Two replays of one trace are bit-identical (no hidden state)."""
+    name, trace = captured
+    policy = DispatchPolicy.LOCALITY_AWARE
+    first = System(tiny_config(), policy).run(trace, max_ops_per_thread=OPS_CAP)
+    second = System(tiny_config(), policy).run(trace, max_ops_per_thread=OPS_CAP)
+    assert canon(first) == canon(second)

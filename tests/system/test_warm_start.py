@@ -21,18 +21,17 @@ from repro.workloads.registry import make_workload
 BIG_FOOTPRINT = dict(n_values=100_000)
 
 
-def _prepared_space(system, workload):
+def _prepared_spans(system, workload):
     space = AddressSpace(page_size=system.config.page_size)
     workload.prepare(space)
-    return space
+    return [(region.base, region.end) for region in space.regions.values()]
 
 
 class TestWarmStartStats:
     def test_warming_charges_zero_stats(self):
         system = System(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
         workload = make_workload("HG", "small", seed=7, **BIG_FOOTPRINT)
-        space = _prepared_space(system, workload)
-        system._warm_caches(space)
+        system._warm_caches(_prepared_spans(system, workload))
         charged = {k: v for k, v in system.machine.stats.to_dict().items()
                    if v != 0}
         assert charged == {}
@@ -41,8 +40,7 @@ class TestWarmStartStats:
         """Suspension must drop the *stats*, not the warming itself."""
         system = System(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
         workload = make_workload("HG", "small", seed=7, **BIG_FOOTPRINT)
-        space = _prepared_space(system, workload)
-        system._warm_caches(space)
+        system._warm_caches(_prepared_spans(system, workload))
         monitor_entries = sum(len(s) for s in system.machine.monitor._sets)
         assert monitor_entries > 0
 
@@ -55,7 +53,8 @@ class TestWarmStartStats:
         """
         system = System(tiny_config(), DispatchPolicy.LOCALITY_AWARE)
         workload = make_workload("HG", "small", seed=7, **BIG_FOOTPRINT)
-        space = _prepared_space(system, workload)
+        space = AddressSpace(page_size=system.config.page_size)
+        workload.prepare(space)
         machine = system.machine
         block_size = system.config.block_size
         for region in space.regions.values():
