@@ -1,6 +1,6 @@
 # Convenience targets for the PEI reproduction.
 
-.PHONY: install test lint sanitize verify determinism telemetry bench bench-smoke perf-smoke experiments quick clean
+.PHONY: install test lint flow flow-mutants sanitize verify determinism telemetry bench bench-smoke perf-smoke experiments quick clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -8,14 +8,27 @@ install:
 test:
 	pytest tests/
 
-# Static analysis: the in-tree simulator linter always runs; ruff/mypy run
-# only where installed (the offline test container does not ship them).
+# Static analysis: the in-tree simulator linter and the whole-program
+# dataflow analyzer always run; ruff/mypy run only where installed (the
+# offline test container does not ship them).
 lint:
 	PYTHONPATH=src python -m repro.analysis lint src/repro
+	PYTHONPATH=src python -m repro.analysis flow src/repro
 	@if command -v ruff >/dev/null 2>&1; then ruff check src tests; \
 	else echo "ruff not installed; skipping"; fi
 	@if command -v mypy >/dev/null 2>&1; then mypy src/repro; \
 	else echo "mypy not installed; skipping"; fi
+
+# Whole-program dataflow analysis alone: cache-key (fingerprint) soundness,
+# unit/dimension taint, hot-path purity (see docs/analysis.md).  Reads
+# ./flow-baseline.json when present; --update-baseline regenerates it.
+flow:
+	PYTHONPATH=src python -m repro.analysis flow src/repro
+
+# Seeded-defect self-validation: each flow pass must catch every mutant
+# planted for its codes, or the target fails (~30 s).
+flow-mutants:
+	PYTHONPATH=src python -m repro.analysis flow-mutants src/repro
 
 # Run the PEI protocol sanitizer over a fig10-sized sweep (~1 min).
 sanitize:

@@ -1,18 +1,33 @@
 """Machine-checked guardrails for the PEI reproduction.
 
-Two halves:
+Three halves:
 
-* :mod:`repro.analysis.simlint` — an AST-based static-analysis pass
-  enforcing simulator discipline (determinism, timestamp hygiene, unit
-  discipline, ISA registry completeness) across ``src/repro``;
+* :mod:`repro.analysis.simlint` — an AST-based, per-module static-analysis
+  pass enforcing simulator discipline (determinism, timestamp hygiene,
+  unit discipline, ISA registry completeness) across ``src/repro``;
+* :mod:`repro.analysis.flow` — *simflow*, the whole-program dataflow
+  analyzer: per-function CFGs, a project-wide call graph and three
+  interprocedural pass families (cache-fingerprint soundness FLW001–003,
+  unit/dimension taint FLW004–006, hot-path purity FLW007–009), with
+  waivers, a checked-in baseline, SARIF output and a seeded-defect
+  mutant gauntlet;
 * :mod:`repro.analysis.simsan` — a runtime sanitizer that replays a
   :class:`~repro.core.tracer.PeiTracer` event stream against the paper's
   Section 4.3 atomicity/coherence protocol.
 
-Command line: ``python -m repro.analysis lint|sanitize`` (see
-``docs/analysis.md``).
+Command line: ``python -m repro.analysis lint|flow|flow-mutants|sanitize``
+(see ``docs/analysis.md``).
 """
 
+from repro.analysis.flow import (
+    FLOW_CODES,
+    MUTANTS,
+    FlowReport,
+    findings_to_json,
+    findings_to_sarif,
+    run_flow,
+    run_mutants,
+)
 from repro.analysis.simlint import (
     RULES,
     LintViolation,
@@ -30,11 +45,18 @@ from repro.analysis.simsan import (
 __all__ = [
     "RULES",
     "CHECKS",
+    "FLOW_CODES",
+    "MUTANTS",
     "LintViolation",
     "SanViolation",
     "SanitizerReport",
+    "FlowReport",
     "lint_paths",
     "format_violations",
+    "run_flow",
+    "run_mutants",
+    "findings_to_json",
+    "findings_to_sarif",
     "sanitize_events",
     "sanitize_tracer",
 ]

@@ -1,0 +1,184 @@
+"""Per-function control-flow graphs for flow-sensitive passes.
+
+The CFG is statement-granular: each :class:`Block` holds a run of simple
+statements; compound statements (``if``/``while``/``for``/``try``/
+``with``) split blocks and contribute edges.  ``break``/``continue``/
+``return``/``raise`` terminate their block and route to the matching
+loop-exit/loop-header/function-exit.  The graph is *forward* only — that
+is all the dataflow clients need — and loops contribute back edges, so a
+worklist pass over blocks reaches a fixpoint over loop-carried state.
+
+This is intentionally much smaller than a real interpreter's CFG: dynamic
+control flow (exceptions from arbitrary expressions) is approximated by
+treating a ``try`` body as splittable straight-line code whose handlers
+join it, which is sound for the dimension-taint client (it only widens
+joins, never narrows).
+"""
+
+import ast
+from typing import List, Optional, Sequence
+
+__all__ = ["Block", "CFG", "build_cfg"]
+
+
+class Block:
+    """A basic block: straight-line statements plus successor edges."""
+
+    __slots__ = ("index", "statements", "succs")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.statements: List[ast.stmt] = []
+        self.succs: List["Block"] = []
+
+    def add_succ(self, other: Optional["Block"]) -> None:
+        if other is not None and other not in self.succs:
+            self.succs.append(other)
+
+    def __repr__(self) -> str:
+        return (f"Block({self.index}, {len(self.statements)} stmts, "
+                f"-> {[b.index for b in self.succs]})")
+
+
+class CFG:
+    """All blocks of one function; ``entry`` starts, ``exit`` joins returns."""
+
+    def __init__(self):
+        self.blocks: List[Block] = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+
+    def new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+
+class _Builder:
+    def __init__(self):
+        self.cfg = CFG()
+        # (loop_after, loop_header) stack for break/continue routing.
+        self._loops: List[tuple] = []
+
+    def build(self, func: ast.AST) -> CFG:
+        last = self._body(func.body, self.cfg.entry)
+        if last is not None:
+            last.add_succ(self.cfg.exit)
+        return self.cfg
+
+    # ------------------------------------------------------------------
+
+    def _body(self, stmts: Sequence[ast.stmt],
+              current: Optional[Block]) -> Optional[Block]:
+        """Wire ``stmts`` starting at ``current``; return the fall-through
+        block (None when every path left the straight line)."""
+        for stmt in stmts:
+            if current is None:
+                # Unreachable code after return/raise/break: give it its own
+                # island block so its text is still analyzed, edges or not.
+                current = self.cfg.new_block()
+            current = self._statement(stmt, current)
+        return current
+
+    def _statement(self, stmt: ast.stmt, current: Block) -> Optional[Block]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, current)
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            return self._try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            current.statements.append(stmt)  # the item expressions
+            return self._body(stmt.body, current)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            current.statements.append(stmt)
+            current.add_succ(self.cfg.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                current.add_succ(self._loops[-1][0])
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                current.add_succ(self._loops[-1][1])
+            return None
+        current.statements.append(stmt)
+        return current
+
+    def _if(self, stmt: ast.If, current: Block) -> Optional[Block]:
+        current.statements.append(_TestExpr(stmt.test))
+        after = self.cfg.new_block()
+        then_entry = self.cfg.new_block()
+        current.add_succ(then_entry)
+        then_exit = self._body(stmt.body, then_entry)
+        if then_exit is not None:
+            then_exit.add_succ(after)
+        if stmt.orelse:
+            else_entry = self.cfg.new_block()
+            current.add_succ(else_entry)
+            else_exit = self._body(stmt.orelse, else_entry)
+            if else_exit is not None:
+                else_exit.add_succ(after)
+        else:
+            current.add_succ(after)
+        return after
+
+    def _loop(self, stmt, current: Block) -> Block:
+        header = self.cfg.new_block()
+        current.add_succ(header)
+        if isinstance(stmt, ast.While):
+            header.statements.append(_TestExpr(stmt.test))
+        else:
+            header.statements.append(stmt)  # `for target in iter` binding
+        after = self.cfg.new_block()
+        body_entry = self.cfg.new_block()
+        header.add_succ(body_entry)
+        header.add_succ(after)
+        self._loops.append((after, header))
+        body_exit = self._body(stmt.body, body_entry)
+        self._loops.pop()
+        if body_exit is not None:
+            body_exit.add_succ(header)      # the back edge
+        if stmt.orelse:
+            else_exit = self._body(stmt.orelse, after)
+            return else_exit if else_exit is not None else after
+        return after
+
+    def _try(self, stmt, current: Block) -> Optional[Block]:
+        after = self.cfg.new_block()
+        body_exit = self._body(stmt.body, current)
+        if body_exit is not None:
+            body_exit.add_succ(after)
+        for handler in stmt.handlers:
+            handler_entry = self.cfg.new_block()
+            # Any statement of the body may raise into the handler.
+            current.add_succ(handler_entry)
+            if body_exit is not None:
+                body_exit.add_succ(handler_entry)
+            handler_exit = self._body(handler.body, handler_entry)
+            if handler_exit is not None:
+                handler_exit.add_succ(after)
+        if stmt.orelse and body_exit is not None:
+            else_exit = self._body(stmt.orelse, after)
+            after = else_exit if else_exit is not None else after
+        if stmt.finalbody:
+            final_exit = self._body(stmt.finalbody, after)
+            after = final_exit if final_exit is not None else after
+        return after
+
+
+class _TestExpr(ast.stmt):
+    """Wrapper carrying a branch/loop test expression into its block."""
+
+    _fields = ("value",)
+
+    def __init__(self, value: ast.expr):
+        super().__init__()
+        self.value = value
+        self.lineno = getattr(value, "lineno", 1)
+        self.col_offset = getattr(value, "col_offset", 0)
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """The CFG of one FunctionDef/AsyncFunctionDef."""
+    return _Builder().build(func)

@@ -1,0 +1,223 @@
+"""simflow orchestration: parse -> model -> passes -> waivers -> baseline.
+
+The run pipeline mirrors simlint's but adds two layers the interprocedural
+passes need:
+
+* **waivers** — ``# simflow: ignore[FLW00x] -- justification`` pragmas,
+  same tokenize-based parser and statement-span matching as simlint but an
+  independent namespace (a simlint waiver never silences a flow finding or
+  vice versa).  Unjustified and stale pragmas report as ``FLW000``.
+* **baseline** — a checked-in JSON file of accepted pre-existing findings,
+  matched by ``(code, rel-path, message)`` (line numbers excluded so
+  unrelated edits do not churn the file).  Findings in the baseline are
+  suppressed and counted; baseline entries that no longer match anything
+  report as ``FLW000`` so the file can only shrink.
+
+Waivers are for findings that are *correct but intended* (a settings field
+that shapes the request set); the baseline is for *debt* — real findings
+accepted at adoption time and burned down over later PRs.
+"""
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.source import Violation, apply_waivers, parse_project
+from repro.analysis.flow.fingerprint import run_fingerprint_pass
+from repro.analysis.flow.model import ProjectModel
+from repro.analysis.flow.purity import hot_set, run_purity_pass
+from repro.analysis.flow.units import run_units_pass
+
+__all__ = ["FLOW_CODES", "HYGIENE_CODE", "SYNTAX_CODE", "Finding",
+           "FlowReport", "load_baseline", "run_flow", "write_baseline"]
+
+#: Rule catalogue: code -> (title, one-line rationale).
+FLOW_CODES: Dict[str, Tuple[str, str]] = {
+    "FLW001": ("fingerprint gap",
+               "a config/request field is read by a cache-keyed computation "
+               "but not covered by its fingerprint"),
+    "FLW002": ("dead config field",
+               "a config/settings field is never read anywhere in the tree"),
+    "FLW003": ("unresolved settings field",
+               "a BenchSettings field is read by bench code but never "
+               "pinned in RunRequest.resolve()"),
+    "FLW004": ("cross-dimension arithmetic",
+               "adds/subtracts two different physical dimensions without a "
+               "conversion"),
+    "FLW005": ("cross-dimension comparison",
+               "compares two different physical dimensions"),
+    "FLW006": ("dimension-lying name",
+               "assigns a value of one dimension to a name suffixed as "
+               "another"),
+    "FLW007": ("hot-path nondeterminism",
+               "set iteration, id()-keyed lookups or env reads reachable "
+               "from the replay inner loop"),
+    "FLW008": ("hot-path allocation",
+               "per-op list/dict/set allocation reachable from the replay "
+               "inner loop"),
+    "FLW009": ("hot-path stats.add",
+               "per-event stats.add() reachable from the replay inner loop"),
+}
+
+#: Hygiene findings (unjustified/stale waivers, stale baseline entries).
+HYGIENE_CODE = "FLW000"
+#: Unparseable-source findings.
+SYNTAX_CODE = "FLW999"
+
+#: Which pass implements which codes (drives --select pass skipping).
+_PASSES = (
+    (run_fingerprint_pass, ("FLW001", "FLW002", "FLW003")),
+    (run_units_pass, ("FLW004", "FLW005", "FLW006")),
+    (run_purity_pass, ("FLW007", "FLW008", "FLW009")),
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One surviving flow finding, carrying both absolute and rel paths."""
+
+    code: str
+    message: str
+    path: str
+    rel: str
+    line: int
+    col: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def key(self) -> Tuple[str, str, str]:
+        """The line-independent identity used for baseline matching."""
+        return (self.code, self.rel, self.message)
+
+
+@dataclass
+class FlowReport:
+    """The outcome of one simflow run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: int = 0
+    modules: int = 0
+    functions: int = 0
+    hot_functions: int = 0
+    select: Optional[Tuple[str, ...]] = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+# ----------------------------------------------------------------------
+# Baseline file
+# ----------------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> List[Dict[str, str]]:
+    """Baseline entries ``[{code, rel, message}, ...]`` from disk."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError(f"baseline {path} is not a JSON object")
+    entries = payload.get("entries", [])
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path}: 'entries' must be a list")
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ValueError(f"baseline entry {entry!r} is not an object")
+        missing = {"code", "rel", "message"} - set(entry)
+        if missing:
+            raise ValueError(
+                f"baseline entry {entry!r} lacks {sorted(missing)}")
+    return entries
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Persist ``findings`` as the accepted baseline (sorted, de-duplicated)."""
+    entries = sorted({f.key() for f in findings})
+    payload = {
+        "comment": ("Accepted pre-existing simflow findings.  Matched by "
+                    "(code, rel, message) — line-independent — and stale "
+                    "entries are themselves reported; regenerate with "
+                    "`python -m repro.analysis flow --update-baseline`."),
+        "entries": [{"code": c, "rel": r, "message": m}
+                    for c, r, m in entries],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+
+
+def _apply_baseline(findings: List[Finding], entries: List[Dict[str, str]],
+                    baseline_path: Path) -> Tuple[List[Finding], int]:
+    accepted: Set[Tuple[str, str, str]] = {
+        (e["code"], e["rel"], e["message"]) for e in entries}
+    kept = [f for f in findings if f.key() not in accepted]
+    suppressed = len(findings) - len(kept)
+    matched = {f.key() for f in findings} & accepted
+    for code, rel, message in sorted(accepted - matched):
+        snippet = message if len(message) <= 60 else message[:57] + "..."
+        kept.append(Finding(
+            code=HYGIENE_CODE,
+            message=(f"stale baseline entry: {code} in {rel} "
+                     f"(\"{snippet}\") no longer matches any finding — "
+                     f"remove it"),
+            path=str(baseline_path), rel=Path(baseline_path).name, line=1))
+    return kept, suppressed
+
+
+# ----------------------------------------------------------------------
+# The run pipeline
+# ----------------------------------------------------------------------
+
+
+def run_flow(
+    paths: Sequence,
+    select: Optional[Iterable[str]] = None,
+    baseline: Optional[Path] = None,
+    overrides: Optional[Dict[str, str]] = None,
+) -> FlowReport:
+    """Run the flow passes over every Python file under ``paths``.
+
+    ``select`` restricts to the given FLW codes (a pass whose codes are all
+    deselected is skipped entirely).  ``baseline`` names an accepted-findings
+    file; matches are suppressed, stale entries reported.  ``overrides``
+    substitutes in-memory source text by rel-path suffix — the seeded-defect
+    mutants run through this without touching the tree.
+    """
+    project, syntax_errors = parse_project(
+        [Path(p) for p in paths], tool="simflow",
+        syntax_error_code=SYNTAX_CODE, overrides=overrides)
+    model = ProjectModel(project)
+
+    selected = (set(code.upper() for code in select)
+                if select is not None else set(FLOW_CODES))
+    raw: List[Violation] = list(syntax_errors)
+    for pass_fn, codes in _PASSES:
+        if not selected.intersection(codes):
+            continue
+        raw.extend(v for v in pass_fn(model) if v.code in selected)
+
+    survivors = apply_waivers(project, raw, selected,
+                              unjustified_code=HYGIENE_CODE,
+                              stale_code=HYGIENE_CODE)
+
+    rel_of = {str(m.path): m.rel for m in project.modules}
+    findings = [Finding(code=v.code, message=v.message, path=v.path,
+                        rel=rel_of.get(v.path, Path(v.path).name),
+                        line=v.line, col=v.col)
+                for v in survivors]
+
+    baselined = 0
+    if baseline is not None and Path(baseline).exists():
+        entries = load_baseline(Path(baseline))
+        findings, baselined = _apply_baseline(findings, entries,
+                                              Path(baseline))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return FlowReport(
+        findings=findings,
+        baselined=baselined,
+        modules=len(project.modules),
+        functions=len(model.functions),
+        hot_functions=len(hot_set(model)),
+        select=tuple(sorted(selected)) if select is not None else None,
+    )

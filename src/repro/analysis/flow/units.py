@@ -1,0 +1,372 @@
+"""FLW004–FLW006: flow-sensitive unit/dimension taint.
+
+SIM005 polices where raw ``_ns``/``_ghz`` *literals* may appear; this pass
+generalizes it from lexical to flow-sensitive.  Values are tagged with a
+physical dimension at their sources — name suffixes (``*_ns``, ``*_ghz``,
+``*_cycles``, ``*_latency``, ``*_bytes``, ``*_bytes_per_cycle``) and the
+:class:`~repro.sim.clock.ClockDomain` conversion methods — and the tags
+are propagated through each function's CFG by a worklist dataflow, so a
+nanosecond quantity that travels through two assignments and an ``if``
+still carries its dimension when it finally meets a cycles quantity.
+
+* **FLW004** — additive arithmetic (``+``/``-``) over two *different*
+  concrete dimensions with no conversion in between (adding nanoseconds
+  to host cycles silently corrupts every downstream timestamp at any
+  frequency other than 1 GHz).
+* **FLW005** — an order comparison across two different concrete
+  dimensions (branching on ``t_ns > t_cycles`` picks sides based on the
+  unit system, not the physics).
+* **FLW006** — an assignment whose *target name* promises one dimension
+  but whose value carries another (``walk_latency = cfg.dram_burst_ns``):
+  the name is the API other code trusts.
+
+The lattice is deliberately forgiving: numeric literals are dimensionless
+(``any`` — unify with everything), unknown expressions never fire, and the
+sanctioned conversions — ``ns x ghz -> cycles``, ``bytes /
+bytes_per_cycle -> cycles``, ``dim / same dim -> scalar``, the ClockDomain
+methods — produce correctly-typed results instead of findings.  Only a
+meeting of two *confidently different* dimensions reports.
+"""
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.analysis.source import Module, Violation, terminal_identifier
+from repro.analysis.flow.cfg import build_cfg
+from repro.analysis.flow.model import ProjectModel
+
+__all__ = ["run_units_pass", "dim_of_name"]
+
+# The dimension lattice: concrete dims, plus `any` (literals: unify with
+# everything), `scalar` (dimensionless ratios) and `unknown` (no claim).
+NS = "ns"
+GHZ = "ghz"
+CYCLES = "cycles"
+BYTES = "bytes"
+BW = "bytes_per_cycle"
+SCALAR = "scalar"
+ANY = "any"
+UNKNOWN = "unknown"
+
+CONCRETE = (NS, GHZ, CYCLES, BYTES, BW)
+
+#: ClockDomain-style conversion methods and their result dimensions.
+_CONVERSION_RESULTS = {
+    "from_ns": CYCLES,
+    "cycles": CYCLES,
+    "bytes_per_host_cycle": BW,
+}
+
+#: Name-suffix sources, checked in order (longest suffix first).
+_SUFFIX_DIMS = (
+    ("bytes_per_cycle", BW),
+    ("_ns", NS),
+    ("_ps", NS),
+    ("nanoseconds", NS),
+    ("_ghz", GHZ),
+    ("_mhz", GHZ),
+    ("_cycles", CYCLES),
+    ("cycles", CYCLES),
+    ("_latency", CYCLES),
+    ("latency", CYCLES),
+    ("_bytes", BYTES),
+    ("nbytes", BYTES),
+)
+
+
+def dim_of_name(name: Optional[str]) -> str:
+    if not name:
+        return UNKNOWN
+    lowered = name.lower()
+    for suffix, dim in _SUFFIX_DIMS:
+        if lowered.endswith(suffix):
+            return dim
+    return UNKNOWN
+
+
+def _join(a: str, b: str) -> str:
+    if a == b:
+        return a
+    if a == ANY:
+        return b
+    if b == ANY:
+        return a
+    return UNKNOWN
+
+
+def run_units_pass(model: ProjectModel) -> List[Violation]:
+    findings: List[Violation] = []
+    for info in model.functions.values():
+        checker = _FunctionChecker(info.module, info.node)
+        findings.extend(checker.run())
+    return findings
+
+
+class _FunctionChecker:
+    """One function: seed from parameter names, propagate over the CFG."""
+
+    def __init__(self, module: Module, func: ast.AST):
+        self.module = module
+        self.func = func
+        self.findings: List[Violation] = []
+        self._emit = False          # emission off during fixpoint iteration
+
+    def run(self) -> List[Violation]:
+        cfg = build_cfg(self.func)
+        seed = self._seed_env()
+        env_in: Dict[int, Dict[str, str]] = {cfg.entry.index: dict(seed)}
+        # Fixpoint: propagate environments until stable (joins only widen
+        # toward `unknown`, so this terminates; the cap is a backstop).
+        for _ in range(max(4, 2 * len(cfg.blocks))):
+            changed = False
+            for block in cfg.blocks:
+                env = dict(env_in.get(block.index, seed if block is cfg.entry
+                                      else {}))
+                out = self._transfer(block, env)
+                for succ in block.succs:
+                    previous = env_in.get(succ.index)
+                    merged = self._merge(previous, out)
+                    if merged != previous:
+                        env_in[succ.index] = merged
+                        changed = True
+            if not changed:
+                break
+        # Emission pass over the stable environments.
+        self._emit = True
+        for block in cfg.blocks:
+            env = dict(env_in.get(block.index, seed if block is cfg.entry
+                                  else {}))
+            self._transfer(block, env)
+        return self.findings
+
+    def _seed_env(self) -> Dict[str, str]:
+        env: Dict[str, str] = {}
+        args = self.func.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                    + [a for a in (args.vararg, args.kwarg) if a]):
+            dim = dim_of_name(arg.arg)
+            if dim != UNKNOWN:
+                env[arg.arg] = dim
+        return env
+
+    @staticmethod
+    def _merge(previous: Optional[Dict[str, str]],
+               incoming: Dict[str, str]) -> Dict[str, str]:
+        if previous is None:
+            return dict(incoming)
+        merged = dict(previous)
+        for name, dim in incoming.items():
+            merged[name] = _join(merged[name], dim) if name in merged else dim
+        for name in previous:
+            if name not in incoming:
+                merged[name] = UNKNOWN
+        return merged
+
+    # ------------------------------------------------------------------
+    # Transfer function
+    # ------------------------------------------------------------------
+
+    def _transfer(self, block, env: Dict[str, str]) -> Dict[str, str]:
+        for stmt in block.statements:
+            if isinstance(stmt, ast.Assign):
+                dim = self._dim(stmt.value, env)
+                for target in stmt.targets:
+                    self._assign(target, dim, env)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                dim = self._dim(stmt.value, env)
+                self._assign(stmt.target, dim, env)
+            elif isinstance(stmt, ast.AugAssign):
+                target_dim = self._target_dim(stmt.target, env)
+                value_dim = self._dim(stmt.value, env)
+                dim = self._binop_dim(stmt.op, target_dim, value_dim, stmt)
+                self._assign(stmt.target, dim, env)
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                self._dim(stmt.value, env)
+            else:
+                # Branch tests, expression statements, `for` headers, …:
+                # evaluate every contained expression for its side effect of
+                # checking, without tracking a result.
+                for value in ast.iter_child_nodes(stmt):
+                    if isinstance(value, ast.expr):
+                        self._dim(value, env)
+        return env
+
+    def _assign(self, target: ast.AST, dim: str, env: Dict[str, str]) -> None:
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, UNKNOWN, env)
+            return
+        if name is None:
+            return
+        declared = dim_of_name(name)
+        if (declared in CONCRETE and dim in CONCRETE and dim != declared
+                and self._emit):
+            self.findings.append(self._violation(
+                "FLW006", target,
+                f"`{name}` is named as {declared} but is assigned a {dim} "
+                f"value — rename it or convert the value"))
+        if isinstance(target, ast.Name):
+            # Trust the declared suffix over a lost trail, but keep the
+            # computed dimension when the name makes no unit claim.
+            env[target.id] = declared if declared != UNKNOWN else dim
+
+    def _target_dim(self, target: ast.AST, env: Dict[str, str]) -> str:
+        if isinstance(target, ast.Name):
+            return env.get(target.id, dim_of_name(target.id))
+        if isinstance(target, ast.Attribute):
+            return dim_of_name(target.attr)
+        return UNKNOWN
+
+    # ------------------------------------------------------------------
+    # Expression dimensions
+    # ------------------------------------------------------------------
+
+    def _dim(self, node: ast.AST, env: Dict[str, str]) -> str:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(
+                    node.value, (int, float)):
+                return UNKNOWN
+            return ANY
+        if isinstance(node, ast.Name):
+            if node.id in env and env[node.id] != UNKNOWN:
+                return env[node.id]
+            return dim_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            self._dim(node.value, env)
+            return dim_of_name(node.attr)
+        if isinstance(node, ast.BinOp):
+            left = self._dim(node.left, env)
+            right = self._dim(node.right, env)
+            return self._binop_dim(node.op, left, right, node)
+        if isinstance(node, ast.UnaryOp):
+            return self._dim(node.operand, env)
+        if isinstance(node, ast.Compare):
+            self._compare(node, env)
+            return UNKNOWN
+        if isinstance(node, ast.BoolOp):
+            dims = [self._dim(v, env) for v in node.values]
+            out = dims[0]
+            for dim in dims[1:]:
+                out = _join(out, dim)
+            return out
+        if isinstance(node, ast.IfExp):
+            self._dim(node.test, env)
+            return _join(self._dim(node.body, env),
+                         self._dim(node.orelse, env))
+        if isinstance(node, ast.Call):
+            return self._call_dim(node, env)
+        if isinstance(node, ast.Subscript):
+            self._dim(node.value, env)
+            if isinstance(node.slice, ast.expr):
+                self._dim(node.slice, env)
+            # `table[i]` inherits any unit claim of the table's name.
+            return dim_of_name(terminal_identifier(node.value))
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self._dim(elt, env)
+            return UNKNOWN
+        if isinstance(node, ast.Dict):
+            for value in list(node.keys) + list(node.values):
+                if value is not None:
+                    self._dim(value, env)
+            return UNKNOWN
+        # Comprehensions, lambdas, f-strings, …: walk for nested checks.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._dim(child, env)
+        return UNKNOWN
+
+    def _call_dim(self, node: ast.Call, env: Dict[str, str]) -> str:
+        for arg in node.args:
+            self._dim(arg, env)
+        for kw in node.keywords:
+            self._dim(kw.value, env)
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            self._dim(func.value, env)
+            if func.attr in _CONVERSION_RESULTS:
+                return _CONVERSION_RESULTS[func.attr]
+            return UNKNOWN
+        name = terminal_identifier(func)
+        if name in ("int", "float", "round", "abs"):
+            return self._dim(node.args[0], env) if node.args else UNKNOWN
+        if name in ("min", "max", "sum"):
+            dims = [self._dim(arg, env) for arg in node.args]
+            out = dims[0] if dims else UNKNOWN
+            for dim in dims[1:]:
+                out = _join(out, dim)
+            return out
+        if name == "len":
+            return ANY
+        return UNKNOWN
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+
+    def _binop_dim(self, op: ast.AST, left: str, right: str,
+                   node: ast.AST) -> str:
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if left in CONCRETE and right in CONCRETE and left != right:
+                if self._emit:
+                    self.findings.append(self._violation(
+                        "FLW004", node,
+                        f"{self._describe(node)}: adds {left} to {right} "
+                        f"without a conversion — route one side through "
+                        f"ClockDomain first"))
+                return UNKNOWN
+            return _join(left, right)
+        if isinstance(op, ast.Mult):
+            pair = {left, right}
+            if pair == {NS, GHZ}:
+                return CYCLES          # the ClockDomain.from_ns identity
+            if left in (SCALAR, ANY):
+                return right
+            if right in (SCALAR, ANY):
+                return left
+            return UNKNOWN
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if left in CONCRETE and left == right:
+                return SCALAR
+            if left == BYTES and right == BW:
+                return CYCLES          # occupancy: bytes over bandwidth
+            if right in (SCALAR, ANY):
+                return left
+            return UNKNOWN
+        return UNKNOWN
+
+    def _compare(self, node: ast.Compare, env: Dict[str, str]) -> None:
+        dims = [self._dim(node.left, env)]
+        dims.extend(self._dim(comp, env) for comp in node.comparators)
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+                                   ast.Eq, ast.NotEq)):
+                continue
+            left, right = dims[i], dims[i + 1]
+            if (left in CONCRETE and right in CONCRETE and left != right
+                    and self._emit):
+                self.findings.append(self._violation(
+                    "FLW005", node,
+                    f"{self._describe(node)}: compares {left} against "
+                    f"{right} — the branch direction depends on the unit "
+                    f"system, not the physics"))
+
+    # ------------------------------------------------------------------
+
+    def _describe(self, node: ast.AST) -> str:
+        try:
+            text = ast.unparse(node)
+        except Exception:
+            return "expression"
+        return f"`{text[:60]}`" if len(text) <= 60 else f"`{text[:57]}...`"
+
+    def _violation(self, code: str, node: ast.AST, message: str) -> Violation:
+        return Violation(code=code, message=message,
+                         path=str(self.module.path),
+                         line=getattr(node, "lineno", 1),
+                         col=getattr(node, "col_offset", 0))

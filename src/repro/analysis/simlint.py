@@ -9,29 +9,44 @@ complete ISA registry.  ``simlint`` is an AST pass (stdlib ``ast``, no
 third-party dependencies) that machine-checks those conventions across
 ``src/repro`` so aggressive refactors cannot silently break them.
 
+Each module is parsed once and walked once: rules declare the node types
+they care about (:attr:`Rule.node_types`) and a single dispatch loop feeds
+every node to the interested rules, so adding a rule costs a dict lookup
+per node rather than another full ``ast.walk`` of the tree (measure with
+``python -m repro.analysis lint --bench``).
+
 Rules are identified by ``SIMxxx`` codes.  A violation can be waived with an
 inline pragma **carrying a justification**::
 
     t_retrain_ns = 50.0  # simlint: ignore[SIM005] -- vendor-quoted retrain time
 
-A waiver comment on its own line applies to the following line.  Waivers
-without a justification are themselves reported (``SIM000``), and justified
-waivers that no longer suppress anything are reported as stale (``SIM008``),
-so the tree can never silently accumulate unexplained or dead exemptions.
-Pragma-shaped text inside strings and docstrings (like the example above) is
-not a waiver — only real ``#`` comments count.
+A waiver comment on its own line applies to the following line, and a
+pragma anywhere on a multi-line statement (a decorator, a continuation
+line of a long call) covers the whole statement.  Waivers without a
+justification are themselves reported (``SIM000``), and justified waivers
+that no longer suppress anything are reported as stale (``SIM008``), so
+the tree can never silently accumulate unexplained or dead exemptions.
+Pragma-shaped text inside strings and docstrings (like the example above)
+is not a waiver — only real ``#`` comments count.
 
 Use :func:`lint_paths` programmatically or ``python -m repro.analysis lint``
 from the command line; see ``docs/analysis.md`` for the rule catalogue.
+The interprocedural (dataflow) layer lives in :mod:`repro.analysis.flow`.
 """
 
 import ast
-import io
-import re
-import tokenize
-from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.analysis.source import (
+    Module,
+    Project,
+    Violation as LintViolation,
+    apply_waivers,
+    parse_project,
+    dotted_name as _dotted_name,
+    terminal_identifier as _terminal_identifier,
+)
 
 __all__ = [
     "LintViolation",
@@ -41,142 +56,6 @@ __all__ = [
     "lint_paths",
     "format_violations",
 ]
-
-
-# ----------------------------------------------------------------------
-# Data model
-# ----------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class LintViolation:
-    """One rule violation at one source location."""
-
-    code: str
-    message: str
-    path: str
-    line: int
-    col: int = 0
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
-
-
-@dataclass
-class Waiver:
-    """An inline ``# simlint: ignore[...]`` pragma."""
-
-    line: int           # line the waiver applies to
-    codes: Tuple[str, ...]
-    justification: str  # text after the code list; empty = unjustified
-    pragma_line: int    # line the comment physically sits on
-
-
-@dataclass
-class Module:
-    """One parsed source file plus its waiver pragmas."""
-
-    path: Path
-    rel: str
-    source: str
-    tree: ast.Module
-    waivers: List[Waiver] = field(default_factory=list)
-
-
-class Project:
-    """All modules of one lint invocation (rules may check across files)."""
-
-    def __init__(self, modules: Sequence[Module]):
-        self.modules = list(modules)
-
-    def find(self, rel_suffix: str) -> Optional[Module]:
-        for module in self.modules:
-            if module.rel.endswith(rel_suffix):
-                return module
-        return None
-
-
-# ----------------------------------------------------------------------
-# Waiver parsing
-# ----------------------------------------------------------------------
-
-_WAIVER_RE = re.compile(
-    r"#\s*simlint:\s*ignore\[([A-Za-z0-9_,\s]+)\]\s*(?:(?:--|—|–|-|:)?\s*(\S.*))?$"
-)
-
-
-def _waiver_from_match(match: "re.Match", lineno: int,
-                       own_line: bool) -> Waiver:
-    codes = tuple(c.strip().upper() for c in match.group(1).split(",") if c.strip())
-    justification = (match.group(2) or "").strip()
-    # A bare comment line waives the *next* source line.
-    target = lineno + 1 if own_line else lineno
-    return Waiver(line=target, codes=codes,
-                  justification=justification, pragma_line=lineno)
-
-
-def _parse_waivers(source: str) -> List[Waiver]:
-    """Extract waiver pragmas from real ``#`` comments only.
-
-    Tokenizing (rather than scanning raw lines) keeps pragma *text inside
-    strings and docstrings* — e.g. the example in this module's own
-    docstring — from being mistaken for a live waiver, which matters now
-    that unused waivers are themselves a diagnostic (SIM008).  Sources that
-    fail to tokenize fall back to the raw line scan so a syntax error still
-    gets best-effort waiver handling.
-    """
-    try:
-        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
-    except (tokenize.TokenError, IndentationError, SyntaxError):
-        return _parse_waivers_raw(source)
-    waivers = []
-    for token in tokens:
-        if token.type != tokenize.COMMENT:
-            continue
-        match = _WAIVER_RE.search(token.string)
-        if match is None:
-            continue
-        lineno = token.start[0]
-        own_line = not token.line[: token.start[1]].strip()
-        waivers.append(_waiver_from_match(match, lineno, own_line))
-    return waivers
-
-
-def _parse_waivers_raw(source: str) -> List[Waiver]:
-    """Line-scanning fallback for sources the tokenizer rejects."""
-    waivers = []
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _WAIVER_RE.search(line)
-        if match is None:
-            continue
-        own_line = not line[: match.start()].strip()
-        waivers.append(_waiver_from_match(match, lineno, own_line))
-    return waivers
-
-
-# ----------------------------------------------------------------------
-# Shared AST helpers
-# ----------------------------------------------------------------------
-
-
-def _dotted_name(node: ast.AST) -> Optional[str]:
-    """Return ``a.b.c`` for a Name/Attribute chain, else None."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def _terminal_identifier(node: ast.AST) -> Optional[str]:
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    if isinstance(node, ast.Name):
-        return node.id
-    return None
 
 
 def _annotation_allows_none(annotation: ast.AST) -> bool:
@@ -212,17 +91,33 @@ def _annotation_allows_none(annotation: ast.AST) -> bool:
 
 
 class Rule:
-    """Base class: one coded check over a module (or the whole project)."""
+    """Base class: one coded check fed nodes from the shared module walk.
+
+    ``node_types`` names the concrete AST classes the rule wants to see;
+    :meth:`visit` receives each matching node exactly once per module.
+    :meth:`prepare` runs before the walk (cross-file registries);
+    :meth:`finish` runs after it (checks over collected state or over
+    specific modules).  :meth:`applies` gates the rule per module
+    (exempt-module carve-outs).
+    """
 
     code = "SIM999"
     title = "unnamed rule"
     rationale = ""
 
-    def check_project(self, project: Project) -> Iterator[LintViolation]:
-        for module in project.modules:
-            yield from self.check_module(module)
+    #: Concrete AST node classes this rule's visit() wants.
+    node_types: Tuple[Type[ast.AST], ...] = ()
 
-    def check_module(self, module: Module) -> Iterator[LintViolation]:
+    def applies(self, module: Module) -> bool:
+        return True
+
+    def prepare(self, project: Project) -> None:
+        pass
+
+    def visit(self, module: Module, node: ast.AST) -> Iterator[LintViolation]:
+        return iter(())
+
+    def finish(self, project: Project) -> Iterator[LintViolation]:
         return iter(())
 
     # Helper ------------------------------------------------------------
@@ -246,6 +141,8 @@ class WallClockRule(Rule):
                  "reading the host's clock breaks bit-for-bit replayability "
                  "(tests/integration/test_determinism.py).")
 
+    node_types = (ast.Call,)
+
     _FORBIDDEN = {
         "time.time", "time.monotonic", "time.monotonic_ns", "time.perf_counter",
         "time.perf_counter_ns", "time.process_time", "time.time_ns",
@@ -257,21 +154,19 @@ class WallClockRule(Rule):
     #: back into simulated timestamps (mirrors SIM002's util/rng.py carve-out).
     ALLOWED_MODULES = ("obs/profiler.py",)
 
-    def check_module(self, module: Module) -> Iterator[LintViolation]:
-        if module.rel.endswith(self.ALLOWED_MODULES):
+    def applies(self, module: Module) -> bool:
+        return not module.rel.endswith(self.ALLOWED_MODULES)
+
+    def visit(self, module: Module, node: ast.AST) -> Iterator[LintViolation]:
+        dotted = _dotted_name(node.func)
+        if dotted is None:
             return
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            dotted = _dotted_name(node.func)
-            if dotted is None:
-                continue
-            tail2 = ".".join(dotted.split(".")[-2:])
-            if dotted in self._FORBIDDEN or tail2 in self._FORBIDDEN:
-                yield self._violation(
-                    module, node,
-                    f"wall-clock call `{dotted}()` — simulator code must use "
-                    f"simulated timestamps only")
+        tail2 = ".".join(dotted.split(".")[-2:])
+        if dotted in self._FORBIDDEN or tail2 in self._FORBIDDEN:
+            yield self._violation(
+                module, node,
+                f"wall-clock call `{dotted}()` — simulator code must use "
+                f"simulated timestamps only")
 
 
 class UnseededRandomnessRule(Rule):
@@ -283,29 +178,29 @@ class UnseededRandomnessRule(Rule):
                  "an explicit seed via derive_seed/make_rng; bare random.* or "
                  "np.random.* calls use hidden global state.")
 
+    node_types = (ast.Call,)
+
     #: The one sanctioned home of np.random calls.
     ALLOWED_MODULES = ("util/rng.py",)
 
-    def check_module(self, module: Module) -> Iterator[LintViolation]:
-        if module.rel.endswith(self.ALLOWED_MODULES):
+    def applies(self, module: Module) -> bool:
+        return not module.rel.endswith(self.ALLOWED_MODULES)
+
+    def visit(self, module: Module, node: ast.AST) -> Iterator[LintViolation]:
+        dotted = _dotted_name(node.func)
+        if dotted is None:
             return
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            dotted = _dotted_name(node.func)
-            if dotted is None:
-                continue
-            parts = dotted.split(".")
-            if parts[0] == "random" and len(parts) > 1:
-                yield self._violation(
-                    module, node,
-                    f"`{dotted}()` draws from the global `random` module — "
-                    f"route randomness through repro.util.rng.make_rng")
-            elif "random" in parts[:-1] and parts[0] in ("np", "numpy"):
-                yield self._violation(
-                    module, node,
-                    f"`{dotted}()` bypasses the seed derivation tree — use "
-                    f"repro.util.rng.make_rng / derive_seed")
+        parts = dotted.split(".")
+        if parts[0] == "random" and len(parts) > 1:
+            yield self._violation(
+                module, node,
+                f"`{dotted}()` draws from the global `random` module — "
+                f"route randomness through repro.util.rng.make_rng")
+        elif "random" in parts[:-1] and parts[0] in ("np", "numpy"):
+            yield self._violation(
+                module, node,
+                f"`{dotted}()` bypasses the seed derivation tree — use "
+                f"repro.util.rng.make_rng / derive_seed")
 
 
 class TimestampEqualityRule(Rule):
@@ -317,6 +212,8 @@ class TimestampEqualityRule(Rule):
                  "brittle under refactors that reassociate arithmetic. "
                  "Order comparisons (<, <=) are the only meaningful tests.")
 
+    node_types = (ast.Compare,)
+
     _TIME_TOKENS = {"time", "timestamp", "completion", "horizon",
                     "deadline", "grant", "arrival"}
 
@@ -326,23 +223,20 @@ class TimestampEqualityRule(Rule):
             return False
         return bool(self._TIME_TOKENS.intersection(name.lower().split("_")))
 
-    def check_module(self, module: Module) -> Iterator[LintViolation]:
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Compare):
+    def visit(self, module: Module, node: ast.AST) -> Iterator[LintViolation]:
+        operands = [node.left] + list(node.comparators)
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
                 continue
-            operands = [node.left] + list(node.comparators)
-            for i, op in enumerate(node.ops):
-                if not isinstance(op, (ast.Eq, ast.NotEq)):
-                    continue
-                left, right = operands[i], operands[i + 1]
-                for side in (left, right):
-                    if self._is_time_like(side):
-                        yield self._violation(
-                            module, node,
-                            f"`==`/`!=` on timestamp-like operand "
-                            f"`{_terminal_identifier(side)}` — compare "
-                            f"timestamps with ordering, not equality")
-                        break
+            left, right = operands[i], operands[i + 1]
+            for side in (left, right):
+                if self._is_time_like(side):
+                    yield self._violation(
+                        module, node,
+                        f"`==`/`!=` on timestamp-like operand "
+                        f"`{_terminal_identifier(side)}` — compare "
+                        f"timestamps with ordering, not equality")
+                    break
 
 
 class DefaultArgumentRule(Rule):
@@ -354,24 +248,25 @@ class DefaultArgumentRule(Rule):
                  "like `stats: Stats = None` lies to every reader and type "
                  "checker about what the parameter accepts.")
 
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.AnnAssign)
+
     _MUTABLE = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
                 ast.SetComp, ast.GeneratorExp)
 
-    def check_module(self, module: Module) -> Iterator[LintViolation]:
-        for node in ast.walk(module.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield from self._check_signature(module, node)
-            elif isinstance(node, ast.AnnAssign):
-                if (node.value is not None
-                        and isinstance(node.value, ast.Constant)
-                        and node.value.value is None
-                        and node.annotation is not None
-                        and not _annotation_allows_none(node.annotation)):
-                    target = _terminal_identifier(node.target) or "<target>"
-                    yield self._violation(
-                        module, node,
-                        f"`{target}` is annotated non-Optional but assigned "
-                        f"None — use `Optional[...]` (or `| None`)")
+    def visit(self, module: Module, node: ast.AST) -> Iterator[LintViolation]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from self._check_signature(module, node)
+        elif isinstance(node, ast.AnnAssign):
+            if (node.value is not None
+                    and isinstance(node.value, ast.Constant)
+                    and node.value.value is None
+                    and node.annotation is not None
+                    and not _annotation_allows_none(node.annotation)):
+                target = _terminal_identifier(node.target) or "<target>"
+                yield self._violation(
+                    module, node,
+                    f"`{target}` is annotated non-Optional but assigned "
+                    f"None — use `Optional[...]` (or `| None`)")
 
     def _check_signature(self, module, node) -> Iterator[LintViolation]:
         args = node.args
@@ -407,54 +302,57 @@ class RawUnitLiteralRule(Rule):
                  "and converted through ClockDomain, or every scaling sweep "
                  "silently desynchronizes.")
 
+    node_types = (ast.keyword, ast.Assign, ast.AnnAssign,
+                  ast.FunctionDef, ast.AsyncFunctionDef)
+
     #: Unit-bearing parameter tables where physical constants belong.
     ALLOWED_MODULES = ("sim/clock.py", "energy/params.py", "system/config.py")
 
     _SUFFIXES = ("_ns", "_ghz", "_mhz", "_ps")
 
+    def applies(self, module: Module) -> bool:
+        return not module.rel.endswith(self.ALLOWED_MODULES)
+
     def _suffixed(self, name: Optional[str]) -> bool:
         return name is not None and name.lower().endswith(self._SUFFIXES)
 
-    def check_module(self, module: Module) -> Iterator[LintViolation]:
-        if module.rel.endswith(self.ALLOWED_MODULES):
-            return
-        for node in ast.walk(module.tree):
-            if isinstance(node, ast.keyword):
-                if self._suffixed(node.arg) and self._is_numeric(node.value):
-                    yield self._violation(
-                        module, node.value,
-                        f"raw unit literal for `{node.arg}=` — take the value "
-                        f"from SystemConfig / repro.energy.params instead")
-            elif isinstance(node, ast.Assign):
-                for target in node.targets:
-                    name = _terminal_identifier(target)
-                    if self._suffixed(name) and self._is_numeric(node.value):
-                        yield self._violation(
-                            module, node,
-                            f"raw unit literal assigned to `{name}` — move it "
-                            f"into a parameter table")
-            elif isinstance(node, ast.AnnAssign):
-                name = _terminal_identifier(node.target)
+    def visit(self, module: Module, node: ast.AST) -> Iterator[LintViolation]:
+        if isinstance(node, ast.keyword):
+            if self._suffixed(node.arg) and self._is_numeric(node.value):
+                yield self._violation(
+                    module, node.value,
+                    f"raw unit literal for `{node.arg}=` — take the value "
+                    f"from SystemConfig / repro.energy.params instead")
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                name = _terminal_identifier(target)
                 if self._suffixed(name) and self._is_numeric(node.value):
                     yield self._violation(
                         module, node,
                         f"raw unit literal assigned to `{name}` — move it "
                         f"into a parameter table")
-            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                args = node.args
-                positional = args.posonlyargs + args.args
-                pairs = list(zip(
-                    positional[len(positional) - len(args.defaults):],
-                    args.defaults))
-                pairs += [(a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)
-                          if d is not None]
-                for arg, default in pairs:
-                    if self._suffixed(arg.arg) and self._is_numeric(default):
-                        yield self._violation(
-                            module, default,
-                            f"raw unit default for `{arg.arg}` in "
-                            f"`{node.name}()` — require the caller to pass a "
-                            f"parameter-table value")
+        elif isinstance(node, ast.AnnAssign):
+            name = _terminal_identifier(node.target)
+            if self._suffixed(name) and self._is_numeric(node.value):
+                yield self._violation(
+                    module, node,
+                    f"raw unit literal assigned to `{name}` — move it "
+                    f"into a parameter table")
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            positional = args.posonlyargs + args.args
+            pairs = list(zip(
+                positional[len(positional) - len(args.defaults):],
+                args.defaults))
+            pairs += [(a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)
+                      if d is not None]
+            for arg, default in pairs:
+                if self._suffixed(arg.arg) and self._is_numeric(default):
+                    yield self._violation(
+                        module, default,
+                        f"raw unit default for `{arg.arg}` in "
+                        f"`{node.name}()` — require the caller to pass a "
+                        f"parameter-table value")
 
     @staticmethod
     def _is_numeric(node: Optional[ast.AST]) -> bool:
@@ -475,7 +373,10 @@ class IntrinsicRegistryRule(Rule):
                  "the registry would simulate an instruction the machine "
                  "does not decode.")
 
-    def check_project(self, project: Project) -> Iterator[LintViolation]:
+    # Confined to two known modules: cheaper to walk just those in finish()
+    # than to tap the shared walk over the whole tree.
+
+    def finish(self, project: Project) -> Iterator[LintViolation]:
         isa = project.find("core/isa.py")
         intrinsics = project.find("core/intrinsics.py")
         if isa is None or intrinsics is None:
@@ -545,31 +446,35 @@ class StatsKeyRegistryRule(Rule):
                  "`stats.set` keys must appear in the repro.sim.stat_keys "
                  "registry.")
 
+    node_types = (ast.Call,)
+
     _REGISTRY = "sim/stat_keys.py"
     _METHODS = ("add", "set")
 
-    def check_project(self, project: Project) -> Iterator[LintViolation]:
-        registry = project.find(self._REGISTRY)
-        if registry is None:
-            return
-        declared = self._declared_keys(registry)
-        for module in project.modules:
-            if module is registry:
-                continue
-            for node in ast.walk(module.tree):
-                key = self._literal_stats_key(node)
-                if key is not None and key not in declared:
-                    yield self._violation(
-                        module, node,
-                        f"stats key \"{key}\" is not declared in "
-                        f"repro.sim.stat_keys — add it to the matching "
-                        f"*_KEYS group (or fix the typo)")
+    def __init__(self):
+        self._declared: Optional[Set[str]] = None
+        self._registry: Optional[Module] = None
+
+    def prepare(self, project: Project) -> None:
+        self._registry = project.find(self._REGISTRY)
+        self._declared = (self._declared_keys(self._registry)
+                          if self._registry is not None else None)
+
+    def applies(self, module: Module) -> bool:
+        return self._declared is not None and module is not self._registry
+
+    def visit(self, module: Module, node: ast.AST) -> Iterator[LintViolation]:
+        key = self._literal_stats_key(node)
+        if key is not None and key not in self._declared:
+            yield self._violation(
+                module, node,
+                f"stats key \"{key}\" is not declared in "
+                f"repro.sim.stat_keys — add it to the matching "
+                f"*_KEYS group (or fix the typo)")
 
     @classmethod
     def _literal_stats_key(cls, node: ast.AST) -> Optional[str]:
         """The literal key of a ``<...>.stats.add("key")``-shaped call."""
-        if not isinstance(node, ast.Call):
-            return None
         func = node.func
         if not isinstance(func, ast.Attribute) or func.attr not in cls._METHODS:
             return None
@@ -616,9 +521,13 @@ class HotLoopStatsRule(Rule):
                  "optimization.  One-shot summary writes (`stats.set` at "
                  "end of run) are fine.")
 
+    node_types = (ast.Call,)
+
     #: Modules on the per-operation path of the run engine.  Everything
     #: else (workloads, bench harness, verification) may use stats.add
     #: freely — it runs once per experiment, not once per simulated op.
+    #: The flow layer's FLW009 re-derives this list from call-graph
+    #: reachability; this lexical rule stays as the fast first line.
     HOT_MODULES = (
         "cache/hierarchy.py",
         "cpu/core.py",
@@ -630,22 +539,20 @@ class HotLoopStatsRule(Rule):
         "system/system.py",
     )
 
-    def check_module(self, module: Module) -> Iterator[LintViolation]:
-        if not module.rel.endswith(self.HOT_MODULES):
+    def applies(self, module: Module) -> bool:
+        return module.rel.endswith(self.HOT_MODULES)
+
+    def visit(self, module: Module, node: ast.AST) -> Iterator[LintViolation]:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr != "add":
             return
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            func = node.func
-            if not isinstance(func, ast.Attribute) or func.attr != "add":
-                continue
-            if _terminal_identifier(func.value) != "stats":
-                continue
-            yield self._violation(
-                module, node,
-                "per-event `stats.add()` in an engine hot-loop module — "
-                "bind a slot once (`self._slots[SLOT_*]`) and increment it "
-                "in place")
+        if _terminal_identifier(func.value) != "stats":
+            return
+        yield self._violation(
+            module, node,
+            "per-event `stats.add()` in an engine hot-loop module — "
+            "bind a slot once (`self._slots[SLOT_*]`) and increment it "
+            "in place")
 
 
 #: The rule registry, keyed by code.
@@ -673,34 +580,29 @@ UNUSED_WAIVER_CODE = "SIM008"
 # ----------------------------------------------------------------------
 
 
-def _collect_files(paths: Iterable[Path]) -> List[Tuple[Path, str]]:
-    """(file, rel) pairs for every .py under the given roots."""
-    out: List[Tuple[Path, str]] = []
-    for root in paths:
-        root = Path(root)
-        if root.is_file():
-            out.append((root, root.name))
-        else:
-            for file in sorted(root.rglob("*.py")):
-                out.append((file, file.relative_to(root).as_posix()))
-    return out
-
-
-def _parse_project(paths: Iterable[Path]) -> Tuple[Project, List[LintViolation]]:
-    modules = []
-    errors = []
-    for file, rel in _collect_files(paths):
-        source = file.read_text(encoding="utf-8")
-        try:
-            tree = ast.parse(source, filename=str(file))
-        except SyntaxError as exc:
-            errors.append(LintViolation(
-                code="SIM999", message=f"syntax error: {exc.msg}",
-                path=str(file), line=exc.lineno or 1, col=exc.offset or 0))
+def run_rules(project: Project, rules: Sequence[Rule]) -> List[LintViolation]:
+    """One shared walk per module, dispatching nodes to interested rules."""
+    raw: List[LintViolation] = []
+    for rule in rules:
+        rule.prepare(project)
+    for module in project.modules:
+        dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+        for rule in rules:
+            if not rule.node_types or not rule.applies(module):
+                continue
+            for node_type in rule.node_types:
+                dispatch.setdefault(node_type, []).append(rule)
+        if not dispatch:
             continue
-        modules.append(Module(path=file, rel=rel, source=source, tree=tree,
-                              waivers=_parse_waivers(source)))
-    return Project(modules), errors
+        for node in ast.walk(module.tree):
+            interested = dispatch.get(type(node))
+            if interested is None:
+                continue
+            for rule in interested:
+                raw.extend(rule.visit(module, node))
+    for rule in rules:
+        raw.extend(rule.finish(project))
+    return raw
 
 
 def lint_paths(
@@ -716,54 +618,15 @@ def lint_paths(
     the code they excused (only when every waived code's rule actually ran —
     a ``select`` that skips the rule says nothing about the waiver).
     """
-    project, violations = _parse_project([Path(p) for p in paths])
+    project, violations = parse_project(
+        [Path(p) for p in paths], tool="simlint", syntax_error_code="SIM999")
     active = [RULES[c] for c in select] if select is not None else list(RULES.values())
     active_codes = {rule.code for rule in active}
     raw: List[LintViolation] = list(violations)
-    for rule in active:
-        raw.extend(rule.check_project(project))
-
-    waivers_by_path: Dict[str, List[Waiver]] = {
-        str(m.path): m.waivers for m in project.modules
-    }
-    # A waiver is "used" if any raw violation matched its line and codes,
-    # justified or not — an unjustified match already reports SIM000 and
-    # should not also read as stale.
-    used: Set[int] = set()
-    kept: List[LintViolation] = []
-    for violation in raw:
-        waived = False
-        for waiver in waivers_by_path.get(violation.path, ()):
-            if violation.line == waiver.line and violation.code in waiver.codes:
-                used.add(id(waiver))
-                if waiver.justification:
-                    waived = True
-                    break
-        if not waived:
-            kept.append(violation)
-
-    # Waiver hygiene: every pragma must carry a justification, and every
-    # fully-checked pragma must suppress something.
-    for module in project.modules:
-        for waiver in module.waivers:
-            if not waiver.justification:
-                kept.append(LintViolation(
-                    code=WAIVER_CODE,
-                    message=("waiver without justification — write "
-                             "`# simlint: ignore[CODE] -- <reason>`"),
-                    path=str(module.path),
-                    line=waiver.pragma_line))
-            elif (id(waiver) not in used
-                    and set(waiver.codes) <= active_codes):
-                codes = ", ".join(waiver.codes)
-                kept.append(LintViolation(
-                    code=UNUSED_WAIVER_CODE,
-                    message=(f"waiver for {codes} suppresses nothing — "
-                             f"delete the stale pragma"),
-                    path=str(module.path),
-                    line=waiver.pragma_line))
-    kept.sort(key=lambda v: (v.path, v.line, v.col, v.code))
-    return kept
+    raw.extend(run_rules(project, active))
+    return apply_waivers(project, raw, active_codes,
+                         unjustified_code=WAIVER_CODE,
+                         stale_code=UNUSED_WAIVER_CODE)
 
 
 def format_violations(violations: Sequence[LintViolation]) -> str:

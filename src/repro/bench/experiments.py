@@ -239,6 +239,8 @@ def fig9_multiprogrammed(n_mixes: Optional[int] = None, seed: int = 7) -> Experi
     (REPRO_BENCH_MIXES) because each mix costs three full simulations.
     """
     if n_mixes is None:
+        # simflow: ignore[FLW003] -- n_mixes only shapes how many requests
+        # are generated; every resolved request is fully described without it
         n_mixes = current_settings().n_mixes
     rng = make_rng(seed, "fig9")
     names = list(WORKLOAD_NAMES)

@@ -190,6 +190,8 @@ class CacheHierarchy:
         # set() on every access to an already-shared block.
         holders = self.sharers.get(block)
         if holders is None:
+            # simflow: ignore[FLW008] -- allocates only on the first-sharer
+            # transition of a block, not per access (see comment above)
             self.sharers[block] = {core}
         else:
             holders.add(core)
@@ -199,6 +201,8 @@ class CacheHierarchy:
         holders = self.sharers.get(block)
         if not holders:
             return 0.0
+        # simflow: ignore[FLW008] -- runs only when a write hits a *shared*
+        # block; bounded by the sharer count, not per access
         others = [c for c in holders if c != core]
         if not others:
             return 0.0
@@ -441,6 +445,8 @@ class CacheHierarchy:
             return time, False
         latency = self.l3_latency + self.crossbar.latency
         dirty = self.l3.is_dirty(block)
+        # simflow: ignore[FLW008] -- defensive copy: the loop below removes
+        # blocks from the private caches, which mutates the sharer set
         holders = list(self.sharers.get(block, ()))
         for holder in holders:
             if invalidate:

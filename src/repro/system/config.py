@@ -41,15 +41,12 @@ class SystemConfig:
     l1_size: int = 16 * 1024
     l1_ways: int = 8
     l1_latency: float = 4.0
-    l1_mshrs: int = 16
     l2_size: int = 64 * 1024
     l2_ways: int = 8
     l2_latency: float = 12.0
-    l2_mshrs: int = 16
     l3_size: int = 1024 * 1024
     l3_ways: int = 16
     l3_latency: float = 30.0
-    l3_mshrs: int = 64
     l3_banks: int = 8
     l3_bank_occupancy: float = 2.0
     cache_to_cache_penalty: float = 20.0

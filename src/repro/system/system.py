@@ -167,7 +167,7 @@ class System:
                 cores[tid].time = resume
                 heapq.heappush(heap, (resume, tid))
             parked_count -= len(waiting)
-            barrier_arrived[group] = []
+            waiting.clear()
 
         def finish_thread(tid: int) -> None:
             group = groups[tid]
@@ -327,7 +327,7 @@ class System:
                 cores[tid].time = resume
                 heapq.heappush(heap, (resume, tid))
             parked_count -= len(waiting)
-            barrier_arrived[group] = []
+            waiting.clear()
 
         def finish_thread(tid: int) -> None:
             group = groups[tid]

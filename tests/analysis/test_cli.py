@@ -1,0 +1,139 @@
+"""Exit-code contract of ``python -m repro.analysis``.
+
+The CI jobs and Makefile targets key off these codes: 0 = clean,
+1 = findings (or surviving mutants), 2 = bad arguments / unreadable
+inputs.  Tests drive :func:`repro.analysis.__main__.main` in-process —
+same code path as the console, without interpreter-spawn overhead.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+from .test_flow import write_tree
+
+CLEAN_MODULE = "def add(a, b):\n    return a + b\n"
+
+# SIM004 (simlint): a mutable default is shared across calls.
+LINT_DIRTY_MODULE = (
+    "def collect(items=[]):\n"
+    "    return items\n"
+)
+
+# FLW004 (simflow): ns + GHz has no physical meaning.
+FLOW_DIRTY_MODULE = (
+    "def mix(t_ns, freq_ghz):\n"
+    "    return t_ns + freq_ghz\n"
+)
+
+
+class TestLintExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write_tree(tmp_path, {"mod.py": CLEAN_MODULE})
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        write_tree(tmp_path, {"mod.py": LINT_DIRTY_MODULE})
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "SIM004" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+
+    def test_unknown_select_code_exits_two(self, tmp_path):
+        write_tree(tmp_path, {"mod.py": CLEAN_MODULE})
+        assert main(["lint", str(tmp_path), "--select", "SIM999"]) == 2
+
+    def test_list_rules_exits_zero(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        assert "SIM001" in capsys.readouterr().out
+
+    def test_bench_flag_prints_timing_line(self, tmp_path, capsys):
+        write_tree(tmp_path, {"mod.py": CLEAN_MODULE})
+        assert main(["lint", "--bench", str(tmp_path)]) == 0
+        assert "lint-bench:" in capsys.readouterr().out
+
+
+class TestFlowExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write_tree(tmp_path, {"mod.py": CLEAN_MODULE})
+        assert main(["flow", str(tmp_path), "--no-baseline"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        write_tree(tmp_path, {"mod.py": FLOW_DIRTY_MODULE})
+        assert main(["flow", str(tmp_path), "--no-baseline"]) == 1
+        assert "FLW004" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert main(["flow", str(tmp_path / "nope"), "--no-baseline"]) == 2
+
+    def test_unknown_select_code_exits_two(self, tmp_path):
+        write_tree(tmp_path, {"mod.py": CLEAN_MODULE})
+        assert main(["flow", str(tmp_path), "--no-baseline",
+                     "--select", "FLW123"]) == 2
+
+    def test_missing_baseline_file_exits_two(self, tmp_path):
+        write_tree(tmp_path, {"mod.py": CLEAN_MODULE})
+        assert main(["flow", str(tmp_path),
+                     "--baseline", str(tmp_path / "absent.json")]) == 2
+
+    def test_malformed_baseline_exits_two(self, tmp_path):
+        write_tree(tmp_path, {"mod.py": CLEAN_MODULE})
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"entries\": 7}", encoding="utf-8")
+        assert main(["flow", str(tmp_path), "--baseline", str(bad)]) == 2
+
+    def test_list_rules_exits_zero(self, capsys):
+        assert main(["flow", "--list-rules"]) == 0
+        assert "FLW001" in capsys.readouterr().out
+
+    def test_json_and_sarif_are_written(self, tmp_path):
+        write_tree(tmp_path, {"mod.py": FLOW_DIRTY_MODULE})
+        out_json = tmp_path / "report.json"
+        out_sarif = tmp_path / "report.sarif"
+        assert main(["flow", str(tmp_path), "--no-baseline",
+                     "--json", str(out_json),
+                     "--sarif", str(out_sarif)]) == 1
+        payload = json.loads(out_json.read_text(encoding="utf-8"))
+        assert [f["code"] for f in payload["findings"]] == ["FLW004"]
+        sarif = json.loads(out_sarif.read_text(encoding="utf-8"))
+        assert sarif["version"] == "2.1.0"
+        results = sarif["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["FLW004"]
+
+
+class TestBaselineRoundTripViaCli:
+    """--update-baseline then a rerun must accept the same tree as clean."""
+
+    def test_update_then_rerun_exits_zero(self, tmp_path, capsys):
+        write_tree(tmp_path, {"mod.py": FLOW_DIRTY_MODULE})
+        baseline = tmp_path / "baseline.json"
+        assert main(["flow", str(tmp_path), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main(["flow", str(tmp_path),
+                     "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_update_baseline_without_path_exits_two(self, tmp_path):
+        write_tree(tmp_path, {"mod.py": CLEAN_MODULE})
+        assert main(["flow", str(tmp_path), "--no-baseline",
+                     "--update-baseline"]) == 2
+
+
+class TestFlowMutantsExitCodes:
+    def test_missing_path_exits_two(self, tmp_path):
+        assert main(["flow-mutants", str(tmp_path / "nope")]) == 2
+
+    def test_drifted_anchor_exits_two(self, tmp_path):
+        # A tree without the mutants' anchor lines must refuse to run
+        # (a gauntlet that silently tests nothing would be worse than
+        # none), not report a vacuous pass.
+        write_tree(tmp_path, {"mod.py": CLEAN_MODULE})
+        assert main(["flow-mutants", str(tmp_path), "--no-baseline"]) == 2
