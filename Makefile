@@ -1,6 +1,6 @@
 # Convenience targets for the PEI reproduction.
 
-.PHONY: install test lint flow flow-mutants sanitize verify determinism telemetry bench bench-smoke perf-smoke experiments quick clean
+.PHONY: install test lint flow flow-mutants sanitize verify determinism telemetry bench bench-smoke perf-smoke dashboard experiments quick clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -58,12 +58,19 @@ bench:
 
 # Runner smoke check: cold run simulates and fills the disk cache, warm run
 # must be served entirely from it (asserted via the BENCH_*.json trajectory
-# records in bench-history/; see docs/benchmarks.md).
+# records in bench-history/; see docs/benchmarks.md).  Both runs record the
+# run ledger, which is then schema-checked (see docs/observability.md).
 bench-smoke:
 	rm -rf .bench_cache bench-history
-	PYTHONPATH=src python -m repro.bench run smoke --jobs 2
-	PYTHONPATH=src python -m repro.bench run smoke --jobs 2
+	PYTHONPATH=src python -m repro.bench run smoke --jobs 2 --events
+	PYTHONPATH=src python -m repro.bench run smoke --jobs 2 --events
 	PYTHONPATH=src python -m repro.bench history --assert-warm
+	PYTHONPATH=src python -m repro.analysis telemetry bench-history/EVENTS_*.jsonl
+
+# Render the sweep dashboard (stat tiles, timing bars, cache breakdown,
+# latency histogram, throughput sparkline) from bench-history/.
+dashboard:
+	PYTHONPATH=src python -m repro.obs dashboard bench-history
 
 # Engine-throughput gate: two runs each embed an engine microbenchmark
 # reading in their trajectory record; --compare fails on a >20% drop

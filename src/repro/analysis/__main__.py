@@ -22,9 +22,10 @@
 
 ``python -m repro.analysis telemetry <dirs-or-files...>``
     Validate telemetry artifacts (interval JSONL, Chrome trace, run
-    bundles) written by ``python -m repro.bench run <exp> --telemetry``
-    against the :mod:`~repro.analysis.telemetry` schema checks; exits
-    non-zero on schema problems (or if no artifacts are found).
+    bundles, and run-ledger event streams) written by ``python -m
+    repro.bench run <exp> --telemetry`` / ``--events`` against the
+    :mod:`~repro.analysis.telemetry` schema checks; exits non-zero on
+    schema problems (or if no artifacts are found).
 
 ``python -m repro.analysis flow [options] [paths...]``
     Run the :mod:`~repro.analysis.flow` whole-program dataflow passes
@@ -60,6 +61,7 @@ from repro.analysis.simsan import CHECKS, sanitize_tracer
 from repro.analysis.telemetry import (
     check_bundle_dir,
     check_chrome_trace,
+    check_events_jsonl,
     check_interval_jsonl,
     check_run_bundle,
     format_problems,
@@ -353,9 +355,14 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
             results[str(path)] = check_chrome_trace(path)
         elif path.name.endswith(".run.json"):
             results[str(path)] = check_run_bundle(path)
+        elif (path.name.endswith(".events.jsonl")
+              or (path.name.startswith("EVENTS_")
+                  and path.name.endswith(".jsonl"))):
+            results[str(path)] = check_events_jsonl(path)
         else:
             print(f"error: unrecognized telemetry artifact: {path} "
-                  f"(expected *.intervals.jsonl, *.trace.json or *.run.json)",
+                  f"(expected *.intervals.jsonl, *.trace.json, *.run.json, "
+                  f"EVENTS_*.jsonl or *.events.jsonl)",
                   file=sys.stderr)
             return 2
     print(format_problems(results))

@@ -2,10 +2,12 @@
 
 Validates the three files a :class:`~repro.obs.telemetry.Telemetry` bundle
 writes — the interval time-series JSONL, the Chrome Trace Event JSON, and
-the ``.run.json`` summary — so CI can assert that a telemetry-enabled
-benchmark produced well-formed, internally consistent artifacts (monotonic
-counters, ordered quantiles, loadable trace events) without depending on
-the simulator at all.
+the ``.run.json`` summary — plus the frontier run-ledger event stream
+(``EVENTS_*.jsonl`` / ``*.events.jsonl``, schema
+:data:`repro.obs.events.EVENT_SCHEMA`), so CI can assert that a
+telemetry-enabled benchmark produced well-formed, internally consistent
+artifacts (monotonic counters, ordered quantiles, loadable trace events,
+contiguous event sequencing) without depending on the simulator at all.
 
 Used by ``python -m repro.analysis telemetry <dir-or-files...>``.
 """
@@ -15,10 +17,16 @@ import math
 from pathlib import Path
 from typing import Dict, List, Optional
 
+# The schema table lives with the event producers so the checker can never
+# drift from them; repro.obs.events is stdlib-only, keeping this module's
+# no-simulator guarantee intact.
+from repro.obs.events import ENVELOPE_FIELDS, EVENT_FIELDS, EVENT_SCHEMA
+
 __all__ = [
     "check_interval_jsonl",
     "check_chrome_trace",
     "check_run_bundle",
+    "check_events_jsonl",
     "check_bundle_dir",
 ]
 
@@ -176,6 +184,82 @@ def check_run_bundle(path) -> List[str]:
     return problems
 
 
+def check_events_jsonl(path) -> List[str]:
+    """Problems found in a run-ledger event stream (empty = ok).
+
+    Checks line-level JSON validity (a torn line anywhere is a problem —
+    the lenient loader in :mod:`repro.obs.events` is for consumers, not for
+    CI), the ``ledger_start`` header and its schema version, contiguous
+    ``seq``, non-decreasing ``t``, known event kinds, the required fields
+    of :data:`~repro.obs.events.EVENT_FIELDS`, and finite non-negative
+    simulate durations.
+    """
+    path = Path(path)
+    problems: List[str] = []
+    events: List[Dict] = []
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        return [f"{path}: unreadable: {exc}"]
+    if not lines:
+        return [f"{path}: empty event stream (expected a ledger_start "
+                f"header)"]
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{path}:{lineno}: torn or invalid JSONL line: "
+                            f"{exc.msg}")
+            continue
+        if not isinstance(event, dict):
+            problems.append(f"{path}:{lineno}: event is not an object")
+            continue
+        events.append(event)
+        for key in ENVELOPE_FIELDS:
+            if key not in event:
+                problems.append(f"{path}:{lineno}: missing envelope field "
+                                f"{key!r}")
+        kind = event.get("kind")
+        if not isinstance(kind, str):
+            continue
+        if kind not in EVENT_FIELDS:
+            problems.append(f"{path}:{lineno}: unknown event kind {kind!r} "
+                            f"(schema {EVENT_SCHEMA})")
+            continue
+        for field in EVENT_FIELDS[kind]:
+            if field not in event:
+                problems.append(f"{path}:{lineno}: {kind} event missing "
+                                f"required field {field!r}")
+        if kind == "simulate_end":
+            dur = event.get("dur_s")
+            if dur is not None and (not _is_number(dur) or dur < 0):
+                problems.append(f"{path}:{lineno}: simulate_end dur_s must "
+                                f"be a finite number >= 0, got {dur!r}")
+    if not events:
+        return problems or [f"{path}: no events decoded"]
+    head = events[0]
+    if head.get("kind") != "ledger_start":
+        problems.append(f"{path}: first record is {head.get('kind')!r} "
+                        f"(expected the ledger_start header)")
+    elif head.get("schema") != EVENT_SCHEMA:
+        problems.append(f"{path}: unknown ledger schema "
+                        f"{head.get('schema')!r} (this checker knows "
+                        f"{EVENT_SCHEMA})")
+    for i, event in enumerate(events):
+        if event.get("seq") != i:
+            problems.append(f"{path}: record {i} has seq {event.get('seq')} "
+                            f"(expected contiguous from 0)")
+            break
+    times = [e.get("t") for e in events]
+    if any(not _is_number(t) for t in times):
+        problems.append(f"{path}: non-numeric event time")
+    elif any(b < a for a, b in zip(times, times[1:])):
+        problems.append(f"{path}: event times are not non-decreasing")
+    return problems
+
+
 def check_bundle_dir(directory) -> Dict[str, List[str]]:
     """Validate every telemetry artifact under ``directory``.
 
@@ -189,17 +273,21 @@ def check_bundle_dir(directory) -> Dict[str, List[str]]:
         "*.intervals.jsonl": check_interval_jsonl,
         "*.trace.json": check_chrome_trace,
         "*.run.json": check_run_bundle,
+        "EVENTS_*.jsonl": check_events_jsonl,
+        "*.events.jsonl": check_events_jsonl,
     }
     results: Dict[str, List[str]] = {}
     found = 0
     for pattern, check in checks.items():
         for file in sorted(directory.glob(pattern)):
+            if str(file) in results:
+                continue   # a file can match both event patterns
             found += 1
             results[str(file)] = check(file)
     if not found:
         raise FileNotFoundError(
             f"no telemetry artifacts (*.intervals.jsonl / *.trace.json / "
-            f"*.run.json) under {directory}")
+            f"*.run.json / *events*.jsonl) under {directory}")
     return results
 
 

@@ -13,6 +13,10 @@ Results are printed and, with ``--out DIR``, persisted one text file per
 experiment.  ``--telemetry [DIR]`` additionally writes a full observability
 bundle (interval time-series JSONL, Chrome trace JSON, run summary) per
 simulated run; inspect with ``python -m repro.obs report <stem>.run.json``.
+``--events [FILE]`` records the frontier run ledger (one JSONL event per
+request lifecycle edge; see :mod:`repro.obs.events`) and ``--progress``
+renders a live progress line from the same stream; render either into an
+HTML report with ``python -m repro.obs dashboard <history-dir>``.
 
 Every ``run`` fans independent simulation points across ``--jobs`` worker
 processes, serves repeats from a content-addressed disk cache (default
@@ -39,6 +43,7 @@ from repro.bench.cache import DEFAULT_CACHE_DIR
 from repro.bench.history import (
     BenchTrajectory,
     compare_engine,
+    format_observability,
     latest_record,
     load_records,
     settings_dict,
@@ -63,6 +68,66 @@ EXPERIMENTS = {
 NOT_IN_ALL = ("smoke",)
 
 DEFAULT_HISTORY_DIR = "bench-history"
+
+
+class ProgressRenderer:
+    """Live one-line progress view over the run-ledger event stream.
+
+    Attach :meth:`tick` as the ledger listener: planning events grow the
+    denominator, cache hits and ``simulate_end`` events grow the numerator,
+    and in-flight simulations (``simulate_start`` without a matching end)
+    show as "simulating".  The ETA extrapolates the mean simulate duration
+    over the remaining requests, divided by the worker count.  Writes a
+    ``\\r``-rewritten line per event; call :meth:`close` to finish the line.
+    """
+
+    def __init__(self, jobs: int = 1, stream=None):
+        self.jobs = max(1, jobs)
+        self.stream = stream if stream is not None else sys.stdout
+        self.planned = 0
+        self.cached = 0
+        self.simulated = 0
+        self.running = 0
+        self.sim_seconds = 0.0
+        self._width = 0
+
+    def tick(self, event) -> None:
+        kind = event.get("kind")
+        if kind == "request_planned":
+            self.planned += 1
+        elif kind in ("memo_hit", "disk_hit"):
+            self.cached += 1
+        elif kind == "simulate_start":
+            self.running += 1
+        elif kind == "simulate_end":
+            self.running = max(0, self.running - 1)
+            self.simulated += 1
+            self.sim_seconds += float(event.get("dur_s", 0.0))
+        else:
+            return
+        self._render()
+
+    def _render(self) -> None:
+        done = self.cached + self.simulated
+        total = max(self.planned, done)
+        line = (f"[bench] {done}/{total} done "
+                f"({self.cached} cached, {self.simulated} simulated, "
+                f"{self.running} simulating)")
+        remaining = total - done
+        if remaining > 0 and self.simulated:
+            eta = (remaining * (self.sim_seconds / self.simulated)
+                   / self.jobs)
+            line += f" eta {eta:.0f}s"
+        pad = max(self._width - len(line), 0)
+        self._width = len(line)
+        self.stream.write("\r" + line + " " * pad)
+        self.stream.flush()
+
+    def close(self) -> None:
+        if self._width:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._width = 0
 
 
 def _add_run_parser(sub) -> None:
@@ -93,6 +158,14 @@ def _add_run_parser(sub) -> None:
                      help="write per-run telemetry bundles (interval JSONL, "
                      "Chrome trace, run summary) into DIR "
                      "(default: ./telemetry)")
+    run.add_argument("--events", nargs="?", const="auto", default=None,
+                     metavar="FILE",
+                     help="record the run ledger (one JSONL event per "
+                     "request lifecycle edge) to FILE (default: "
+                     "<history-dir>/EVENTS_<runid>.jsonl)")
+    run.add_argument("--progress", action="store_true",
+                     help="live progress line driven by the run ledger "
+                     "(done/cached/simulating counts and an ETA)")
 
 
 def _add_history_parser(sub) -> None:
@@ -125,6 +198,11 @@ def _cmd_run(args) -> int:
     if args.telemetry is not None:
         telemetry_dir = runner.enable_telemetry(pathlib.Path(args.telemetry))
         print(f"telemetry bundles -> {telemetry_dir}")
+    progress = ProgressRenderer(jobs=args.jobs) if args.progress else None
+    ledger = None
+    if args.progress or args.events is not None:
+        ledger = runner.enable_run_ledger(
+            listener=progress.tick if progress is not None else None)
 
     if args.experiment == "all":
         names = [n for n in sorted(EXPERIMENTS) if n not in NOT_IN_ALL]
@@ -141,6 +219,8 @@ def _cmd_run(args) -> int:
         elapsed = time.perf_counter() - t0  # simlint: ignore[SIM001] -- harness wall-clock for the trajectory record; never feeds simulated time
         entry = trajectory.record(name, elapsed,
                                   before, runner.accounting().snapshot())
+        if progress is not None:
+            progress.close()
         print(report)
         print(f"[{name}: {entry['wall_seconds']:.2f}s wall, "
               f"{entry['simulations']:.0f} simulated, "
@@ -153,6 +233,15 @@ def _cmd_run(args) -> int:
     if cache is not None:
         trajectory.cache_info.update(cache.counters())
     trajectory.cache_info["traces"] = runner.trace_store().counters()
+    trajectory.observability = runner.frontier_summary()
+    if ledger is not None:
+        trajectory.observability["events"] = ledger.counts()
+        if args.events is not None:
+            events_path = (
+                args.history_dir / f"EVENTS_{trajectory.runid}.jsonl"
+                if args.events == "auto" else pathlib.Path(args.events))
+            ledger.write_jsonl(events_path)
+            print(f"run ledger -> {events_path} ({len(ledger)} events)")
     if not args.no_microbench:
         from repro.bench.microbench import engine_ops_per_second
         trajectory.engine = engine_ops_per_second()
@@ -188,6 +277,8 @@ def _cmd_history(args) -> int:
     if args.compare:
         ok, message = compare_engine(records)
         print(message)
+        for line in format_observability(records[-1][1]):
+            print(line)
         if not ok:
             return 1
     if args.assert_warm:

@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Dict, Optional
 
 import repro
+from repro.obs.events import NULL_LEDGER
 from repro.system.result import RunResult
 
 __all__ = ["BenchCache", "DEFAULT_CACHE_DIR", "atomic_write_json",
@@ -93,6 +94,10 @@ class BenchCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Run-ledger sink; the runner swaps in a live RunLedger so every
+        #: get/put emits its lifecycle event (disk_hit / cache_miss /
+        #: result_persisted).  NULL_LEDGER keeps the default path free.
+        self.ledger = NULL_LEDGER
 
     # ------------------------------------------------------------------
 
@@ -115,8 +120,14 @@ class BenchCache:
             # Absent, unreadable, or torn by an interrupted writer from a
             # pre-atomic-rename generation: treat all three as a miss.
             self.misses += 1
+            if self.ledger.enabled:
+                self.ledger.emit("cache_miss",
+                                 fingerprint=request.event_fingerprint())
             return None
         self.hits += 1
+        if self.ledger.enabled:
+            self.ledger.emit("disk_hit",
+                             fingerprint=request.event_fingerprint())
         return RunResult.from_dict(payload["result"])
 
     def put(self, request, result: RunResult) -> Path:
@@ -130,6 +141,10 @@ class BenchCache:
         }
         path = atomic_write_json(self.path_for(key), payload)
         self.stores += 1
+        if self.ledger.enabled:
+            self.ledger.emit("result_persisted",
+                             fingerprint=request.event_fingerprint(),
+                             path=path.name)
         return path
 
     # ------------------------------------------------------------------

@@ -25,12 +25,15 @@ caching over these primitives.
 
 import hashlib
 import json
-from concurrent.futures import ProcessPoolExecutor
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.dispatch import DispatchPolicy
+from repro.obs.events import worker_event
 from repro.obs.telemetry import Telemetry, bundle_stem
 from repro.system.config import SystemConfig, scaled_config
 from repro.system.result import RunResult
@@ -43,9 +46,14 @@ __all__ = [
     "RunRequest",
     "WorkloadSpec",
     "build_workload",
+    "execute_batch",
     "run_batch",
     "simulate",
 ]
+
+#: Length of the unsalted request-fingerprint prefix events carry —
+#: enough to join every lifecycle edge of one request across the stream.
+EVENT_FINGERPRINT_LEN = 12
 
 
 @dataclass(frozen=True)
@@ -172,6 +180,14 @@ class RunRequest:
         names = "+".join(f"{s.name}-{s.size[0]}" for s in self.workloads)
         return f"{names}/{self.policy.value}"
 
+    def event_fingerprint(self) -> str:
+        """The unsalted fingerprint prefix run-ledger events carry.
+
+        Deliberately salt-free (unlike cache keys) so the same request is
+        joinable across streams produced by different code versions.
+        """
+        return self.fingerprint()[:EVENT_FINGERPRINT_LEN]
+
 
 # ----------------------------------------------------------------------
 # Execution primitives
@@ -220,22 +236,104 @@ def _bundle_stem(request: RunRequest, workload_name: str,
 
 
 def _execute_payload(payload) -> Dict:
-    """Process-pool worker: simulate one request, return the result dict.
+    """Process-pool worker: simulate one request, return its envelope.
 
     Top-level (picklable) and fed everything through the payload, so it is
-    correct under both the fork and spawn start methods.  Returns
-    ``RunResult.to_dict()`` — plain data the parent re-hydrates — rather
-    than the live object graph.
+    correct under both the fork and spawn start methods.  Returns plain
+    data the parent re-hydrates — never the live object graph::
+
+        {"result":    RunResult.to_dict(),
+         "events":    [bare run-ledger events: dispatch, start, end],
+         "worker":    {"pid": ..., "dur_s": ...},
+         "telemetry": {"metrics": ..., "profile": ...} | None}
+
+    The events and the telemetry snapshot (when telemetry is enabled) ship
+    back with the result, so the parent can merge the run ledger
+    order-preserving and aggregate cross-worker metrics — see
+    :mod:`repro.obs.events` and :mod:`repro.obs.aggregate`.
     """
     request, telemetry_dir, telemetry_interval, unique_stem, trace = payload
     telemetry = (Telemetry(interval=telemetry_interval)
                  if telemetry_dir is not None else None)
+    pid = os.getpid()
+    fp = request.event_fingerprint()
+    events = [
+        worker_event("worker_dispatch", fingerprint=fp,
+                     label=request.label(), worker=pid),
+        worker_event("simulate_start", fingerprint=fp, worker=pid),
+    ]
+    t0 = time.perf_counter()  # simlint: ignore[SIM001] -- harness wall time for ledger events; never feeds simulated time
     result = simulate(request, telemetry=telemetry, trace=trace)
+    dur = time.perf_counter() - t0  # simlint: ignore[SIM001] -- harness wall time for ledger events; never feeds simulated time
+    events.append(worker_event(
+        "simulate_end", fingerprint=fp, worker=pid, dur_s=dur,
+        cycles=float(result.cycles), instructions=int(result.instructions)))
+    snapshot = None
     if telemetry is not None:
         telemetry.write(Path(telemetry_dir),
                         _bundle_stem(request, result.workload, unique_stem),
                         result=result)
-    return result.to_dict()
+        snapshot = {"metrics": telemetry.obs.metrics.to_dict(),
+                    "profile": telemetry.obs.profiler.to_dict()}
+    return {
+        "result": result.to_dict(),
+        "events": events,
+        "worker": {"pid": pid, "dur_s": dur},
+        "telemetry": snapshot,
+    }
+
+
+def execute_batch(
+    requests: Sequence[RunRequest],
+    jobs: int = 1,
+    telemetry_dir: Optional[Path] = None,
+    telemetry_interval: float = 10_000.0,
+    traces: Optional[Sequence] = None,
+    on_payload: Optional[Callable[[int, Dict], None]] = None,
+) -> List[Dict]:
+    """Execute resolved requests, returning worker envelopes request-order.
+
+    The engine room of :func:`run_batch` — same execution semantics, but
+    the full worker envelopes (result + run-ledger events + telemetry
+    snapshot, see :func:`_execute_payload`) come back instead of bare
+    results.  ``on_payload(index, envelope)`` fires as each point
+    *completes* — out of request order under ``jobs > 1`` — which is what
+    drives live progress; the returned list is always in request order.
+    """
+    for request in requests:
+        if not request.resolved:
+            raise ValueError(f"cannot execute unresolved request {request!r}")
+    if traces is None:
+        traces = [None] * len(requests)
+    elif len(traces) != len(requests):
+        raise ValueError(f"got {len(traces)} traces for {len(requests)} "
+                         f"requests — the sequences must align")
+    parallel = jobs > 1 and len(requests) > 1
+    tdir = str(telemetry_dir) if telemetry_dir is not None else None
+    payloads = [(request, tdir, telemetry_interval, parallel, trace)
+                for request, trace in zip(requests, traces)]
+    if not parallel:
+        envelopes = []
+        for i, payload in enumerate(payloads):
+            envelope = _execute_payload(payload)
+            if on_payload is not None:
+                on_payload(i, envelope)
+            envelopes.append(envelope)
+        return envelopes
+    workers = min(jobs, len(requests))
+    envelopes = [None] * len(payloads)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending = {pool.submit(_execute_payload, payload): i
+                   for i, payload in enumerate(payloads)}
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                i = pending.pop(future)
+                envelope = future.result()
+                if on_payload is not None:
+                    on_payload(i, envelope)
+                envelopes[i] = envelope
+    return envelopes
 
 
 def run_batch(
@@ -259,22 +357,11 @@ def run_batch(
     pre-captured CompiledTraces: those points replay instead of re-running
     the functional workload.  Traces ship to parallel workers through the
     payload, so a figure's whole sweep pays one capture in the parent.
+
+    Callers that also want the per-request run-ledger events and worker
+    telemetry snapshots use :func:`execute_batch` instead.
     """
-    for request in requests:
-        if not request.resolved:
-            raise ValueError(f"cannot execute unresolved request {request!r}")
-    if traces is None:
-        traces = [None] * len(requests)
-    elif len(traces) != len(requests):
-        raise ValueError(f"got {len(traces)} traces for {len(requests)} "
-                         f"requests — the sequences must align")
-    parallel = jobs > 1 and len(requests) > 1
-    tdir = str(telemetry_dir) if telemetry_dir is not None else None
-    payloads = [(request, tdir, telemetry_interval, parallel, trace)
-                for request, trace in zip(requests, traces)]
-    if not parallel:
-        return [RunResult.from_dict(_execute_payload(p)) for p in payloads]
-    workers = min(jobs, len(requests))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        dicts = list(pool.map(_execute_payload, payloads))
-    return [RunResult.from_dict(d) for d in dicts]
+    envelopes = execute_batch(
+        requests, jobs=jobs, telemetry_dir=telemetry_dir,
+        telemetry_interval=telemetry_interval, traces=traces)
+    return [RunResult.from_dict(e["result"]) for e in envelopes]

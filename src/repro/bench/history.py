@@ -33,8 +33,8 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["BenchTrajectory", "compare_engine", "latest_record",
-           "load_records", "new_runid"]
+__all__ = ["BenchTrajectory", "compare_engine", "format_observability",
+           "latest_record", "load_records", "new_runid"]
 
 SCHEMA = "repro.bench.trajectory/1"
 
@@ -75,6 +75,10 @@ class BenchTrajectory:
         #: Engine microbenchmark measurement for this invocation
         #: (:func:`repro.bench.microbench.engine_ops_per_second` output).
         self.engine: Dict = {}
+        #: Frontier observability summary for this invocation
+        #: (:func:`repro.bench.runner.frontier_summary` output, plus the
+        #: run-ledger event counts when a ledger was enabled).
+        self.observability: Dict = {}
 
     def record(self, name: str, wall_seconds: float,
                before: Dict[str, float], after: Dict[str, float]) -> Dict:
@@ -98,6 +102,7 @@ class BenchTrajectory:
             "cache": self.cache_info,
             "settings": self.settings,
             "engine": self.engine,
+            "observability": self.observability,
             "experiments": self.experiments,
             "totals": _with_throughput(totals),
         }
@@ -159,6 +164,49 @@ def compare_engine(records: List[Tuple[Path, Dict]],
     if drop > threshold:
         return False, f"ENGINE REGRESSION: {detail}"
     return True, f"engine-compare OK: {detail}"
+
+
+def format_observability(record: Dict) -> List[str]:
+    """Human-readable lines for a record's frontier-observability block.
+
+    Empty list when the record predates the block (schema stays /1 — the
+    block is additive) or was written with observability fully disabled.
+    """
+    obs = record.get("observability") or {}
+    if not obs:
+        return []
+    lines: List[str] = []
+    cache = obs.get("cache")
+    if cache:
+        lines.append(
+            f"  cache: {cache['hit_rate']:.0%} hit rate "
+            f"({cache['memo_hits']} memo + {cache['disk_hits']} disk, "
+            f"{cache['simulations']} simulated)")
+    traces = obs.get("traces")
+    if traces:
+        lines.append(f"  traces: {traces['captures']} captured, "
+                     f"{traces['hits']} replayed "
+                     f"({traces['hit_rate']:.0%} hit rate)")
+    latency = obs.get("simulate_latency_s")
+    if latency and latency.get("count"):
+        lines.append(
+            f"  simulate latency: p50 {latency['p50']:.3f}s "
+            f"p95 {latency['p95']:.3f}s max {latency['max']:.3f}s "
+            f"({latency['count']} runs)")
+    if obs.get("sim_ops_per_second"):
+        lines.append(f"  simulated ops/s: {obs['sim_ops_per_second']:,.0f}")
+    workers = obs.get("workers") or {}
+    if workers:
+        parts = [f"pid {pid}: {w['payloads']} runs, "
+                 f"{w.get('utilization', 0.0):.0%} busy"
+                 for pid, w in sorted(workers.items())]
+        lines.append("  workers: " + "; ".join(parts))
+    events = obs.get("events")
+    if events:
+        total = sum(events.values())
+        lines.append(f"  ledger: {total} events "
+                     f"({len(events)} kinds)")
+    return lines
 
 
 def settings_dict(settings) -> Dict:

@@ -44,6 +44,8 @@ from repro.bench.cache import DEFAULT_CACHE_DIR, BenchCache
 from repro.bench.frontier import RunRequest
 from repro.bench.traces import TraceStore
 from repro.core.dispatch import DispatchPolicy
+from repro.obs.aggregate import FrontierAggregator
+from repro.obs.events import NULL_LEDGER, RunLedger
 from repro.obs.telemetry import Telemetry, bundle_stem
 from repro.system.config import SystemConfig, scaled_config
 from repro.system.result import RunResult
@@ -108,6 +110,16 @@ _TRACE_STORE = TraceStore()
 _TELEMETRY_DIR: Optional[Path] = None
 _TELEMETRY_INTERVAL = 10_000.0
 
+#: Run ledger (see :mod:`repro.obs.events`).  NULL_LEDGER by default, so
+#: nothing in the request lifecycle pays for event emission until
+#: :func:`enable_run_ledger` swaps in a live stream.
+_LEDGER = NULL_LEDGER
+
+#: Cross-worker telemetry aggregator: always on (it works at batch
+#: granularity, a few dict updates per simulation) so every
+#: ``BENCH_<runid>.json`` carries a frontier summary.
+_AGGREGATOR = FrontierAggregator()
+
 
 @dataclass
 class RunnerAccounting:
@@ -152,8 +164,58 @@ def accounting() -> RunnerAccounting:
 
 
 def reset_accounting() -> None:
-    global _ACCOUNTING
+    """Fresh counters *and* a fresh frontier aggregator (they pair up:
+    :func:`frontier_summary` derives its rates from both)."""
+    global _ACCOUNTING, _AGGREGATOR
     _ACCOUNTING = RunnerAccounting()
+    _AGGREGATOR = FrontierAggregator()
+
+
+def frontier_aggregator() -> FrontierAggregator:
+    """The live cross-worker telemetry aggregator."""
+    return _AGGREGATOR
+
+
+def frontier_summary() -> Dict:
+    """Frontier-level observability digest for this runner session.
+
+    Cache/trace hit rates and simulated ops/s come from the accounting
+    counters; simulate-latency quantiles, per-worker utilization, and any
+    merged worker telemetry come from the aggregator.  Embedded in every
+    ``BENCH_<runid>.json`` trajectory record.
+    """
+    return _AGGREGATOR.summary(accounting=_ACCOUNTING.snapshot())
+
+
+def enable_run_ledger(listener=None) -> RunLedger:
+    """Start a live run ledger; every cache/trace/simulate edge now emits.
+
+    The ledger is wired into the disk cache and trace store currently in
+    effect (and into any enabled later — ``enable_disk_cache`` and
+    ``enable_trace_cache`` attach the active ledger to the stores they
+    create).  ``listener`` receives each event as it lands — live events
+    during parallel batches arrive in completion order; the ledger itself
+    is always merged in request order.
+    """
+    global _LEDGER
+    _LEDGER = RunLedger(listener=listener)
+    if _DISK_CACHE is not None:
+        _DISK_CACHE.ledger = _LEDGER
+    _TRACE_STORE.ledger = _LEDGER
+    return _LEDGER
+
+
+def disable_run_ledger() -> None:
+    global _LEDGER
+    _LEDGER = NULL_LEDGER
+    if _DISK_CACHE is not None:
+        _DISK_CACHE.ledger = NULL_LEDGER
+    _TRACE_STORE.ledger = NULL_LEDGER
+
+
+def run_ledger():
+    """The active ledger (NULL_LEDGER when disabled)."""
+    return _LEDGER
 
 
 def set_jobs(jobs: int) -> int:
@@ -174,6 +236,7 @@ def enable_disk_cache(root=DEFAULT_CACHE_DIR,
     """Persist every result to (and serve hits from) ``root``."""
     global _DISK_CACHE
     _DISK_CACHE = BenchCache(root, salt=salt)
+    _DISK_CACHE.ledger = _LEDGER
     return _DISK_CACHE
 
 
@@ -195,6 +258,7 @@ def enable_trace_cache(root, salt: Optional[str] = None) -> TraceStore:
     """
     global _TRACE_STORE
     _TRACE_STORE = TraceStore(root, salt=salt)
+    _TRACE_STORE.ledger = _LEDGER
     return _TRACE_STORE
 
 
@@ -202,6 +266,7 @@ def disable_trace_cache() -> TraceStore:
     """Drop the disk generation; capture-once memoization stays on."""
     global _TRACE_STORE
     _TRACE_STORE = TraceStore()
+    _TRACE_STORE.ledger = _LEDGER
     return _TRACE_STORE
 
 
@@ -241,6 +306,11 @@ def _execute(requests: Sequence[RunRequest]) -> List[RunResult]:
     and the batch replays the traces — parallel workers receive them
     through the payload, so a sweep's functional runs happen exactly once,
     in the parent.
+
+    Observability: worker envelopes feed the frontier aggregator, and with
+    a live ledger their events stream to the listener as points complete
+    (live progress) and are then merged into the ledger in *request* order
+    — the deterministic stream, exactly like results.
     """
     store = _TRACE_STORE
     captures0 = store.captures
@@ -248,15 +318,31 @@ def _execute(requests: Sequence[RunRequest]) -> List[RunResult]:
     traces = [store.get_or_capture(request) for request in requests]
     _ACCOUNTING.trace_captures += store.captures - captures0
     _ACCOUNTING.trace_hits += store.memo_hits + store.disk_hits - hits0
+    ledger = _LEDGER
+    on_payload = None
+    if ledger.enabled and ledger.listener is not None:
+        def on_payload(index, envelope, _listener=ledger.listener):
+            for event in envelope["events"]:
+                _listener(event)
     t0 = time.perf_counter()  # simlint: ignore[SIM001] -- harness throughput accounting; never feeds simulated time
-    results = frontier.run_batch(
-        requests,
-        jobs=_JOBS,
-        telemetry_dir=_TELEMETRY_DIR,
-        telemetry_interval=_TELEMETRY_INTERVAL,
-        traces=traces,
-    )
+    try:
+        envelopes = frontier.execute_batch(
+            requests,
+            jobs=_JOBS,
+            telemetry_dir=_TELEMETRY_DIR,
+            telemetry_interval=_TELEMETRY_INTERVAL,
+            traces=traces,
+            on_payload=on_payload,
+        )
+    except Exception as exc:
+        ledger.emit("failure", fingerprint="batch", error=repr(exc))
+        raise
     elapsed = time.perf_counter() - t0  # simlint: ignore[SIM001] -- harness throughput accounting; never feeds simulated time
+    results = [RunResult.from_dict(e["result"]) for e in envelopes]
+    _AGGREGATOR.add_batch(elapsed)
+    for envelope in envelopes:
+        _AGGREGATOR.add_payload(envelope)
+        ledger.absorb(envelope["events"], notify=on_payload is None)
     _ACCOUNTING.simulations += len(requests)
     _ACCOUNTING.sim_wall_seconds += elapsed
     for request, result in zip(requests, results):
@@ -273,7 +359,12 @@ def run_request(request: RunRequest) -> RunResult:
     hit = _MEMO.get(request)
     if hit is not None:
         _ACCOUNTING.memo_hits += 1
+        if _LEDGER.enabled:
+            _LEDGER.emit("memo_hit", fingerprint=request.event_fingerprint())
         return hit
+    if _LEDGER.enabled:
+        _LEDGER.emit("request_planned", fingerprint=request.event_fingerprint(),
+                     label=request.label())
     if _DISK_CACHE is not None:
         cached = _DISK_CACHE.get(request)
         if cached is not None:
@@ -301,9 +392,19 @@ def prefetch(requests: Iterable[RunRequest]) -> int:
             continue
         seen.add(request)
         resolved.append(request)
+    if _LEDGER.enabled:
+        for request in resolved:
+            _LEDGER.emit("request_planned",
+                         fingerprint=request.event_fingerprint(),
+                         label=request.label())
     misses: List[RunRequest] = []
     for request in resolved:
         if request in _MEMO:
+            # Not counted in accounting (prefetch never *serves* results;
+            # the figure-body run_request calls do) but still a ledger edge.
+            if _LEDGER.enabled:
+                _LEDGER.emit("memo_hit",
+                             fingerprint=request.event_fingerprint())
             continue
         if _DISK_CACHE is not None:
             cached = _DISK_CACHE.get(request)

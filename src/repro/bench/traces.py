@@ -31,6 +31,7 @@ from typing import Dict, Optional
 
 from repro.bench.cache import atomic_write_json, code_version_salt
 from repro.cpu.trace import CompiledTrace, TraceError, capture_trace, trace_fingerprint
+from repro.obs.events import NULL_LEDGER
 
 __all__ = ["TraceStore", "trace_request_key"]
 
@@ -65,6 +66,9 @@ class TraceStore:
         self.memo_hits = 0
         self.disk_hits = 0
         self.failures = 0
+        #: Run-ledger sink (swapped in by the runner): every capture, hit,
+        #: and uncompilable workload emits its lifecycle event.
+        self.ledger = NULL_LEDGER
 
     # ------------------------------------------------------------------
 
@@ -89,12 +93,18 @@ class TraceStore:
         key = self.key(request)
         if key in self._memo:
             self.memo_hits += 1
+            if self.ledger.enabled and self._memo[key] is not None:
+                self.ledger.emit("trace_hit", source="memo",
+                                 fingerprint=request.event_fingerprint())
             return self._memo[key]
         if self.root is not None:
             trace = self._load(self.path_for(key))
             if trace is not None:
                 self.disk_hits += 1
                 self._memo[key] = trace
+                if self.ledger.enabled:
+                    self.ledger.emit("trace_hit", source="disk",
+                                     fingerprint=request.event_fingerprint())
                 return trace
         # Deferred import: frontier imports nothing from here, and the
         # build helper lives next to the request type it interprets.
@@ -111,11 +121,17 @@ class TraceStore:
         except TraceError:
             self.failures += 1
             self._memo[key] = None
+            if self.ledger.enabled:
+                self.ledger.emit("trace_uncompilable",
+                                 fingerprint=request.event_fingerprint())
             return None
         self.captures += 1
         self._memo[key] = trace
         if self.root is not None:
             atomic_write_json(self.path_for(key), trace.to_payload())
+        if self.ledger.enabled:
+            self.ledger.emit("trace_capture",
+                             fingerprint=request.event_fingerprint())
         return trace
 
     @staticmethod

@@ -14,17 +14,44 @@ Gives every simulated run a full observability stack:
 * :class:`~repro.obs.telemetry.Telemetry` — the facade wiring all of the
   above into a :class:`~repro.system.system.System`.
 
-All hooks default to the :data:`~repro.obs.hooks.NULL_OBS` null object, so
-a run without telemetry pays no observable overhead and produces identical
-results.  See ``docs/observability.md`` and ``python -m repro.obs report``.
+Above the per-run stack sits the frontier layer:
+
+* :class:`~repro.obs.events.RunLedger` — a schema-versioned JSONL run
+  ledger, one event per lifecycle edge of every benchmark request;
+* :class:`~repro.obs.aggregate.FrontierAggregator` — cross-worker metric
+  and span aggregation into a frontier summary (cache hit rates, simulate
+  latency percentiles, per-worker utilization);
+* :func:`~repro.obs.trace_export.merge_chrome_traces` /
+  :func:`~repro.obs.trace_export.ledger_to_trace` — stitched multi-worker
+  Perfetto traces;
+* :mod:`~repro.obs.dashboard` — a self-contained HTML sweep dashboard.
+
+All hooks default to the :data:`~repro.obs.hooks.NULL_OBS` null object (and
+the ledger to :data:`~repro.obs.events.NULL_LEDGER`), so a run without
+telemetry pays no observable overhead and produces identical results.  See
+``docs/observability.md`` and ``python -m repro.obs report``.
 """
 
+from repro.obs.aggregate import FrontierAggregator, registry_from_dict
+from repro.obs.events import (
+    EVENT_FIELDS,
+    EVENT_SCHEMA,
+    NULL_LEDGER,
+    NullLedger,
+    RunLedger,
+    read_events,
+    worker_event,
+)
 from repro.obs.hooks import NULL_OBS, NullObs, Obs
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
 from repro.obs.profiler import ScopeProfiler
 from repro.obs.sampler import IntervalSampler
 from repro.obs.telemetry import Telemetry
-from repro.obs.trace_export import ChromeTraceExporter
+from repro.obs.trace_export import (
+    ChromeTraceExporter,
+    ledger_to_trace,
+    merge_chrome_traces,
+)
 
 __all__ = [
     "NULL_OBS",
@@ -38,4 +65,15 @@ __all__ = [
     "IntervalSampler",
     "Telemetry",
     "ChromeTraceExporter",
+    "EVENT_FIELDS",
+    "EVENT_SCHEMA",
+    "NULL_LEDGER",
+    "NullLedger",
+    "RunLedger",
+    "read_events",
+    "worker_event",
+    "FrontierAggregator",
+    "registry_from_dict",
+    "ledger_to_trace",
+    "merge_chrome_traces",
 ]

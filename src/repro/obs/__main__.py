@@ -1,15 +1,25 @@
-"""Command-line report over a telemetry bundle.
+"""Command-line reports over telemetry bundles and sweep directories.
 
 Usage::
 
     python -m repro.obs report out/pagerank_locality.run.json
     python -m repro.obs report out/pagerank_locality.run.json --json
+    python -m repro.obs dashboard bench-history
+    python -m repro.obs merge-trace telemetry-out -o merged.trace.json
 
 ``report`` reads a ``<stem>.run.json`` bundle written by
 :meth:`repro.obs.telemetry.Telemetry.write` (or a bare ``RunResult`` JSON
 file) and prints the run's headline metrics, the latency/queue histograms
 with p50/p95/p99, the simulator's own span profile, and pointers to the
-interval time series and Chrome trace files.
+interval time series and Chrome trace files.  Missing, torn, or non-JSON
+bundles exit with status 2 and a one-line diagnosis.
+
+``dashboard`` renders a directory of ``BENCH_*.json`` records,
+``EVENTS_*.jsonl`` run ledgers, and ``*.run.json`` bundles into one
+self-contained HTML file (see :mod:`repro.obs.dashboard`).  ``merge-trace``
+stitches every ``*.trace.json`` in a directory into a single Perfetto
+trace with one pid namespace per source file, appending a wall-clock
+frontier track when a run ledger is present.
 """
 
 import argparse
@@ -87,6 +97,8 @@ def _profile_rows(profile: Dict) -> List[List[str]]:
 
 def _load_bundle(path: Path) -> Dict:
     payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict):
+        raise json.JSONDecodeError("bundle is not a JSON object", "", 0)
     if "telemetry" in payload or "result" in payload:
         return payload
     # A bare RunResult JSON: wrap it so the report degrades gracefully.
@@ -98,7 +110,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if not path.exists():
         print(f"error: no such file: {path}", file=sys.stderr)
         return 2
-    bundle = _load_bundle(path)
+    try:
+        bundle = _load_bundle(path)
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not a valid telemetry bundle "
+              f"(truncated or non-JSON: {exc.msg}, "
+              f"line {exc.lineno})", file=sys.stderr)
+        return 2
     if args.json:
         json.dump(bundle, sys.stdout, indent=2, sort_keys=True)
         print()
@@ -148,6 +169,59 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import write_dashboard
+
+    target = Path(args.target)
+    if not target.exists():
+        print(f"error: no such file or directory: {target}", file=sys.stderr)
+        return 2
+    out = write_dashboard(target, out=args.out)
+    print(f"dashboard -> {out}")
+    return 0
+
+
+def _cmd_merge_trace(args: argparse.Namespace) -> int:
+    from repro.obs.events import read_events
+    from repro.obs.trace_export import ledger_to_trace, merge_chrome_traces
+
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        print(f"error: not a directory: {directory}", file=sys.stderr)
+        return 2
+    paths = sorted(directory.glob("*.trace.json"))
+    traces: List[Dict] = []
+    labels: List[str] = []
+    for path in paths:
+        try:
+            traces.append(json.loads(path.read_text(encoding="utf-8")))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping {path.name}: {exc}", file=sys.stderr)
+            continue
+        labels.append(path.name[:-len(".trace.json")])
+    if not traces:
+        print(f"error: no readable *.trace.json under {directory}",
+              file=sys.stderr)
+        return 2
+    merged = merge_chrome_traces(traces, labels=labels)
+    ledger_paths = (sorted(directory.glob("EVENTS_*.jsonl"))
+                    + sorted(directory.glob("*.events.jsonl")))
+    if ledger_paths:
+        # The frontier track uses a different clock (harness wall time vs
+        # simulated cycles); it rides along for the overview, clearly named.
+        frontier = ledger_to_trace(read_events(ledger_paths[-1]))
+        merged["traceEvents"] += frontier["traceEvents"]
+        merged["otherData"]["frontier_ledger"] = ledger_paths[-1].name
+    out = (Path(args.out) if args.out is not None
+           else directory / "merged.trace.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(merged, fh)
+    print(f"merged trace ({len(traces)} sources"
+          + (", + frontier ledger track" if ledger_paths else "")
+          + f") -> {out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -159,6 +233,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     report.add_argument("--json", action="store_true",
                         help="dump the raw bundle as JSON instead of a table")
     report.set_defaults(func=_cmd_report)
+    dashboard = sub.add_parser(
+        "dashboard", help="render a sweep directory as one static HTML page")
+    dashboard.add_argument("target", help="history/telemetry directory (or a "
+                           "file in it, e.g. a .run.json bundle)")
+    dashboard.add_argument("-o", "--out", default=None, metavar="FILE",
+                           help="output path (default: <dir>/dashboard.html)")
+    dashboard.set_defaults(func=_cmd_dashboard)
+    merge = sub.add_parser(
+        "merge-trace", help="stitch every *.trace.json in a directory into "
+        "one collision-free Perfetto trace")
+    merge.add_argument("directory", help="directory holding *.trace.json "
+                       "exports (and optionally a run-ledger JSONL)")
+    merge.add_argument("-o", "--out", default=None, metavar="FILE",
+                       help="output path (default: <dir>/merged.trace.json)")
+    merge.set_defaults(func=_cmd_merge_trace)
     args = parser.parse_args(argv)
     return args.func(args)
 

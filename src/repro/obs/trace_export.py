@@ -14,29 +14,61 @@ phase slices (``decide`` for the PMU visit, ``clean`` for the
 back-invalidation/back-writeback), and memory-side PEIs additionally get a
 slice on their target vault's track, so off-loading imbalance across vaults
 is directly visible.
+
+Multi-run stitching: every exporter can be namespaced with a ``pid_base``
+so that traces from several runs/workers merge into one file without track
+collisions, and :func:`merge_chrome_traces` performs exactly that merge —
+worker ``i`` deterministically owns the pid range
+``[(i+1)*WORKER_PID_STRIDE, (i+2)*WORKER_PID_STRIDE)``.
+:func:`ledger_to_trace` renders a run-ledger event stream (see
+:mod:`repro.obs.events`) as a wall-clock frontier trace: one track per
+worker process with its simulate slices plus instant events for
+cache/trace-store activity.
 """
 
 import json
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.tracer import FenceTrace, PeiTracer, PeiTrace
 
-__all__ = ["ChromeTraceExporter", "HOST_PID", "VAULT_PID"]
+__all__ = [
+    "ChromeTraceExporter",
+    "HOST_PID",
+    "VAULT_PID",
+    "WORKER_PID_STRIDE",
+    "ledger_to_trace",
+    "merge_chrome_traces",
+]
 
 #: Synthetic process ids grouping the two kinds of tracks.
 HOST_PID = 1
 VAULT_PID = 2
+
+#: Pid namespace width per merged worker trace.  A single export only uses
+#: pids in ``[pid_base + 1, pid_base + WORKER_PID_STRIDE)``, so strided
+#: bases can never collide however many traces are merged.
+WORKER_PID_STRIDE = 100
 
 
 class ChromeTraceExporter:
     """Builds a Chrome Trace Event JSON object from a PeiTracer."""
 
     def __init__(self, block_size: int = 64,
-                 vault_of: Optional[Callable[[int], int]] = None):
+                 vault_of: Optional[Callable[[int], int]] = None,
+                 pid_base: int = 0):
         """``vault_of`` maps a *block index* to its vault index; without it
-        memory-side PEIs only appear on their issuing core's track."""
+        memory-side PEIs only appear on their issuing core's track.
+        ``pid_base`` offsets every emitted pid, giving the export a stable
+        private namespace when multiple exports are merged into one trace
+        (worker ``i`` conventionally uses ``(i+1) * WORKER_PID_STRIDE``)."""
         self.block_size = block_size
         self.vault_of = vault_of
+        if pid_base < 0 or pid_base % WORKER_PID_STRIDE:
+            raise ValueError(
+                f"pid_base must be a non-negative multiple of "
+                f"{WORKER_PID_STRIDE}, got {pid_base}")
+        self.host_pid = pid_base + HOST_PID
+        self.vault_pid = pid_base + VAULT_PID
 
     @classmethod
     def for_machine(cls, machine) -> "ChromeTraceExporter":
@@ -61,7 +93,7 @@ class ChromeTraceExporter:
             elif isinstance(event, FenceTrace):
                 cores.add(event.core)
                 events.append(self._slice(
-                    "pfence", "fence", HOST_PID, event.core,
+                    "pfence", "fence", self.host_pid, event.core,
                     event.issue_time, event.stall,
                     {"release_time": event.release_time}))
         metadata = self._metadata(cores, vaults)
@@ -89,7 +121,7 @@ class ChromeTraceExporter:
         cores.add(trace.core)
         side = "host" if trace.on_host else "mem"
         events.append(self._slice(
-            trace.op, f"pei,{side}", HOST_PID, trace.core,
+            trace.op, f"pei,{side}", self.host_pid, trace.core,
             trace.issue_time, trace.latency,
             {
                 "block": block,
@@ -98,14 +130,14 @@ class ChromeTraceExporter:
             }))
         if trace.decision_time is not None:
             events.append(self._slice(
-                "decide", "pmu", HOST_PID, trace.core,
+                "decide", "pmu", self.host_pid, trace.core,
                 trace.issue_time, trace.decision_time - trace.issue_time))
         if trace.clean_time is not None:
             clean_start = (trace.decision_time if trace.decision_time is not None
                            else trace.issue_time)
             events.append(self._slice(
                 "clean.invalidate" if trace.clean_invalidate else "clean.writeback",
-                "coherence", HOST_PID, trace.core,
+                "coherence", self.host_pid, trace.core,
                 clean_start, trace.clean_time - clean_start))
         if not trace.on_host and self.vault_of is not None:
             vault = int(self.vault_of(block))
@@ -114,7 +146,7 @@ class ChromeTraceExporter:
             if trace.clean_time is not None and trace.clean_time > start:
                 start = trace.clean_time
             events.append(self._slice(
-                trace.op, "pim", VAULT_PID, vault,
+                trace.op, "pim", self.vault_pid, vault,
                 start, trace.completion - start,
                 {"core": trace.core, "block": block}))
 
@@ -134,17 +166,126 @@ class ChromeTraceExporter:
             event["args"] = args
         return event
 
-    @staticmethod
-    def _metadata(cores: set, vaults: set) -> List[Dict]:
+    def _metadata(self, cores: set, vaults: set) -> List[Dict]:
         def meta(name: str, pid: int, tid: int, value: str) -> Dict:
             return {"name": name, "ph": "M", "pid": pid, "tid": tid,
                     "args": {"name": value}}
 
-        events = [meta("process_name", HOST_PID, 0, "host cores")]
-        events += [meta("thread_name", HOST_PID, core, f"core {core}")
+        events = [meta("process_name", self.host_pid, 0, "host cores")]
+        events += [meta("thread_name", self.host_pid, core, f"core {core}")
                    for core in sorted(cores)]
         if vaults:
-            events.append(meta("process_name", VAULT_PID, 0, "HMC vaults"))
-            events += [meta("thread_name", VAULT_PID, vault, f"vault {vault}")
+            events.append(meta("process_name", self.vault_pid, 0,
+                               "HMC vaults"))
+            events += [meta("thread_name", self.vault_pid, vault,
+                            f"vault {vault}")
                        for vault in sorted(vaults)]
         return events
+
+
+# ----------------------------------------------------------------------
+# Frontier-level stitching
+# ----------------------------------------------------------------------
+
+
+def merge_chrome_traces(traces: Sequence[Dict],
+                        labels: Optional[Sequence[str]] = None) -> Dict:
+    """Stitch per-run Chrome traces into one collision-free trace.
+
+    Trace ``i`` (caller-ordered — sort by filename for determinism) has
+    every pid remapped into its private namespace ``(i+1) *
+    WORKER_PID_STRIDE + original_pid``, so two merged traces can never share
+    a (pid, tid) track; ``process_name`` metadata is prefixed with the
+    trace's label so Perfetto groups each run's host-core and vault tracks
+    under a named process.  ``otherData`` aggregates the per-trace dropped
+    counts.
+    """
+    if labels is not None and len(labels) != len(traces):
+        raise ValueError(f"got {len(labels)} labels for {len(traces)} "
+                         f"traces — the sequences must align")
+    merged: List[Dict] = []
+    dropped = 0
+    for i, trace in enumerate(traces):
+        base = (i + 1) * WORKER_PID_STRIDE
+        label = labels[i] if labels is not None else f"run {i}"
+        for event in trace.get("traceEvents", []):
+            pid = int(event.get("pid", 0)) % WORKER_PID_STRIDE
+            out = dict(event)
+            out["pid"] = base + pid
+            if (event.get("ph") == "M" and event.get("name") == "process_name"
+                    and isinstance(event.get("args"), dict)):
+                out["args"] = {"name": f"{label}: "
+                                       f"{event['args'].get('name', '')}"}
+            merged.append(out)
+        other = trace.get("otherData", {})
+        dropped += int(other.get("dropped_events", 0) or 0)
+    return {
+        "traceEvents": merged,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "time_unit": "host-core cycles (per-run clocks)",
+            "source": "repro.obs.merge_chrome_traces",
+            "merged_traces": len(traces),
+            "dropped_events": dropped,
+        },
+    }
+
+
+#: Track ids on the frontier (wall-clock) trace built from a run ledger.
+FRONTIER_PID = 90
+#: Ledger kinds rendered as instant events on the frontier track.
+_LEDGER_INSTANTS = ("request_planned", "memo_hit", "disk_hit", "cache_miss",
+                    "trace_capture", "trace_hit", "result_persisted",
+                    "failure")
+
+
+def ledger_to_trace(events: Iterable[Dict]) -> Dict:
+    """Render a run-ledger stream as a wall-clock Chrome trace.
+
+    One track per worker process carrying its ``simulate`` slices (start
+    reconstructed as ``t - dur_s``: the parent stamps ``t`` when the batch
+    payload lands), plus one frontier track of instant events for the
+    cache and trace-store lifecycle.  Timestamps are harness wall time in
+    microseconds — a different clock from the simulated-cycles unit of the
+    per-run traces, which is why this lives in its own file rather than
+    being merged into them.
+    """
+    out: List[Dict] = [{"name": "process_name", "ph": "M",
+                        "pid": FRONTIER_PID, "tid": 0,
+                        "args": {"name": "frontier (wall clock)"}}]
+    workers: Dict[int, int] = {}
+    for event in events:
+        kind = event.get("kind")
+        t_us = float(event.get("t", 0.0)) * 1e6
+        if kind == "simulate_end":
+            pid = int(event.get("worker", 0))
+            if pid not in workers:
+                workers[pid] = len(workers)
+                out.append({"name": "thread_name", "ph": "M",
+                            "pid": FRONTIER_PID, "tid": pid,
+                            "args": {"name": f"worker {pid}"}})
+            dur_us = float(event.get("dur_s", 0.0)) * 1e6
+            out.append({
+                "name": "simulate", "cat": "frontier", "ph": "X",
+                "pid": FRONTIER_PID, "tid": pid,
+                "ts": max(t_us - dur_us, 0.0), "dur": dur_us,
+                "args": {"fingerprint": event.get("fingerprint", ""),
+                         "cycles": event.get("cycles", 0.0),
+                         "instructions": event.get("instructions", 0)},
+            })
+        elif kind in _LEDGER_INSTANTS:
+            out.append({
+                "name": kind, "cat": "ledger", "ph": "i",
+                "pid": FRONTIER_PID, "tid": 0, "ts": t_us, "s": "g",
+                "args": {"fingerprint": event.get("fingerprint", "")},
+            })
+    out.append({"name": "thread_name", "ph": "M", "pid": FRONTIER_PID,
+                "tid": 0, "args": {"name": "cache / trace store"}})
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "time_unit": "harness wall microseconds",
+            "source": "repro.obs.ledger_to_trace",
+        },
+    }

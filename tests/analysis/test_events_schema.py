@@ -1,0 +1,131 @@
+"""Tests for the run-ledger event-stream schema checker."""
+
+import json
+
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.telemetry import check_bundle_dir, check_events_jsonl
+from repro.obs.events import EVENT_SCHEMA, RunLedger, worker_event
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def write_ledger(path):
+    clock = FakeClock()
+    ledger = RunLedger(clock=clock)
+    clock.now = 0.1
+    ledger.emit("request_planned", fingerprint="ab12", label="HG/host")
+    clock.now = 0.2
+    ledger.emit("cache_miss", fingerprint="ab12")
+    clock.now = 0.9
+    ledger.absorb([
+        worker_event("simulate_start", fingerprint="ab12", worker=7),
+        worker_event("simulate_end", fingerprint="ab12", worker=7,
+                     dur_s=0.5, cycles=100.0, instructions=50)])
+    return ledger.write_jsonl(path)
+
+
+def rewrite(path, mutate):
+    events = [json.loads(line) for line in
+              path.read_text().splitlines() if line.strip()]
+    mutate(events)
+    path.write_text("".join(json.dumps(e) + "\n" for e in events))
+
+
+class TestCheckEventsJsonl:
+    def test_real_ledger_is_clean(self, tmp_path):
+        path = write_ledger(tmp_path / "EVENTS_x.jsonl")
+        assert check_events_jsonl(path) == []
+
+    def test_empty_stream_is_a_problem(self, tmp_path):
+        path = tmp_path / "EVENTS_x.jsonl"
+        path.write_text("")
+        assert any("empty" in p for p in check_events_jsonl(path))
+
+    def test_torn_line_anywhere_is_a_problem(self, tmp_path):
+        path = write_ledger(tmp_path / "EVENTS_x.jsonl")
+        path.write_text(path.read_text() + '{"seq": 99, "t"')
+        assert any("torn" in p for p in check_events_jsonl(path))
+
+    def test_missing_header_is_a_problem(self, tmp_path):
+        path = write_ledger(tmp_path / "EVENTS_x.jsonl")
+        rewrite(path, lambda events: events.pop(0))
+        assert any("ledger_start" in p for p in check_events_jsonl(path))
+
+    def test_unknown_schema_version_diagnosed(self, tmp_path):
+        path = write_ledger(tmp_path / "EVENTS_x.jsonl")
+
+        def bump(events):
+            events[0]["schema"] = "repro.obs.events/999"
+        rewrite(path, bump)
+        problems = check_events_jsonl(path)
+        assert any("unknown ledger schema" in p and EVENT_SCHEMA in p
+                   for p in problems)
+
+    def test_unknown_kind_diagnosed(self, tmp_path):
+        path = write_ledger(tmp_path / "EVENTS_x.jsonl")
+
+        def rename(events):
+            events[1]["kind"] = "request_imagined"
+        rewrite(path, rename)
+        assert any("unknown event kind 'request_imagined'" in p
+                   for p in check_events_jsonl(path))
+
+    def test_missing_required_field_diagnosed(self, tmp_path):
+        path = write_ledger(tmp_path / "EVENTS_x.jsonl")
+
+        def strip(events):
+            del events[4]["dur_s"]   # simulate_end
+        rewrite(path, strip)
+        assert any("simulate_end event missing required field 'dur_s'" in p
+                   for p in check_events_jsonl(path))
+
+    def test_non_contiguous_seq_diagnosed(self, tmp_path):
+        path = write_ledger(tmp_path / "EVENTS_x.jsonl")
+
+        def skip(events):
+            events[2]["seq"] = 7
+        rewrite(path, skip)
+        assert any("contiguous" in p for p in check_events_jsonl(path))
+
+    def test_decreasing_time_diagnosed(self, tmp_path):
+        path = write_ledger(tmp_path / "EVENTS_x.jsonl")
+
+        def rewind(events):
+            events[3]["t"] = -1.0
+        rewrite(path, rewind)
+        assert any("non-decreasing" in p for p in check_events_jsonl(path))
+
+    def test_negative_duration_diagnosed(self, tmp_path):
+        path = write_ledger(tmp_path / "EVENTS_x.jsonl")
+
+        def negate(events):
+            events[4]["dur_s"] = -0.5
+        rewrite(path, negate)
+        assert any("dur_s" in p for p in check_events_jsonl(path))
+
+
+class TestDirectoryAndCli:
+    def test_bundle_dir_picks_up_event_streams(self, tmp_path):
+        write_ledger(tmp_path / "EVENTS_a.jsonl")
+        write_ledger(tmp_path / "run.events.jsonl")
+        results = check_bundle_dir(tmp_path)
+        assert len(results) == 2
+        assert all(problems == [] for problems in results.values())
+
+    def test_cli_accepts_both_event_namings(self, tmp_path, capsys):
+        a = write_ledger(tmp_path / "EVENTS_a.jsonl")
+        b = write_ledger(tmp_path / "run.events.jsonl")
+        assert analysis_main(["telemetry", str(a), str(b)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_cli_fails_on_torn_stream(self, tmp_path, capsys):
+        path = write_ledger(tmp_path / "EVENTS_a.jsonl")
+        path.write_text(path.read_text() + '{"torn')
+        assert analysis_main(["telemetry", str(path)]) == 1
+        assert "torn" in capsys.readouterr().out

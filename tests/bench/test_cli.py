@@ -57,6 +57,7 @@ def fake_experiments(monkeypatch):
     yield calls
     runner.set_jobs(1)
     runner.disable_disk_cache()
+    runner.disable_run_ledger()
     runner.clear_cache()
     runner.reset_accounting()
 
@@ -101,6 +102,99 @@ class TestRunCommand:
         assert main(["run", "smoke", "--no-cache", "--out", str(out),
                      "--history-dir", str(tmp_path / "hist")]) == 0
         assert "smoke body" in (out / "smoke.txt").read_text()
+
+    def test_run_records_observability_block(self, fake_experiments,
+                                             tmp_path):
+        history = tmp_path / "hist"
+        assert main(["run", "smoke", "--no-cache",
+                     "--history-dir", str(history)]) == 0
+        [record] = history.glob("BENCH_*.json")
+        obs = json.loads(record.read_text())["observability"]
+        assert obs["schema"] == "repro.obs.frontier/1"
+        assert "simulate_latency_s" in obs
+        assert "cache" in obs
+        # No --events flag: the ledger stayed off and counts are absent.
+        assert "events" not in obs
+
+    def test_run_events_writes_default_ledger(self, fake_experiments,
+                                              tmp_path):
+        history = tmp_path / "hist"
+        assert main(["run", "smoke", "--no-cache", "--events",
+                     "--no-microbench", "--history-dir", str(history)]) == 0
+        [events_path] = history.glob("EVENTS_*.jsonl")
+        [record] = history.glob("BENCH_*.json")
+        runid = json.loads(record.read_text())["runid"]
+        assert events_path.name == f"EVENTS_{runid}.jsonl"
+        head = json.loads(events_path.read_text().splitlines()[0])
+        assert head["kind"] == "ledger_start"
+        # Stub experiments plan nothing, so counts are empty — but the
+        # block must be present whenever the ledger was on.
+        assert "events" in json.loads(record.read_text())["observability"]
+
+    def test_run_events_explicit_path(self, fake_experiments, tmp_path):
+        target = tmp_path / "ledger.events.jsonl"
+        assert main(["run", "smoke", "--no-cache",
+                     "--events", str(target), "--no-microbench",
+                     "--history-dir", str(tmp_path / "hist")]) == 0
+        assert target.exists()
+
+    def test_run_progress_renders_line(self, fake_experiments, tmp_path,
+                                       capsys):
+        assert main(["run", "smoke", "--no-cache", "--progress",
+                     "--no-microbench",
+                     "--history-dir", str(tmp_path / "hist")]) == 0
+        # The stub experiments plan no requests, so the line may be empty;
+        # the flag must at least leave the runner with a live ledger.
+        assert runner.run_ledger().enabled
+
+
+class TestProgressRenderer:
+    def make(self):
+        import io
+
+        stream = io.StringIO()
+        return cli.ProgressRenderer(jobs=2, stream=stream), stream
+
+    def tick(self, renderer, kind, **fields):
+        event = {"kind": kind}
+        event.update(fields)
+        renderer.tick(event)
+
+    def test_counts_and_line(self):
+        renderer, stream = self.make()
+        self.tick(renderer, "request_planned")
+        self.tick(renderer, "request_planned")
+        self.tick(renderer, "memo_hit")
+        self.tick(renderer, "simulate_start")
+        self.tick(renderer, "simulate_end", dur_s=0.4)
+        line = stream.getvalue().split("\r")[-1]
+        assert "2/2 done" in line
+        assert "1 cached" in line
+        assert "1 simulated" in line
+
+    def test_eta_uses_mean_duration_over_jobs(self):
+        renderer, stream = self.make()
+        for _ in range(4):
+            self.tick(renderer, "request_planned")
+        self.tick(renderer, "simulate_start")
+        self.tick(renderer, "simulate_end", dur_s=8.0)
+        line = stream.getvalue().split("\r")[-1]
+        # 3 remaining * 8 s mean / 2 jobs = 12 s
+        assert "eta 12s" in line
+
+    def test_ignores_unrelated_kinds(self):
+        renderer, stream = self.make()
+        self.tick(renderer, "ledger_start")
+        self.tick(renderer, "result_persisted")
+        assert stream.getvalue() == ""
+
+    def test_close_terminates_line_once(self):
+        renderer, stream = self.make()
+        self.tick(renderer, "request_planned")
+        renderer.close()
+        renderer.close()
+        assert stream.getvalue().endswith("\n")
+        assert stream.getvalue().count("\n") == 1
 
 
 class TestHistoryCommand:

@@ -1,0 +1,157 @@
+"""Tests for the frontier run ledger (repro.obs.events)."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    ENVELOPE_FIELDS,
+    EVENT_FIELDS,
+    EVENT_SCHEMA,
+    NULL_LEDGER,
+    NullLedger,
+    RunLedger,
+    read_events,
+    worker_event,
+)
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+class TestNullLedger:
+    def test_disabled_and_inert(self):
+        assert NULL_LEDGER.enabled is False
+        assert NULL_LEDGER.emit("request_planned", fingerprint="x") is None
+        assert NULL_LEDGER.absorb([{"kind": "memo_hit"}]) is None
+
+    def test_run_ledger_is_a_null_ledger(self):
+        # The bench layer holds NullLedger-typed slots; a live ledger must
+        # substitute transparently.
+        assert isinstance(RunLedger(clock=FakeClock()), NullLedger)
+
+
+class TestRunLedger:
+    def test_starts_with_schema_header(self):
+        ledger = RunLedger(clock=FakeClock())
+        head = ledger.events[0]
+        assert head["kind"] == "ledger_start"
+        assert head["schema"] == EVENT_SCHEMA
+        assert head["seq"] == 0
+
+    def test_emit_stamps_contiguous_seq_and_relative_time(self):
+        clock = FakeClock(start=50.0)
+        ledger = RunLedger(clock=clock)
+        clock.now = 50.5
+        event = ledger.emit("request_planned", fingerprint="ab", label="x")
+        assert event["seq"] == 1
+        assert event["t"] == pytest.approx(0.5)
+        assert event["fingerprint"] == "ab"
+
+    def test_time_never_decreases(self):
+        clock = FakeClock()
+        ledger = RunLedger(clock=clock)
+        clock.now = 110.0
+        ledger.emit("memo_hit", fingerprint="a")
+        clock.now = 90.0   # clock anomaly
+        event = ledger.emit("memo_hit", fingerprint="b")
+        assert event["t"] == pytest.approx(10.0)
+
+    def test_absorb_restamps_worker_events_in_order(self):
+        ledger = RunLedger(clock=FakeClock())
+        batch = [worker_event("simulate_start", fingerprint="aa", worker=7),
+                 worker_event("simulate_end", fingerprint="aa", worker=7,
+                              dur_s=0.2, cycles=10.0, instructions=5)]
+        ledger.absorb(batch)
+        kinds = [e["kind"] for e in ledger.events]
+        assert kinds == ["ledger_start", "simulate_start", "simulate_end"]
+        assert [e["seq"] for e in ledger.events] == [0, 1, 2]
+        # Worker payload fields survive the restamp.
+        assert ledger.events[2]["dur_s"] == 0.2
+
+    def test_absorb_strips_stale_envelopes(self):
+        ledger = RunLedger(clock=FakeClock())
+        ledger.absorb([{"kind": "memo_hit", "seq": 99, "t": 1e9,
+                        "fingerprint": "zz"}])
+        event = ledger.events[-1]
+        assert event["seq"] == 1
+        assert event["t"] < 1e9
+
+    def test_listener_sees_every_emit(self):
+        seen = []
+        ledger = RunLedger(clock=FakeClock(), listener=seen.append)
+        ledger.emit("memo_hit", fingerprint="a")
+        assert [e["kind"] for e in seen] == ["ledger_start", "memo_hit"]
+
+    def test_absorb_notify_false_skips_listener_but_keeps_events(self):
+        seen = []
+        ledger = RunLedger(clock=FakeClock(), listener=seen.append)
+        ledger.absorb([worker_event("memo_hit", fingerprint="a")],
+                      notify=False)
+        assert [e["kind"] for e in seen] == ["ledger_start"]
+        assert ledger.events[-1]["kind"] == "memo_hit"
+        # The listener is restored for subsequent emits.
+        ledger.emit("disk_hit", fingerprint="b")
+        assert seen[-1]["kind"] == "disk_hit"
+
+    def test_counts_excludes_header(self):
+        ledger = RunLedger(clock=FakeClock())
+        ledger.emit("memo_hit", fingerprint="a")
+        ledger.emit("memo_hit", fingerprint="b")
+        ledger.emit("disk_hit", fingerprint="c")
+        assert ledger.counts() == {"memo_hit": 2, "disk_hit": 1}
+        assert len(ledger) == 4
+
+    def test_every_emitted_kind_is_in_the_schema_table(self):
+        for kind in EVENT_FIELDS:
+            for field in EVENT_FIELDS[kind]:
+                assert field not in ENVELOPE_FIELDS
+
+
+class TestSerialization:
+    def test_jsonl_round_trip(self, tmp_path):
+        ledger = RunLedger(clock=FakeClock())
+        ledger.emit("request_planned", fingerprint="ab", label="HG/host")
+        path = ledger.write_jsonl(tmp_path / "events.jsonl")
+        events = read_events(path)
+        assert events == ledger.events
+
+    def test_read_events_drops_torn_final_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"seq": 0, "t": 0.0, "kind": "ledger_start", '
+                        '"schema": "%s"}\n{"seq": 1, "t"' % EVENT_SCHEMA)
+        events = read_events(path)
+        assert len(events) == 1
+        assert events[0]["kind"] == "ledger_start"
+
+    def test_read_events_strict_raises_on_torn_final_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"seq": 0, "t": 0.0, "kind": "ledger_start"}\n'
+                        '{"torn')
+        with pytest.raises(ValueError, match="torn or invalid"):
+            read_events(path, strict=True)
+
+    def test_read_events_raises_on_torn_middle_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"seq": 0, "t": 0.0, "kind": "ledger_start"}\n'
+                        '{"torn\n'
+                        '{"seq": 1, "t": 0.1, "kind": "memo_hit"}\n')
+        with pytest.raises(ValueError, match="torn or invalid"):
+            read_events(path)
+
+    def test_read_events_rejects_non_object_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('[1, 2, 3]\n{"seq": 0, "kind": "x", "t": 0.0}\n')
+        with pytest.raises(ValueError, match="not an object"):
+            read_events(path)
+
+    def test_jsonl_is_plain_json_per_line(self, tmp_path):
+        ledger = RunLedger(clock=FakeClock())
+        ledger.emit("memo_hit", fingerprint="a")
+        for line in ledger.to_jsonl().splitlines():
+            assert isinstance(json.loads(line), dict)

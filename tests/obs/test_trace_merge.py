@@ -1,0 +1,162 @@
+"""Tests for frontier-level trace stitching (merge + ledger rendering)."""
+
+import pytest
+
+from repro.analysis.telemetry import check_chrome_trace
+from repro.core.tracer import PeiTracer, PeiTrace
+from repro.obs.events import RunLedger, worker_event
+from repro.obs.trace_export import (
+    FRONTIER_PID,
+    WORKER_PID_STRIDE,
+    ChromeTraceExporter,
+    ledger_to_trace,
+    merge_chrome_traces,
+)
+
+
+def make_trace(core, vault_of=None):
+    tracer = PeiTracer()
+    tracer.record(PeiTrace(core=core, op="pim.fadd", block=3, on_host=False,
+                           issue_time=0.0, grant_time=5.0, completion=30.0))
+    return ChromeTraceExporter(vault_of=vault_of).export(tracer)
+
+
+def tracks(payload):
+    return {(e["pid"], e.get("tid")) for e in payload["traceEvents"]
+            if e.get("ph") == "X"}
+
+
+class TestPidBase:
+    def test_default_pids_unchanged(self):
+        exporter = ChromeTraceExporter()
+        assert exporter.host_pid == 1
+        assert exporter.vault_pid == 2
+
+    def test_pid_base_offsets_every_event(self):
+        tracer = PeiTracer()
+        tracer.record(PeiTrace(core=0, op="pim.fadd", block=1, on_host=True,
+                               issue_time=0.0, grant_time=1.0,
+                               completion=2.0))
+        payload = ChromeTraceExporter(pid_base=300).export(tracer)
+        assert {e["pid"] for e in payload["traceEvents"]} == {301}
+
+    def test_pid_base_must_be_stride_aligned(self):
+        with pytest.raises(ValueError, match="multiple"):
+            ChromeTraceExporter(pid_base=150)
+        with pytest.raises(ValueError, match="multiple"):
+            ChromeTraceExporter(pid_base=-100)
+
+    def test_two_pid_based_exports_never_collide(self):
+        a = ChromeTraceExporter(pid_base=100).export(_tracer_for_core(0))
+        b = ChromeTraceExporter(pid_base=200).export(_tracer_for_core(0))
+        assert not (tracks(a) & tracks(b))
+
+
+def _tracer_for_core(core):
+    tracer = PeiTracer()
+    tracer.record(PeiTrace(core=core, op="pim.fadd", block=1, on_host=True,
+                           issue_time=0.0, grant_time=1.0, completion=2.0))
+    return tracer
+
+
+class TestMergeChromeTraces:
+    def test_merged_traces_share_no_track(self):
+        # Identical source traces — the worst case for collisions: every
+        # pid/tid pair exists in both.
+        a = make_trace(core=0, vault_of=lambda b: b % 4)
+        b = make_trace(core=0, vault_of=lambda b: b % 4)
+        merged = merge_chrome_traces([a, b])
+        track_owner = {}
+        for i, source in enumerate((a, b)):
+            base = (i + 1) * WORKER_PID_STRIDE
+            for pid, tid in tracks(source):
+                key = (base + pid % WORKER_PID_STRIDE, tid)
+                assert key not in track_owner or track_owner[key] == i
+                track_owner[key] = i
+        assert len(tracks(merged)) == len(tracks(a)) + len(tracks(b))
+
+    def test_deterministic_namespace_per_index(self):
+        traces = [make_trace(core=i) for i in range(3)]
+        merged = merge_chrome_traces(traces)
+        pids = {e["pid"] // WORKER_PID_STRIDE
+                for e in merged["traceEvents"]}
+        assert pids == {1, 2, 3}
+        # Merging again yields the identical assignment.
+        assert merge_chrome_traces(traces) == merged
+
+    def test_labels_prefix_process_names(self):
+        merged = merge_chrome_traces([make_trace(0)], labels=["sc_aware"])
+        names = [e["args"]["name"] for e in merged["traceEvents"]
+                 if e.get("ph") == "M" and e["name"] == "process_name"]
+        assert names and all(n.startswith("sc_aware: ") for n in names)
+
+    def test_label_count_mismatch_raises(self):
+        with pytest.raises(ValueError, match="labels"):
+            merge_chrome_traces([make_trace(0)], labels=["a", "b"])
+
+    def test_dropped_counts_aggregate(self):
+        a = make_trace(0)
+        a["otherData"]["dropped_events"] = 3
+        b = make_trace(1)
+        b["otherData"]["dropped_events"] = 4
+        merged = merge_chrome_traces([a, b])
+        assert merged["otherData"]["dropped_events"] == 7
+        assert merged["otherData"]["merged_traces"] == 2
+
+    def test_merged_trace_passes_schema_check(self, tmp_path):
+        import json
+
+        merged = merge_chrome_traces([make_trace(0), make_trace(1)])
+        path = tmp_path / "merged.trace.json"
+        path.write_text(json.dumps(merged))
+        assert check_chrome_trace(path) == []
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestLedgerToTrace:
+    def make_ledger(self):
+        clock = FakeClock()
+        ledger = RunLedger(clock=clock)
+        clock.now = 0.1
+        ledger.emit("request_planned", fingerprint="ab", label="HG/host")
+        clock.now = 0.2
+        ledger.emit("cache_miss", fingerprint="ab")
+        clock.now = 1.0
+        ledger.absorb([
+            worker_event("simulate_start", fingerprint="ab", worker=42),
+            worker_event("simulate_end", fingerprint="ab", worker=42,
+                         dur_s=0.5, cycles=100.0, instructions=50)])
+        return ledger
+
+    def test_simulate_slices_land_on_worker_track(self):
+        payload = ledger_to_trace(self.make_ledger().events)
+        (sim,) = [e for e in payload["traceEvents"] if e.get("ph") == "X"]
+        assert sim["pid"] == FRONTIER_PID
+        assert sim["tid"] == 42
+        assert sim["dur"] == pytest.approx(0.5e6)
+        # start = absorb time minus duration, in microseconds
+        assert sim["ts"] == pytest.approx(0.5e6)
+
+    def test_cache_events_become_instants(self):
+        payload = ledger_to_trace(self.make_ledger().events)
+        instants = [e["name"] for e in payload["traceEvents"]
+                    if e.get("ph") == "i"]
+        assert instants == ["request_planned", "cache_miss"]
+
+    def test_worker_thread_named_once(self):
+        ledger = self.make_ledger()
+        ledger.absorb([worker_event("simulate_end", fingerprint="cd",
+                                    worker=42, dur_s=0.1, cycles=1.0,
+                                    instructions=1)])
+        payload = ledger_to_trace(ledger.events)
+        worker_names = [e for e in payload["traceEvents"]
+                        if e.get("ph") == "M" and e["name"] == "thread_name"
+                        and e["tid"] == 42]
+        assert len(worker_names) == 1
