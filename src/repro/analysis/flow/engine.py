@@ -18,11 +18,12 @@ that shapes the request set); the baseline is for *debt* — real findings
 accepted at adoption time and burned down over later PRs.
 """
 
-import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.baseline import (Finding, apply_baseline, load_baseline,
+                                     write_baseline as _write_baseline)
 from repro.analysis.source import Violation, apply_waivers, parse_project
 from repro.analysis.flow.fingerprint import run_fingerprint_pass
 from repro.analysis.flow.model import ProjectModel
@@ -73,25 +74,6 @@ _PASSES = (
 )
 
 
-@dataclass(frozen=True)
-class Finding:
-    """One surviving flow finding, carrying both absolute and rel paths."""
-
-    code: str
-    message: str
-    path: str
-    rel: str
-    line: int
-    col: int = 0
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
-
-    def key(self) -> Tuple[str, str, str]:
-        """The line-independent identity used for baseline matching."""
-        return (self.code, self.rel, self.message)
-
-
 @dataclass
 class FlowReport:
     """The outcome of one simflow run."""
@@ -109,59 +91,15 @@ class FlowReport:
 
 
 # ----------------------------------------------------------------------
-# Baseline file
+# Baseline file (shared machinery lives in repro.analysis.baseline)
 # ----------------------------------------------------------------------
 
 
-def load_baseline(path: Path) -> List[Dict[str, str]]:
-    """Baseline entries ``[{code, rel, message}, ...]`` from disk."""
-    payload = json.loads(Path(path).read_text(encoding="utf-8"))
-    if not isinstance(payload, dict):
-        raise ValueError(f"baseline {path} is not a JSON object")
-    entries = payload.get("entries", [])
-    if not isinstance(entries, list):
-        raise ValueError(f"baseline {path}: 'entries' must be a list")
-    for entry in entries:
-        if not isinstance(entry, dict):
-            raise ValueError(f"baseline entry {entry!r} is not an object")
-        missing = {"code", "rel", "message"} - set(entry)
-        if missing:
-            raise ValueError(
-                f"baseline entry {entry!r} lacks {sorted(missing)}")
-    return entries
-
-
 def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
-    """Persist ``findings`` as the accepted baseline (sorted, de-duplicated)."""
-    entries = sorted({f.key() for f in findings})
-    payload = {
-        "comment": ("Accepted pre-existing simflow findings.  Matched by "
-                    "(code, rel, message) — line-independent — and stale "
-                    "entries are themselves reported; regenerate with "
-                    "`python -m repro.analysis flow --update-baseline`."),
-        "entries": [{"code": c, "rel": r, "message": m}
-                    for c, r, m in entries],
-    }
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
-                          encoding="utf-8")
-
-
-def _apply_baseline(findings: List[Finding], entries: List[Dict[str, str]],
-                    baseline_path: Path) -> Tuple[List[Finding], int]:
-    accepted: Set[Tuple[str, str, str]] = {
-        (e["code"], e["rel"], e["message"]) for e in entries}
-    kept = [f for f in findings if f.key() not in accepted]
-    suppressed = len(findings) - len(kept)
-    matched = {f.key() for f in findings} & accepted
-    for code, rel, message in sorted(accepted - matched):
-        snippet = message if len(message) <= 60 else message[:57] + "..."
-        kept.append(Finding(
-            code=HYGIENE_CODE,
-            message=(f"stale baseline entry: {code} in {rel} "
-                     f"(\"{snippet}\") no longer matches any finding — "
-                     f"remove it"),
-            path=str(baseline_path), rel=Path(baseline_path).name, line=1))
-    return kept, suppressed
+    """Persist ``findings`` as the accepted simflow baseline."""
+    _write_baseline(
+        path, findings, tool="simflow",
+        regenerate="python -m repro.analysis flow --update-baseline")
 
 
 # ----------------------------------------------------------------------
@@ -209,8 +147,9 @@ def run_flow(
     baselined = 0
     if baseline is not None and Path(baseline).exists():
         entries = load_baseline(Path(baseline))
-        findings, baselined = _apply_baseline(findings, entries,
-                                              Path(baseline))
+        findings, baselined = apply_baseline(findings, entries,
+                                             Path(baseline),
+                                             hygiene_code=HYGIENE_CODE)
 
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return FlowReport(

@@ -32,7 +32,7 @@ _FALLBACK_BLOCKLIST = frozenset({
     "sort", "reverse", "count", "index", "insert_left", "copy", "split",
     "join", "strip", "lstrip", "rstrip", "format", "encode", "decode",
     "startswith", "endswith", "lower", "upper", "replace", "move_to_end",
-    "tolist", "read_text", "write_text", "open", "close", "exists",
+    "tolist", "read_text", "write_text", "write", "open", "close", "exists",
     "mkdir", "resolve", "relative_to", "as_posix", "heappush", "heappop",
     "heapify", "to_dict", "from_dict",
 })
@@ -254,6 +254,11 @@ class ProjectModel:
             return None
         if isinstance(node, ast.Call):
             return self._constructed_class(node)
+        if isinstance(node, ast.IfExp):
+            # ``x = (Telemetry(...) if enabled else None)``: either branch
+            # may flow; take whichever resolves (over-approximate).
+            return (self._expr_type(info, node.body, types)
+                    or self._expr_type(info, node.orelse, types))
         return None
 
     # ------------------------------------------------------------------
@@ -438,6 +443,21 @@ class ProjectModel:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+
+    def local_types(self, info: FunctionInfo) -> Dict[str, str]:
+        """Public view of the per-function local-type map (name -> class).
+
+        Downstream passes (simrace's payload analysis) resolve what class a
+        payload element is before deciding whether it may cross a process
+        boundary; they share the flow model's inference rather than
+        re-deriving it.
+        """
+        return self._local_types(info)
+
+    def expr_type(self, info: FunctionInfo, node: ast.AST,
+                  types: Dict[str, str]) -> Optional[str]:
+        """Public view of expression-type resolution (see ``local_types``)."""
+        return self._expr_type(info, node, types)
 
     def find_function(self, qual_suffix: str) -> Optional[FunctionInfo]:
         """The function whose qualname ends with ``qual_suffix``

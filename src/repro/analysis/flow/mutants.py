@@ -16,24 +16,13 @@ nondeterminism), a per-op allocation (the regression trace replay was
 built to remove).
 """
 
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.analysis.source import collect_files
+from repro.analysis.mutation import Mutant, MutantResult, run_seeded_mutants
 from repro.analysis.flow.engine import FlowReport, run_flow
 
 __all__ = ["MUTANTS", "Mutant", "MutantResult", "run_mutants"]
-
-
-@dataclass(frozen=True)
-class Mutant:
-    """One seeded defect: textual edits plus the code that must catch it."""
-
-    name: str
-    code: str                              # the FLW code that must fire
-    description: str
-    edits: Tuple[Tuple[str, str, str], ...]  # (rel suffix, old, new)
 
 
 MUTANTS: Tuple[Mutant, ...] = (
@@ -200,21 +189,6 @@ MUTANTS: Tuple[Mutant, ...] = (
 )
 
 
-@dataclass
-class MutantResult:
-    mutant: Mutant
-    killed: bool
-    new_findings: List[str]
-
-
-def _sources(paths: Sequence) -> Dict[str, str]:
-    """rel -> source text for every file under the analyzed roots."""
-    out: Dict[str, str] = {}
-    for file, rel in collect_files([Path(p) for p in paths]):
-        out[rel] = file.read_text(encoding="utf-8")
-    return out
-
-
 def run_mutants(
     paths: Sequence,
     baseline: Optional[Path] = None,
@@ -222,33 +196,7 @@ def run_mutants(
 ) -> Tuple[List[MutantResult], FlowReport]:
     """Seed each defect in memory and require its pass to catch it.
 
-    A mutant is *killed* when the mutated tree produces at least one
-    finding with the mutant's code that the pristine tree does not have
-    (same line-independent identity).  Raises ``ValueError`` if a mutant's
-    anchor text no longer exists — a drifted anchor must fail loudly, not
-    silently test nothing.
+    See :func:`repro.analysis.mutation.run_seeded_mutants` for the kill
+    criterion and anchor-drift behavior.
     """
-    sources = _sources(paths)
-    pristine = run_flow(paths, baseline=baseline)
-    pristine_keys = {f.key() for f in pristine.findings}
-    results: List[MutantResult] = []
-    for mutant in mutants:
-        overrides: Dict[str, str] = {}
-        for rel_suffix, old, new in mutant.edits:
-            matches = [rel for rel in sources if rel.endswith(rel_suffix)]
-            if len(matches) != 1:
-                raise ValueError(
-                    f"mutant {mutant.name}: {len(matches)} files match "
-                    f"{rel_suffix!r}")
-            text = overrides.get(matches[0], sources[matches[0]])
-            if old not in text:
-                raise ValueError(
-                    f"mutant {mutant.name}: anchor not found in "
-                    f"{matches[0]} — update the mutant to the current tree")
-            overrides[matches[0]] = text.replace(old, new, 1)
-        mutated = run_flow(paths, baseline=baseline, overrides=overrides)
-        new = [str(f) for f in mutated.findings
-               if f.code == mutant.code and f.key() not in pristine_keys]
-        results.append(MutantResult(mutant=mutant, killed=bool(new),
-                                    new_findings=new))
-    return results, pristine
+    return run_seeded_mutants(run_flow, paths, mutants, baseline=baseline)

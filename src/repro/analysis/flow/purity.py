@@ -35,7 +35,8 @@ the same shape as SIM001's profiler carve-out.
 import ast
 from typing import Iterator, List, Set
 
-from repro.analysis.source import Violation, dotted_name, terminal_identifier
+from repro.analysis.source import (Violation, dotted_name, is_set_expr,
+                                   set_typed_locals, terminal_identifier)
 from repro.analysis.flow.model import FunctionInfo, ProjectModel
 
 __all__ = ["run_purity_pass", "hot_set"]
@@ -89,7 +90,7 @@ def run_purity_pass(model: ProjectModel) -> List[Violation]:
 
 
 def _check_function(info: FunctionInfo) -> Iterator[Violation]:
-    set_locals = _set_typed_locals(info.node)
+    set_locals = set_typed_locals(info.node)
     raise_nodes = _nodes_under_raises(info.node)
     for node in _own_nodes(info.node):
         yield from _check_nondeterminism(info, node, set_locals)
@@ -110,28 +111,6 @@ def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
     for node in ast.walk(func):
         if id(node) not in skip:
             yield node
-
-
-def _set_typed_locals(func: ast.AST) -> Set[str]:
-    """Local names bound to set displays/constructors in this function."""
-    names: Set[str] = set()
-    for node in ast.walk(func):
-        if isinstance(node, ast.Assign) and _is_set_expr(node.value):
-            for target in node.targets:
-                if isinstance(target, ast.Name):
-                    names.add(target.id)
-        elif (isinstance(node, ast.AnnAssign) and node.value is not None
-                and _is_set_expr(node.value)
-                and isinstance(node.target, ast.Name)):
-            names.add(node.target.id)
-    return names
-
-
-def _is_set_expr(node: ast.AST) -> bool:
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    return (isinstance(node, ast.Call)
-            and terminal_identifier(node.func) in ("set", "frozenset"))
 
 
 def _nodes_under_raises(func: ast.AST) -> Set[int]:
@@ -174,7 +153,7 @@ def _check_nondeterminism(info: FunctionInfo, node: ast.AST,
                              "once at configuration time")
     if isinstance(node, (ast.For, ast.AsyncFor)):
         iter_node = node.iter
-        is_set = _is_set_expr(iter_node) or (
+        is_set = is_set_expr(iter_node) or (
             isinstance(iter_node, ast.Name) and iter_node.id in set_locals)
         if is_set:
             yield _violation(info, node, "FLW007",

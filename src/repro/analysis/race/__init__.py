@@ -1,0 +1,63 @@
+"""``simrace``: static concurrency & process-safety analysis for the
+parallel frontier.
+
+The frontier's promise is that ``jobs=N`` changes wall-clock time and
+nothing else.  ``simrace`` checks the structural invariants that promise
+rests on, reusing simflow's project model (shared source layer, call
+graph, reachability) and pointing it at the process boundary:
+
+* **RCE001–RCE002** payload safety (:mod:`~repro.analysis.race.payload`):
+  everything a ``pool.submit`` captures must be frozen picklable data —
+  no closures, bound methods, callbacks, open handles, locks, or
+  instances of classes that hold them (traced transitively through the
+  model's attribute types).
+* **RCE003–RCE004** durable-write discipline (:mod:`~repro.analysis.race.
+  durable`): bench/obs artifacts publish atomically via
+  :mod:`repro.util.fsio`; shared JSONL streams append via
+  ``append_jsonl`` (single O_APPEND write), never buffered ``open("a")``.
+* **RCE005–RCE007** fork/worker hygiene (:mod:`~repro.analysis.race.
+  worker`): the call-graph slice reachable from submit targets must not
+  mutate module globals, read env vars the ``BenchSettings`` snapshot
+  does not pin, or touch the process-global RNG off the seeded
+  ``util/rng.py`` path.
+* **RCE008–RCE009** ordering soundness (:mod:`~repro.analysis.race.
+  ordering`): outputs must not depend on future-completion order or raw
+  set iteration order.
+
+Entry points: :func:`~repro.analysis.race.engine.run_race`
+(programmatic), ``python -m repro.analysis race`` (CLI, JSON + SARIF +
+baseline), and ``python -m repro.analysis race-mutants`` (seeded-defect
+self-validation).
+"""
+
+from repro.analysis.race.engine import (
+    RACE_CODES,
+    HYGIENE_CODE,
+    RaceReport,
+    load_baseline,
+    run_race,
+    write_baseline,
+)
+from repro.analysis.race.mutants import RACE_MUTANTS, run_race_mutants
+from repro.analysis.race.report import (
+    findings_to_json,
+    findings_to_sarif,
+    format_report,
+)
+from repro.analysis.race.worker import RaceContext, build_context
+
+__all__ = [
+    "HYGIENE_CODE",
+    "RACE_CODES",
+    "RACE_MUTANTS",
+    "RaceContext",
+    "RaceReport",
+    "build_context",
+    "findings_to_json",
+    "findings_to_sarif",
+    "format_report",
+    "load_baseline",
+    "run_race",
+    "run_race_mutants",
+    "write_baseline",
+]

@@ -1,0 +1,157 @@
+"""simrace orchestration: parse -> model -> context -> passes -> baseline.
+
+The pipeline is simflow's (same shared source model, same call-graph
+model, same waiver and baseline machinery) pointed at a different hazard
+class: process-safety on the parallel frontier.  One
+:class:`~repro.analysis.race.worker.RaceContext` is built per run —
+submit sites, worker-slice closure, pinned env set — and every pass reads
+from it, so the whole-tree work (parse, call graph, reachability) happens
+once no matter how many rule families run.
+
+Waivers use the ``# simrace: ignore[RCE00x] -- justification`` namespace,
+independent of simlint's and simflow's; unjustified/stale pragmas and
+stale baseline entries report as ``RCE000``.
+"""
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.baseline import (Finding, apply_baseline, load_baseline,
+                                     write_baseline as _write_baseline)
+from repro.analysis.source import Violation, apply_waivers, parse_project
+from repro.analysis.flow.model import ProjectModel
+from repro.analysis.race.worker import build_context, run_worker_pass
+from repro.analysis.race.payload import run_payload_pass
+from repro.analysis.race.durable import run_durable_pass
+from repro.analysis.race.ordering import run_ordering_pass
+
+__all__ = ["RACE_CODES", "HYGIENE_CODE", "SYNTAX_CODE", "Finding",
+           "RaceReport", "load_baseline", "run_race", "write_baseline"]
+
+#: Rule catalogue: code -> (title, one-line rationale).
+RACE_CODES: Dict[str, Tuple[str, str]] = {
+    "RCE001": ("unpicklable payload capture",
+               "a pool.submit payload captures a closure, bound method, "
+               "callback, open handle or lock — it cannot cross the "
+               "process boundary intact"),
+    "RCE002": ("process-unsafe payload object",
+               "a pool.submit payload ships an instance of a class that "
+               "holds callbacks, locks or open handles"),
+    "RCE003": ("non-atomic durable write",
+               "a bench/obs artifact is written with open('w')/"
+               ".write_text instead of an atomic temp-file+replace "
+               "publish"),
+    "RCE004": ("torn-unsafe append",
+               "a shared JSONL stream is appended with buffered open('a') "
+               "— concurrent appenders can interleave partial lines"),
+    "RCE005": ("worker-slice global mutation",
+               "worker-side code mutates module-global state that fork "
+               "privatizes and spawn resets"),
+    "RCE006": ("unpinned worker env read",
+               "worker-side code reads an env var the BenchSettings "
+               "snapshot does not pin, so the resolved request no longer "
+               "describes the run"),
+    "RCE007": ("global RNG off the seeded path",
+               "random.*/np.random.* global-state calls outside "
+               "util/rng.py diverge across workers and break bit-replay"),
+    "RCE008": ("completion-order dependent output",
+               "results accumulated in future-completion order instead of "
+               "submission-index order"),
+    "RCE009": ("set-order dependent output",
+               "set iteration feeds an order-sensitive durable output "
+               "without sorted(...)"),
+}
+
+#: Hygiene findings (unjustified/stale waivers, stale baseline entries).
+HYGIENE_CODE = "RCE000"
+#: Unparseable-source findings.
+SYNTAX_CODE = "RCE999"
+
+#: Which pass implements which codes (drives --select pass skipping).
+_PASSES = (
+    (run_payload_pass, ("RCE001", "RCE002")),
+    (run_durable_pass, ("RCE003", "RCE004")),
+    (run_worker_pass, ("RCE005", "RCE006", "RCE007")),
+    (run_ordering_pass, ("RCE008", "RCE009")),
+)
+
+
+@dataclass
+class RaceReport:
+    """The outcome of one simrace run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: int = 0
+    modules: int = 0
+    functions: int = 0
+    worker_functions: int = 0
+    select: Optional[Tuple[str, ...]] = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Persist ``findings`` as the accepted simrace baseline."""
+    _write_baseline(
+        path, findings, tool="simrace",
+        regenerate="python -m repro.analysis race --update-baseline")
+
+
+def run_race(
+    paths: Sequence,
+    select: Optional[Iterable[str]] = None,
+    baseline: Optional[Path] = None,
+    overrides: Optional[Dict[str, str]] = None,
+) -> RaceReport:
+    """Run the race passes over every Python file under ``paths``.
+
+    ``select`` restricts to the given RCE codes (a pass whose codes are
+    all deselected is skipped entirely).  ``baseline`` names an
+    accepted-findings file; matches are suppressed, stale entries
+    reported.  ``overrides`` substitutes in-memory source text by
+    rel-path suffix — the seeded-defect mutants run through this without
+    touching the tree.
+    """
+    project, syntax_errors = parse_project(
+        [Path(p) for p in paths], tool="simrace",
+        syntax_error_code=SYNTAX_CODE, overrides=overrides)
+    model = ProjectModel(project)
+    ctx = build_context(model)
+
+    selected = (set(code.upper() for code in select)
+                if select is not None else set(RACE_CODES))
+    raw: List[Violation] = list(syntax_errors)
+    for pass_fn, codes in _PASSES:
+        if not selected.intersection(codes):
+            continue
+        raw.extend(v for v in pass_fn(ctx) if v.code in selected)
+
+    survivors = apply_waivers(project, raw, selected,
+                              unjustified_code=HYGIENE_CODE,
+                              stale_code=HYGIENE_CODE)
+
+    rel_of = {str(m.path): m.rel for m in project.modules}
+    findings = [Finding(code=v.code, message=v.message, path=v.path,
+                        rel=rel_of.get(v.path, Path(v.path).name),
+                        line=v.line, col=v.col)
+                for v in survivors]
+
+    baselined = 0
+    if baseline is not None and Path(baseline).exists():
+        entries = load_baseline(Path(baseline))
+        findings, baselined = apply_baseline(findings, entries,
+                                             Path(baseline),
+                                             hygiene_code=HYGIENE_CODE)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return RaceReport(
+        findings=findings,
+        baselined=baselined,
+        modules=len(project.modules),
+        functions=len(model.functions),
+        worker_functions=len(ctx.worker_slice),
+        select=tuple(sorted(selected)) if select is not None else None,
+    )

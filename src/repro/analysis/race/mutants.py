@@ -1,0 +1,166 @@
+"""Seeded concurrency defects: the simrace self-test gauntlet.
+
+Each mutant re-introduces, in memory, a realistic process-safety bug at
+the exact sites the real tree hardened — a callback smuggled into a
+payload, the trajectory write reverted to truncate-then-write, a worker
+counting runs in a module global — and simrace must kill it (produce a
+finding with the mutant's code that the pristine tree does not have).
+Anchors are exact source snippets; if the tree drifts, the gauntlet
+raises instead of silently testing nothing.  Shared loop:
+:func:`repro.analysis.mutation.run_seeded_mutants`.
+"""
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.mutation import Mutant, MutantResult, run_seeded_mutants
+from repro.analysis.race.engine import run_race
+
+__all__ = ["RACE_MUTANTS", "Mutant", "MutantResult", "run_race_mutants"]
+
+_PAYLOAD_TUPLE = "(request, tdir, telemetry_interval, parallel, trace)"
+
+RACE_MUTANTS: Tuple[Mutant, ...] = (
+    Mutant(
+        name="payload-captures-callback",
+        code="RCE001",
+        description="the progress callback rides into the worker payload",
+        edits=((
+            "bench/frontier.py",
+            _PAYLOAD_TUPLE,
+            "(request, tdir, telemetry_interval, parallel, trace, "
+            "on_payload)",
+        ),),
+    ),
+    Mutant(
+        name="submit-wraps-lambda",
+        code="RCE001",
+        description="the submit target becomes a closure over the payload",
+        edits=((
+            "bench/frontier.py",
+            "pool.submit(_execute_payload, payload)",
+            "pool.submit(lambda: _execute_payload(payload))",
+        ),),
+    ),
+    Mutant(
+        name="ledger-ships-in-payload",
+        code="RCE002",
+        description="a live RunLedger (listener-holding) crosses the "
+                    "process boundary",
+        edits=((
+            "bench/frontier.py",
+            _PAYLOAD_TUPLE,
+            "(request, tdir, telemetry_interval, parallel, trace, "
+            "RunLedger())",
+        ),),
+    ),
+    Mutant(
+        name="trajectory-write-reverts",
+        code="RCE003",
+        description="BENCH_<runid>.json goes back to truncate-then-write",
+        edits=((
+            "bench/history.py",
+            "        # Atomic publish: a run killed mid-write must never "
+            "leave a torn\n"
+            "        # trajectory record for `history --compare` to trip "
+            "over.\n"
+            "        atomic_write_json(path, self.payload(), indent=2)\n",
+            "        with open(path, \"w\", encoding=\"utf-8\") as fh:\n"
+            "            json.dump(self.payload(), fh, indent=2)\n",
+        ),),
+    ),
+    Mutant(
+        name="ledger-buffered-append",
+        code="RCE004",
+        description="the ledger stream is appended via buffered open('a')",
+        edits=((
+            "obs/events.py",
+            "        return atomic_write_text(Path(path), self.to_jsonl())",
+            "        path = Path(path)\n"
+            "        with open(path, \"a\", encoding=\"utf-8\") as fh:\n"
+            "            for event in self.events:\n"
+            "                fh.write(json.dumps(event) + \"\\n\")\n"
+            "        return path",
+        ),),
+    ),
+    Mutant(
+        name="worker-mutates-module-state",
+        code="RCE005",
+        description="the worker counts runs in a module-global dict",
+        edits=(
+            (
+                "bench/frontier.py",
+                "EVENT_FINGERPRINT_LEN = 12\n",
+                "EVENT_FINGERPRINT_LEN = 12\n"
+                "_WORKER_STATS: Dict[str, int] = {}\n",
+            ),
+            (
+                "bench/frontier.py",
+                "    request, telemetry_dir, telemetry_interval, "
+                "unique_stem, trace = payload\n",
+                "    request, telemetry_dir, telemetry_interval, "
+                "unique_stem, trace = payload\n"
+                "    _WORKER_STATS[\"runs\"] = "
+                "_WORKER_STATS.get(\"runs\", 0) + 1\n",
+            ),
+        ),
+    ),
+    Mutant(
+        name="worker-env-read",
+        code="RCE006",
+        description="the worker consults an env var the settings snapshot "
+                    "never pinned",
+        edits=((
+            "bench/frontier.py",
+            "    runnable = trace if trace is not None else "
+            "build_workload(request)\n",
+            "    if os.environ.get(\"REPRO_FORCE_POLICY\"):\n"
+            "        pass\n"
+            "    runnable = trace if trace is not None else "
+            "build_workload(request)\n",
+        ),),
+    ),
+    Mutant(
+        name="worker-rng-jitter",
+        code="RCE007",
+        description="the worker samples the process-global RNG",
+        edits=((
+            "bench/frontier.py",
+            "    result = simulate(request, telemetry=telemetry, "
+            "trace=trace)\n",
+            "    _jitter = random.random()\n"
+            "    result = simulate(request, telemetry=telemetry, "
+            "trace=trace)\n",
+        ),),
+    ),
+    Mutant(
+        name="completion-order-results",
+        code="RCE008",
+        description="envelopes accumulate in completion order instead of "
+                    "submission index",
+        edits=((
+            "bench/frontier.py",
+            "                envelopes[i] = envelope\n",
+            "                envelopes.append(envelope)\n",
+        ),),
+    ),
+    Mutant(
+        name="unsorted-trajectory-delta",
+        code="RCE009",
+        description="the trajectory delta iterates a raw set union",
+        edits=((
+            "bench/history.py",
+            "for key in sorted(set(before) | set(after)):",
+            "for key in set(before) | set(after):",
+        ),),
+    ),
+)
+
+
+def run_race_mutants(
+    paths: Sequence,
+    mutants: Sequence[Mutant] = RACE_MUTANTS,
+    baseline: Optional[Path] = None,
+) -> Tuple[List[MutantResult], object]:
+    """Seed each concurrency defect in memory; simrace must kill it."""
+    return run_seeded_mutants(run_race, paths, mutants, baseline=baseline)

@@ -1,0 +1,116 @@
+"""simrace output: terminal text, machine JSON, and SARIF 2.1.0.
+
+Same document shapes as simflow's report module — one SARIF run, one
+driver carrying the RCE rule catalogue, ``rel`` paths as artifact URIs so
+the document is machine-independent — with the scope line swapped for the
+number this tool actually cares about: the size of the worker slice.
+"""
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro.analysis.race.engine import RACE_CODES, HYGIENE_CODE, RaceReport
+
+__all__ = ["findings_to_json", "findings_to_sarif", "format_report"]
+
+_TOOL_NAME = "simrace"
+_TOOL_URI = "docs/analysis.md"
+
+
+def format_report(report: RaceReport) -> str:
+    """Human-readable result block (mirrors simlint's format)."""
+    lines = [str(finding) for finding in report.findings]
+    base = (f" ({report.baselined} baselined)" if report.baselined else "")
+    scope = (f"{report.modules} modules, {report.functions} functions, "
+             f"worker slice {report.worker_functions}")
+    if report.clean:
+        lines.append(f"simrace: clean{base} [{scope}]")
+    else:
+        lines.append(f"simrace: {len(report.findings)} finding(s){base} "
+                     f"[{scope}]")
+    return "\n".join(lines)
+
+
+def findings_to_json(report: RaceReport) -> Dict:
+    """A stable machine-readable document (the ``--json`` artifact)."""
+    return {
+        "tool": _TOOL_NAME,
+        "summary": {
+            "findings": len(report.findings),
+            "baselined": report.baselined,
+            "modules": report.modules,
+            "functions": report.functions,
+            "worker_functions": report.worker_functions,
+            "select": list(report.select) if report.select else None,
+            "clean": report.clean,
+        },
+        "findings": [
+            {"code": f.code, "message": f.message, "path": f.path,
+             "rel": f.rel, "line": f.line, "col": f.col}
+            for f in report.findings
+        ],
+    }
+
+
+def findings_to_sarif(report: RaceReport) -> Dict:
+    """A SARIF 2.1.0 document for code-scanning upload."""
+    rules = [
+        {
+            "id": code,
+            "name": title.title().replace(" ", "").replace("-", ""),
+            "shortDescription": {"text": title},
+            "fullDescription": {"text": rationale},
+            "helpUri": _TOOL_URI,
+        }
+        for code, (title, rationale) in sorted(RACE_CODES.items())
+    ]
+    rules.append({
+        "id": HYGIENE_CODE,
+        "name": "RaceHygiene",
+        "shortDescription": {"text": "waiver/baseline hygiene"},
+        "fullDescription": {
+            "text": "unjustified or stale waiver pragmas and stale "
+                    "baseline entries"},
+        "helpUri": _TOOL_URI,
+    })
+    results = [
+        {
+            "ruleId": f.code,
+            "level": "warning" if f.code == HYGIENE_CODE else "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.rel},
+                    "region": {"startLine": max(1, f.line),
+                               "startColumn": max(1, f.col + 1)},
+                },
+            }],
+        }
+        for f in report.findings
+    ]
+    return {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": _TOOL_NAME,
+                "informationUri": _TOOL_URI,
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }
+
+
+def write_json(report: RaceReport, path: Path) -> None:
+    Path(path).write_text(
+        json.dumps(findings_to_json(report), indent=2) + "\n",
+        encoding="utf-8")
+
+
+def write_sarif(report: RaceReport, path: Path) -> None:
+    Path(path).write_text(
+        json.dumps(findings_to_sarif(report), indent=2) + "\n",
+        encoding="utf-8")

@@ -36,9 +36,13 @@ __all__ = [
     "Waiver",
     "apply_waivers",
     "collect_files",
+    "dotted_name",
+    "is_set_expr",
     "parse_project",
     "parse_waivers",
+    "set_typed_locals",
     "statement_spans",
+    "terminal_identifier",
 ]
 
 
@@ -364,3 +368,36 @@ def terminal_identifier(node: ast.AST) -> Optional[str]:
     if isinstance(node, ast.Name):
         return node.id
     return None
+
+
+def is_set_expr(node: ast.AST) -> bool:
+    """Is ``node`` an expression that evaluates to a ``set``?
+
+    Covers set displays/comprehensions, ``set()``/``frozenset()``
+    constructor calls, and binary operations (``|``, ``&``, ``-``, ``^``)
+    where either operand is itself a set expression — the shape of
+    ``set(a) | set(b)`` unions whose iteration order is hash-seed-dependent.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and \
+            terminal_identifier(node.func) in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.BinOp):
+        return is_set_expr(node.left) or is_set_expr(node.right)
+    return False
+
+
+def set_typed_locals(func: ast.AST) -> Set[str]:
+    """Local names bound to set expressions anywhere in ``func``."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif (isinstance(node, ast.AnnAssign) and node.value is not None
+                and is_set_expr(node.value)
+                and isinstance(node.target, ast.Name)):
+            names.add(node.target.id)
+    return names

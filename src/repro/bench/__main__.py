@@ -40,6 +40,7 @@ import time
 
 from repro.bench import experiments, runner
 from repro.bench.cache import DEFAULT_CACHE_DIR
+from repro.util.fsio import atomic_write_text
 from repro.bench.history import (
     BenchTrajectory,
     compare_engine,
@@ -228,7 +229,7 @@ def _cmd_run(args) -> int:
               f"{entry['disk_hits']:.0f} disk hits]\n")
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
-            (args.out / f"{name}.txt").write_text(str(report) + "\n")
+            atomic_write_text(args.out / f"{name}.txt", str(report) + "\n")
     cache = runner.disk_cache()
     if cache is not None:
         trajectory.cache_info.update(cache.counters())

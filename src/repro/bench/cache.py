@@ -24,7 +24,6 @@ never publish a torn entry.
 import hashlib
 import json
 import os
-import tempfile
 from functools import lru_cache
 from pathlib import Path
 from typing import Dict, Optional
@@ -32,6 +31,9 @@ from typing import Dict, Optional
 import repro
 from repro.obs.events import NULL_LEDGER
 from repro.system.result import RunResult
+# Re-exported: the bench layer's historical home for the atomic-publish
+# helper; the implementation lives with its sibling primitives in util.
+from repro.util.fsio import atomic_write_json
 
 __all__ = ["BenchCache", "DEFAULT_CACHE_DIR", "atomic_write_json",
            "code_version_salt"]
@@ -58,31 +60,10 @@ def code_version_salt() -> str:
     ``REPRO_BENCH_SALT`` overrides the computed digest — useful in tests
     and for deliberately sharing a cache across known-compatible trees.
     """
-    env = os.environ.get("REPRO_BENCH_SALT")
+    env = os.environ.get("REPRO_BENCH_SALT")  # simrace: ignore[RCE006] -- deliberate operator override; shapes cache keys only, never results
     if env:
         return env
     return _source_tree_digest()[:16]
-
-
-def atomic_write_json(path: Path, payload: Dict) -> Path:
-    """Publish ``payload`` at ``path`` via temp-file + ``os.replace``.
-
-    Shared by the result cache and the trace store: concurrent workers and
-    interrupted runs can never leave a torn entry behind.
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, sort_keys=True)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
-    return path
 
 
 class BenchCache:

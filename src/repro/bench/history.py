@@ -33,6 +33,8 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.bench.cache import atomic_write_json
+
 __all__ = ["BenchTrajectory", "compare_engine", "format_observability",
            "latest_record", "load_records", "new_runid"]
 
@@ -84,7 +86,7 @@ class BenchTrajectory:
                before: Dict[str, float], after: Dict[str, float]) -> Dict:
         """Append one experiment's record from accounting snapshots."""
         entry: Dict = {"name": name, "wall_seconds": wall_seconds}
-        for key in set(before) | set(after):
+        for key in sorted(set(before) | set(after)):
             entry[key] = after.get(key, 0.0) - before.get(key, 0.0)
         entry = _with_throughput(entry)
         self.experiments.append(entry)
@@ -109,10 +111,10 @@ class BenchTrajectory:
 
     def write(self, out_dir) -> Path:
         out_dir = Path(out_dir)
-        out_dir.mkdir(parents=True, exist_ok=True)
         path = out_dir / f"BENCH_{self.runid}.json"
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(self.payload(), fh, indent=2, sort_keys=True)
+        # Atomic publish: a run killed mid-write must never leave a torn
+        # trajectory record for `history --compare` to trip over.
+        atomic_write_json(path, self.payload(), indent=2)
         return path
 
 

@@ -184,6 +184,7 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
 def _cmd_merge_trace(args: argparse.Namespace) -> int:
     from repro.obs.events import read_events
     from repro.obs.trace_export import ledger_to_trace, merge_chrome_traces
+    from repro.util.fsio import atomic_write_json
 
     directory = Path(args.directory)
     if not directory.is_dir():
@@ -214,8 +215,7 @@ def _cmd_merge_trace(args: argparse.Namespace) -> int:
         merged["otherData"]["frontier_ledger"] = ledger_paths[-1].name
     out = (Path(args.out) if args.out is not None
            else directory / "merged.trace.json")
-    with open(out, "w", encoding="utf-8") as fh:
-        json.dump(merged, fh)
+    atomic_write_json(out, merged, sort_keys=False)
     print(f"merged trace ({len(traces)} sources"
           + (", + frontier ledger track" if ledger_paths else "")
           + f") -> {out}")

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.obs.events import read_events
+from repro.util.fsio import atomic_write_text
 
 __all__ = ["collect_sources", "render_html", "write_dashboard"]
 
@@ -88,7 +89,7 @@ def write_dashboard(target, out=None) -> Path:
     sources = collect_sources(target)
     out = (Path(out) if out is not None
            else sources["directory"] / "dashboard.html")
-    out.write_text(render_html(sources), encoding="utf-8")
+    atomic_write_text(out, render_html(sources))
     return out
 
 

@@ -32,6 +32,8 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.util.fsio import atomic_write_text
+
 __all__ = [
     "EVENT_FIELDS",
     "EVENT_SCHEMA",
@@ -180,11 +182,14 @@ class RunLedger(NullLedger):
                        for event in self.events)
 
     def write_jsonl(self, path) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_jsonl())
-        return path
+        """Publish the merged stream atomically (temp-file + replace).
+
+        This is the parent-side, end-of-run snapshot; live multi-writer
+        streams (a listener appending as events land) go through
+        :func:`repro.util.fsio.append_jsonl` instead, whose single
+        ``O_APPEND`` write per batch keeps concurrent lines intact.
+        """
+        return atomic_write_text(Path(path), self.to_jsonl())
 
     def __len__(self) -> int:
         return len(self.events)

@@ -16,6 +16,8 @@ benchmark outputs; ``python -m repro.obs report`` and any external tool
 import json
 from typing import Dict, List, Optional
 
+from repro.util.fsio import atomic_write_text
+
 __all__ = ["IntervalSampler", "live_gauges"]
 
 #: Counters whose per-interval deltas are precomputed into each record —
@@ -129,8 +131,9 @@ class IntervalSampler:
                        for record in self.records)
 
     def write_jsonl(self, path) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_jsonl())
+        # The whole series is in memory; publish it atomically so a bundle
+        # reader can never observe a half-written stream.
+        atomic_write_text(path, self.to_jsonl())
 
     def last(self) -> Optional[Dict]:
         return self.records[-1] if self.records else None

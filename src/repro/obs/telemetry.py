@@ -18,7 +18,6 @@ every layer of the machine reports into it::
 consume.
 """
 
-import json
 import re
 from pathlib import Path
 from typing import Dict, Optional
@@ -27,6 +26,7 @@ from repro.core.tracer import PeiTracer
 from repro.obs.hooks import Obs
 from repro.obs.sampler import IntervalSampler
 from repro.obs.trace_export import ChromeTraceExporter
+from repro.util.fsio import atomic_write_json
 
 __all__ = ["Telemetry", "bundle_stem"]
 
@@ -124,9 +124,12 @@ class Telemetry:
             "trace": out_dir / f"{stem}.trace.json",
             "run": out_dir / f"{stem}.run.json",
         }
+        # Atomic publishes throughout: parallel workers sweeping the same
+        # (workload, policy) and interrupted runs can never leave a torn
+        # bundle for the report CLI or the schema checker to choke on.
         self.sampler.write_jsonl(paths["intervals"])
-        with open(paths["trace"], "w", encoding="utf-8") as fh:
-            json.dump(self.export_trace(), fh)
+        atomic_write_json(paths["trace"], self.export_trace(),
+                          sort_keys=False)
         bundle = {
             "result": result.to_dict() if result is not None else None,
             "telemetry": self.summary(),
@@ -135,6 +138,5 @@ class Telemetry:
                 "trace": paths["trace"].name,
             },
         }
-        with open(paths["run"], "w", encoding="utf-8") as fh:
-            json.dump(bundle, fh, indent=2, sort_keys=True)
+        atomic_write_json(paths["run"], bundle, indent=2)
         return paths

@@ -26,10 +26,10 @@ worker process with its simulate slices plus instant events for
 cache/trace-store activity.
 """
 
-import json
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.tracer import FenceTrace, PeiTracer, PeiTrace
+from repro.util.fsio import atomic_write_json
 
 __all__ = [
     "ChromeTraceExporter",
@@ -108,8 +108,7 @@ class ChromeTraceExporter:
         }
 
     def write(self, tracer: PeiTracer, path) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(self.export(tracer), fh)
+        atomic_write_json(path, self.export(tracer), sort_keys=False)
 
     # ------------------------------------------------------------------
 

@@ -137,3 +137,91 @@ class TestFlowMutantsExitCodes:
         # none), not report a vacuous pass.
         write_tree(tmp_path, {"mod.py": CLEAN_MODULE})
         assert main(["flow-mutants", str(tmp_path), "--no-baseline"]) == 2
+
+
+# RCE003 (simrace): a truncating write in a durable-artifact module.
+RACE_DIRTY_MODULE = (
+    "def save(path, text):\n"
+    "    with open(path, 'w') as fh:\n"
+    "        fh.write(text)\n"
+)
+
+
+class TestRaceExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write_tree(tmp_path, {"bench/mod.py": CLEAN_MODULE})
+        assert main(["race", str(tmp_path), "--no-baseline"]) == 0
+        assert "simrace: clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        write_tree(tmp_path, {"bench/mod.py": RACE_DIRTY_MODULE})
+        assert main(["race", str(tmp_path), "--no-baseline"]) == 1
+        assert "RCE003" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert main(["race", str(tmp_path / "nope"), "--no-baseline"]) == 2
+
+    def test_unknown_select_code_exits_two(self, tmp_path):
+        write_tree(tmp_path, {"bench/mod.py": CLEAN_MODULE})
+        assert main(["race", str(tmp_path), "--no-baseline",
+                     "--select", "RCE042"]) == 2
+
+    def test_missing_baseline_file_exits_two(self, tmp_path):
+        write_tree(tmp_path, {"bench/mod.py": CLEAN_MODULE})
+        assert main(["race", str(tmp_path),
+                     "--baseline", str(tmp_path / "nope.json")]) == 2
+
+    def test_malformed_baseline_exits_two(self, tmp_path):
+        write_tree(tmp_path, {"bench/mod.py": CLEAN_MODULE})
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"entries": [{"code": "RCE003"}]}),
+                       encoding="utf-8")
+        assert main(["race", str(tmp_path), "--baseline", str(bad)]) == 2
+
+    def test_list_rules_exits_zero(self, capsys):
+        assert main(["race", "--list-rules"]) == 0
+        assert "RCE001" in capsys.readouterr().out
+
+    def test_json_and_sarif_are_written(self, tmp_path):
+        write_tree(tmp_path, {"bench/mod.py": RACE_DIRTY_MODULE})
+        out_json = tmp_path / "report.json"
+        out_sarif = tmp_path / "report.sarif"
+        assert main(["race", str(tmp_path), "--no-baseline",
+                     "--json", str(out_json),
+                     "--sarif", str(out_sarif)]) == 1
+        payload = json.loads(out_json.read_text(encoding="utf-8"))
+        assert [f["code"] for f in payload["findings"]] == ["RCE003"]
+        sarif = json.loads(out_sarif.read_text(encoding="utf-8"))
+        assert sarif["version"] == "2.1.0"
+        results = sarif["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["RCE003"]
+
+
+class TestRaceBaselineRoundTripViaCli:
+    def test_update_then_rerun_exits_zero(self, tmp_path, capsys):
+        write_tree(tmp_path, {"bench/mod.py": RACE_DIRTY_MODULE})
+        baseline = tmp_path / "baseline.json"
+        assert main(["race", str(tmp_path), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main(["race", str(tmp_path),
+                     "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_update_baseline_without_path_exits_two(self, tmp_path):
+        write_tree(tmp_path, {"bench/mod.py": CLEAN_MODULE})
+        assert main(["race", str(tmp_path), "--no-baseline",
+                     "--update-baseline"]) == 2
+
+
+class TestRaceMutantsExitCodes:
+    def test_missing_path_exits_two(self, tmp_path):
+        assert main(["race-mutants", str(tmp_path / "nope")]) == 2
+
+    def test_drifted_anchor_exits_two(self, tmp_path):
+        # Same contract as flow-mutants: a tree without the anchor lines
+        # must refuse to run, not report a vacuous pass.
+        write_tree(tmp_path, {"mod.py": CLEAN_MODULE})
+        assert main(["race-mutants", str(tmp_path), "--no-baseline"]) == 2

@@ -1,0 +1,65 @@
+"""Durable-write primitives: atomicity, failure cleanup, append integrity."""
+
+import json
+import os
+
+import pytest
+
+from repro.util.fsio import append_jsonl, atomic_write_json, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_text_round_trip(self, tmp_path):
+        path = atomic_write_text(tmp_path / "a" / "b.txt", "hello\n")
+        assert path.read_text(encoding="utf-8") == "hello\n"
+
+    def test_json_round_trip(self, tmp_path):
+        path = atomic_write_json(tmp_path / "r.json", {"b": 1, "a": 2})
+        assert json.loads(path.read_text(encoding="utf-8")) == {"a": 2,
+                                                                "b": 1}
+
+    def test_equal_payloads_are_byte_identical(self, tmp_path):
+        one = atomic_write_json(tmp_path / "one.json", {"b": 1, "a": 2})
+        two = atomic_write_json(tmp_path / "two.json", {"a": 2, "b": 1})
+        assert one.read_bytes() == two.read_bytes()
+
+    def test_indented_json_ends_with_newline(self, tmp_path):
+        path = atomic_write_json(tmp_path / "r.json", {"a": 1}, indent=2)
+        assert path.read_text(encoding="utf-8").endswith("}\n")
+
+    def test_failed_write_leaves_previous_version(self, tmp_path):
+        target = tmp_path / "r.json"
+        atomic_write_json(target, {"version": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(target, {"bad": object()})
+        assert json.loads(target.read_text(encoding="utf-8")) == {
+            "version": 1}
+
+    def test_failed_write_leaves_no_temp_files(self, tmp_path):
+        with pytest.raises(TypeError):
+            atomic_write_json(tmp_path / "r.json", {"bad": object()})
+        assert [p.name for p in tmp_path.iterdir()] == []
+
+
+class TestAppendJsonl:
+    def test_appends_accumulate_whole_lines(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        append_jsonl(path, [{"seq": 0}, {"seq": 1}])
+        append_jsonl(path, [{"seq": 2}])
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert [json.loads(line)["seq"] for line in lines] == [0, 1, 2]
+
+    def test_empty_batch_still_creates_the_file(self, tmp_path):
+        path = append_jsonl(tmp_path / "stream.jsonl", [])
+        assert path.exists()
+        assert path.read_bytes() == b""
+
+    def test_open_flags_are_append_only(self, tmp_path):
+        # A second writer never truncates what the first wrote.
+        path = tmp_path / "stream.jsonl"
+        append_jsonl(path, [{"who": "first"}])
+        size_before = os.path.getsize(path)
+        append_jsonl(path, [{"who": "second"}])
+        assert os.path.getsize(path) > size_before
+        first_line = path.read_text(encoding="utf-8").splitlines()[0]
+        assert json.loads(first_line) == {"who": "first"}
