@@ -18,7 +18,7 @@ from repro.analysis.race.engine import run_race
 
 __all__ = ["RACE_MUTANTS", "Mutant", "MutantResult", "run_race_mutants"]
 
-_PAYLOAD_TUPLE = "(request, tdir, telemetry_interval, parallel, trace)"
+_PAYLOAD_TUPLE = "(request, tdir, telemetry_interval, parallel, handle)"
 
 RACE_MUTANTS: Tuple[Mutant, ...] = (
     Mutant(
@@ -28,7 +28,7 @@ RACE_MUTANTS: Tuple[Mutant, ...] = (
         edits=((
             "bench/frontier.py",
             _PAYLOAD_TUPLE,
-            "(request, tdir, telemetry_interval, parallel, trace, "
+            "(request, tdir, telemetry_interval, parallel, handle, "
             "on_payload)",
         ),),
     ),
@@ -50,7 +50,7 @@ RACE_MUTANTS: Tuple[Mutant, ...] = (
         edits=((
             "bench/frontier.py",
             _PAYLOAD_TUPLE,
-            "(request, tdir, telemetry_interval, parallel, trace, "
+            "(request, tdir, telemetry_interval, parallel, handle, "
             "RunLedger())",
         ),),
     ),

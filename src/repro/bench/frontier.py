@@ -32,6 +32,8 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.bench.shm import TraceHandle, attach_trace, publish_traces, \
+    unlink_segments
 from repro.core.dispatch import DispatchPolicy
 from repro.obs.events import worker_event
 from repro.obs.telemetry import Telemetry, bundle_stem
@@ -253,6 +255,10 @@ def _execute_payload(payload) -> Dict:
     :mod:`repro.obs.events` and :mod:`repro.obs.aggregate`.
     """
     request, telemetry_dir, telemetry_interval, unique_stem, trace = payload
+    if isinstance(trace, TraceHandle):
+        # Parallel batches ship traces as shared-memory handles; attach and
+        # decode once per worker process (attach_trace memoizes by name).
+        trace = attach_trace(trace)
     telemetry = (Telemetry(interval=telemetry_interval)
                  if telemetry_dir is not None else None)
     pid = os.getpid()
@@ -310,29 +316,38 @@ def execute_batch(
                          f"requests — the sequences must align")
     parallel = jobs > 1 and len(requests) > 1
     tdir = str(telemetry_dir) if telemetry_dir is not None else None
-    payloads = [(request, tdir, telemetry_interval, parallel, trace)
-                for request, trace in zip(requests, traces)]
     if not parallel:
         envelopes = []
-        for i, payload in enumerate(payloads):
-            envelope = _execute_payload(payload)
+        for i, (request, trace) in enumerate(zip(requests, traces)):
+            envelope = _execute_payload(
+                (request, tdir, telemetry_interval, parallel, trace))
             if on_payload is not None:
                 on_payload(i, envelope)
             envelopes.append(envelope)
         return envelopes
+    # Parallel: publish each unique trace once into shared memory and ship
+    # the payloads a tiny handle instead of the pickled arrays.  The runner
+    # owns segment lifetime — unlinked in the finally whether the pool
+    # drains normally or a worker dies.
+    handles, segments = publish_traces(traces)
+    payloads = [(request, tdir, telemetry_interval, parallel, handle)
+                for request, handle in zip(requests, handles)]
     workers = min(jobs, len(requests))
     envelopes = [None] * len(payloads)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        pending = {pool.submit(_execute_payload, payload): i
-                   for i, payload in enumerate(payloads)}
-        while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                i = pending.pop(future)
-                envelope = future.result()
-                if on_payload is not None:
-                    on_payload(i, envelope)
-                envelopes[i] = envelope
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {pool.submit(_execute_payload, payload): i
+                       for i, payload in enumerate(payloads)}
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    i = pending.pop(future)
+                    envelope = future.result()
+                    if on_payload is not None:
+                        on_payload(i, envelope)
+                    envelopes[i] = envelope
+    finally:
+        unlink_segments(segments)
     return envelopes
 
 
@@ -355,8 +370,10 @@ def run_batch(
 
     ``traces`` (aligned with ``requests``; None entries allowed) carries
     pre-captured CompiledTraces: those points replay instead of re-running
-    the functional workload.  Traces ship to parallel workers through the
-    payload, so a figure's whole sweep pays one capture in the parent.
+    the functional workload.  A figure's whole sweep pays one capture in
+    the parent, and parallel batches ship each unique trace to workers
+    once through a shared-memory segment (:mod:`repro.bench.shm`) instead
+    of pickling it into every payload.
 
     Callers that also want the per-request run-ledger events and worker
     telemetry snapshots use :func:`execute_batch` instead.

@@ -29,6 +29,7 @@ scope)::
 import json
 import os
 import time
+import warnings
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -127,8 +128,15 @@ def load_records(history_dir) -> List[Tuple[Path, Dict]]:
     history_dir = Path(history_dir)
     records = []
     for path in sorted(history_dir.glob("BENCH_*.json")):
-        with open(path, "r", encoding="utf-8") as fh:
-            records.append((path, json.load(fh)))
+        # A single unreadable record (half-downloaded CI artifact, torn
+        # copy) must not kill `history --compare` for the whole series:
+        # skip it with a warning and keep the readable ones.
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                records.append((path, json.load(fh)))
+        except (OSError, json.JSONDecodeError) as exc:
+            warnings.warn(f"skipping unreadable bench record {path}: {exc}",
+                          stacklevel=2)
     return records
 
 
@@ -199,9 +207,14 @@ def format_observability(record: Dict) -> List[str]:
         lines.append(f"  simulated ops/s: {obs['sim_ops_per_second']:,.0f}")
     workers = obs.get("workers") or {}
     if workers:
+        # JSON round-trips pid keys as *strings*; sort numerically so pid
+        # 9 prints before pid 10.  (repro.obs.aggregate sorts the int pids
+        # before stringifying and repro.obs.dashboard never orders worker
+        # maps, so this was the only string-keyed sort.)
         parts = [f"pid {pid}: {w['payloads']} runs, "
                  f"{w.get('utilization', 0.0):.0%} busy"
-                 for pid, w in sorted(workers.items())]
+                 for pid, w in sorted(workers.items(),
+                                      key=lambda kv: int(kv[0]))]
         lines.append("  workers: " + "; ".join(parts))
     events = obs.get("events")
     if events:

@@ -87,9 +87,33 @@ class PeiExecutor:
     def _execute(
         self, core: CoreModel, op: PimOp, vaddr: int, wait_output: bool, chain=None
     ) -> float:
-        self._slots[SLOT_PEI_ISSUED] += 1.0
         # core.translate inlined (runs once per PEI).
         paddr, tlb_latency = core.tlb.translate(vaddr)
+        return self._execute_pei(core, op, paddr, tlb_latency, wait_output, chain)
+
+    def execute_pei(
+        self, core: CoreModel, op: PimOp, paddr: int, tlb_latency: float,
+        wait_output: bool, chain=None
+    ) -> float:
+        """Obs-wrapped entry point for a PEI whose translation is precomputed.
+
+        The columnar replay engine resolves TLB outcomes at plan-compile
+        time (per-thread address streams are deterministic); it hands the
+        physical address and the page-walk latency in directly instead of
+        consulting the core's TLB.
+        """
+        if not self.obs.enabled:
+            return self._execute_pei(core, op, paddr, tlb_latency,
+                                     wait_output, chain)
+        with self.obs.span("executor.pei"):
+            return self._execute_pei(core, op, paddr, tlb_latency,
+                                     wait_output, chain)
+
+    def _execute_pei(
+        self, core: CoreModel, op: PimOp, paddr: int, tlb_latency: float,
+        wait_output: bool, chain=None
+    ) -> float:
+        self._slots[SLOT_PEI_ISSUED] += 1.0
         core.time += tlb_latency
         block = paddr >> self.hierarchy.block_bits
         if chain is not None:

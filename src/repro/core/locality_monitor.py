@@ -30,6 +30,37 @@ from repro.sim.stats import Stats
 from repro.util.bitops import ilog2, is_power_of_two
 
 
+class _PartialTagCache(dict):
+    """Self-populating ``block -> partial tag`` memo.
+
+    The partial tag is a pure XOR-fold of the block number, so memoized
+    values can never go stale.  A dict hit is a single C-level lookup where
+    the fold is a Python loop; the columnar replay engine pre-populates the
+    cache for a whole trace's blocks with one vectorized fold
+    (:func:`repro.system.columnar` install path), and any block outside
+    that set falls through to :meth:`__missing__`.
+    """
+
+    __slots__ = ("set_bits", "tag_bits", "tag_mask")
+
+    def __init__(self, set_bits: int, tag_bits: int, tag_mask: int):
+        super().__init__()
+        self.set_bits = set_bits
+        self.tag_bits = tag_bits
+        self.tag_mask = tag_mask
+
+    def __missing__(self, block: int) -> int:
+        value = block >> self.set_bits
+        bits = self.tag_bits
+        tag_mask = self.tag_mask
+        tag = 0
+        while value:
+            tag ^= value & tag_mask
+            value >>= bits
+        self[block] = tag
+        return tag
+
+
 class LocalityMonitor:
     """L3-mirrored partial-tag array advising PEI execution location."""
 
@@ -59,6 +90,9 @@ class LocalityMonitor:
         self._tag_mask = (1 << partial_tag_bits) - 1
         # Per set: partial_tag -> ignore flag, in LRU order.
         self._sets: List[OrderedDict] = [OrderedDict() for _ in range(n_sets)]
+        #: block -> partial-tag memo shared by the three hot paths below.
+        self._tags = _PartialTagCache(self._set_bits, partial_tag_bits,
+                                      self._tag_mask)
 
     # ------------------------------------------------------------------
     # Indexing
@@ -90,14 +124,8 @@ class LocalityMonitor:
     def observe_llc_access(self, block: int) -> None:
         """Mirror one last-level cache access (hook on the L3)."""
         line_set = self._sets[block & (self.n_sets - 1)]
-        # Inlined partial_tag: this hook runs on every L3 access.
-        value = block >> self._set_bits
-        bits = self.partial_tag_bits
-        tag_mask = self._tag_mask
-        tag = 0
-        while value:
-            tag ^= value & tag_mask
-            value >>= bits
+        # Memoized partial tag: this hook runs on every L3 access.
+        tag = self._tags[block]
         if tag in line_set:
             # Hit promotion; a real LLC access is direct locality evidence,
             # so any PIM-allocated ignore flag is cleared.
@@ -117,14 +145,8 @@ class LocalityMonitor:
         the ignore flag.
         """
         line_set = self._sets[block & (self.n_sets - 1)]
-        # Inlined partial_tag (one update per memory-dispatched PEI).
-        value = block >> self._set_bits
-        bits = self.partial_tag_bits
-        tag_mask = self._tag_mask
-        tag = 0
-        while value:
-            tag ^= value & tag_mask
-            value >>= bits
+        # Memoized partial tag (one update per memory-dispatched PEI).
+        tag = self._tags[block]
         if tag in line_set:
             line_set.move_to_end(tag)
         else:
@@ -145,14 +167,8 @@ class LocalityMonitor:
         as locality.
         """
         line_set = self._sets[block & (self.n_sets - 1)]
-        # Inlined partial_tag (advice runs on every monitored PEI).
-        value = block >> self._set_bits
-        bits = self.partial_tag_bits
-        tag_mask = self._tag_mask
-        tag = 0
-        while value:
-            tag ^= value & tag_mask
-            value >>= bits
+        # Memoized partial tag (advice runs on every monitored PEI).
+        tag = self._tags[block]
         slots = self._slots
         slots[SLOT_LOCALITY_MONITOR_ACCESSES] += 1.0
         if tag not in line_set:

@@ -105,6 +105,7 @@ class System:
         n_threads: Optional[int] = None,
         batch_window: float = 256.0,
         warm_start: bool = True,
+        engine: str = "auto",
     ) -> RunResult:
         """Simulate ``workload``; returns the collected metrics.
 
@@ -122,10 +123,23 @@ class System:
         the initialization phase: the initialization sweep that wrote the
         data leaves the last-level cache and the locality monitor populated
         with the most recently initialized blocks.
+
+        ``engine`` selects the trace-replay engine: ``"auto"`` tries the
+        columnar plan-compiled engine (:mod:`repro.system.columnar`) and
+        falls back to the scalar loop whenever the plan cannot prove
+        bit-identity; ``"scalar"`` forces the scalar loop; ``"columnar"``
+        forces the columnar engine and raises :class:`TraceError` when it
+        is unavailable.  Generator-driven runs always use the generator
+        engine; ``engine`` only shapes how a :class:`CompiledTrace`
+        replays, never the results.
         """
+        if engine not in ("auto", "scalar", "columnar"):
+            raise ValueError(
+                f"unknown replay engine {engine!r}; "
+                f"choose 'auto', 'scalar' or 'columnar'")
         if isinstance(workload, CompiledTrace):
             return self._run_trace(workload, max_ops_per_thread, n_threads,
-                                   batch_window, warm_start)
+                                   batch_window, warm_start, engine)
         machine = self.machine
         space = AddressSpace(page_size=self.config.page_size)
         workload.prepare(space)
@@ -257,6 +271,7 @@ class System:
         n_threads: Optional[int],
         batch_window: float,
         warm_start: bool,
+        engine: str = "auto",
     ) -> RunResult:
         """Replay a compiled trace through the array-based fast path.
 
@@ -292,6 +307,28 @@ class System:
         except KeyError as exc:
             raise TraceError(
                 f"trace references unknown PIM op {exc.args[0]!r}") from exc
+        # The cap that actually shaped the stream: the trace was cut at
+        # capture time, so a None argument inherits the captured cap.  Both
+        # engines and the generator path record this effective value in the
+        # RunResult metadata (a generator run producing the same stream must
+        # have been called with exactly this cap).
+        effective_cap = (max_ops_per_thread if max_ops_per_thread is not None
+                         else trace.max_ops_per_thread)
+        if engine != "scalar":
+            # Deferred import: repro.system.columnar needs numpy, and the
+            # numpy-free consumers (repro.analysis, repro.verify) import
+            # System — the columnar engine must stay off their import path.
+            from repro.system import columnar
+            result = columnar.replay(self, trace, op_table, n_threads,
+                                     batch_window, warm_start, effective_cap)
+            if result is not None:
+                return result
+            if engine == "columnar":
+                raise TraceError(
+                    "columnar replay unavailable for this trace/machine "
+                    "state (requires numpy, warm_start=True, a cold page "
+                    "table and TLBs, and page-aligned regions covering "
+                    "every traced address)")
         if warm_start:
             self._warm_caches(
                 [(base, base + size) for _, base, size in trace.regions])
@@ -405,7 +442,7 @@ class System:
         for core in cores:
             core.drain()
         return self._collect(trace.workload_name, trace.footprint,
-                             n_threads, trace.max_ops_per_thread)
+                             n_threads, effective_cap)
 
     # ------------------------------------------------------------------
 

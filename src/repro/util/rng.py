@@ -7,8 +7,6 @@ explicit seed so that experiments are replayable bit-for-bit.
 
 import zlib
 
-import numpy as np
-
 
 def derive_seed(base_seed: int, *labels) -> int:
     """Derive a child seed from ``base_seed`` and a sequence of labels.
@@ -24,6 +22,12 @@ def derive_seed(base_seed: int, *labels) -> int:
     return acc
 
 
-def make_rng(base_seed: int, *labels) -> np.random.Generator:
+def make_rng(base_seed: int, *labels) -> "np.random.Generator":  # noqa: F821
     """Return a numpy Generator seeded from ``base_seed`` and ``labels``."""
+    # Deferred import: this module sits on the import path of every repro
+    # package, including the numpy-free consumers (repro.analysis,
+    # repro.verify); only the workloads that actually draw random data pay
+    # for numpy.
+    import numpy as np
+
     return np.random.default_rng(derive_seed(base_seed, *labels))

@@ -7,27 +7,29 @@ scaled last-level cache, ``medium`` inputs are a few multiples of it, and
 locality regimes of Figure 6.
 """
 
-from typing import Dict
+from importlib import import_module
+from typing import Dict, Tuple
 
-from repro.workloads.analytics.hash_join import HashJoin
-from repro.workloads.analytics.histogram import Histogram
-from repro.workloads.analytics.radix_partition import RadixPartition
 from repro.workloads.base import Workload
-from repro.workloads.graph.atf import AverageTeenageFollower
-from repro.workloads.graph.bfs import BreadthFirstSearch
-from repro.workloads.graph.pagerank import PageRank
-from repro.workloads.graph.sssp import SingleSourceShortestPath
-from repro.workloads.graph.wcc import WeaklyConnectedComponents
-from repro.workloads.ml.streamcluster import Streamcluster
-from repro.workloads.ml.svm_rfe import SvmRfe
 
-_GRAPH_CLASSES = {
-    "ATF": AverageTeenageFollower,
-    "BFS": BreadthFirstSearch,
-    "PR": PageRank,
-    "SP": SingleSourceShortestPath,
-    "WCC": WeaklyConnectedComponents,
+#: name -> (module, class).  Implementations import on first use: the
+#: concrete workloads pull in numpy for data generation, and an eager
+#: import here would drag numpy onto the path of every ``repro`` consumer
+#: — including the numpy-free ones (repro.analysis, repro.verify).
+_CLASS_PATHS: Dict[str, Tuple[str, str]] = {
+    "ATF": ("repro.workloads.graph.atf", "AverageTeenageFollower"),
+    "BFS": ("repro.workloads.graph.bfs", "BreadthFirstSearch"),
+    "PR": ("repro.workloads.graph.pagerank", "PageRank"),
+    "SP": ("repro.workloads.graph.sssp", "SingleSourceShortestPath"),
+    "WCC": ("repro.workloads.graph.wcc", "WeaklyConnectedComponents"),
+    "HJ": ("repro.workloads.analytics.hash_join", "HashJoin"),
+    "HG": ("repro.workloads.analytics.histogram", "Histogram"),
+    "RP": ("repro.workloads.analytics.radix_partition", "RadixPartition"),
+    "SC": ("repro.workloads.ml.streamcluster", "Streamcluster"),
+    "SVM": ("repro.workloads.ml.svm_rfe", "SvmRfe"),
 }
+
+_GRAPH_NAMES = ("ATF", "BFS", "PR", "SP", "WCC")
 
 #: Table 3's graph inputs: soc-Slashdot0811 / frwiki-2013 / soc-LiveJournal1.
 _GRAPH_INPUTS = {
@@ -40,7 +42,7 @@ _GRAPH_INPUTS = {
 INPUT_SIZES: Dict[str, Dict[str, dict]] = {
     **{
         name: {size: {"graph_name": graph} for size, graph in _GRAPH_INPUTS.items()}
-        for name in _GRAPH_CLASSES
+        for name in _GRAPH_NAMES
     },
     "HJ": {
         "small": {"build_rows": 4_096, "probe_rows": 16_384},
@@ -71,14 +73,17 @@ INPUT_SIZES: Dict[str, Dict[str, dict]] = {
 
 WORKLOAD_NAMES = tuple(INPUT_SIZES)
 
-_CLASSES = {
-    **_GRAPH_CLASSES,
-    "HJ": HashJoin,
-    "HG": Histogram,
-    "RP": RadixPartition,
-    "SC": Streamcluster,
-    "SVM": SvmRfe,
-}
+#: Resolved class memo, filled lazily by :func:`_workload_class`.
+_CLASSES: Dict[str, type] = {}
+
+
+def _workload_class(name: str) -> type:
+    cls = _CLASSES.get(name)
+    if cls is None:
+        module_name, attr = _CLASS_PATHS[name]
+        cls = getattr(import_module(module_name), attr)
+        _CLASSES[name] = cls  # simrace: ignore[RCE005] -- idempotent per-process import memo; every process resolves the identical class and the parent never reads it
+    return cls
 
 
 def make_workload(name: str, size: str = "small", seed: int = 42, **overrides) -> Workload:
@@ -98,4 +103,4 @@ def make_workload(name: str, size: str = "small", seed: int = 42, **overrides) -
         raise KeyError(f"unknown size '{size}'; choose from {tuple(sizes)}")
     params = dict(sizes[size])
     params.update(overrides)
-    return _CLASSES[name](seed=seed, **params)
+    return _workload_class(name)(seed=seed, **params)

@@ -1,0 +1,70 @@
+"""Trajectory-history robustness: unreadable records, worker ordering."""
+
+import json
+
+import pytest
+
+from repro.bench.history import (
+    compare_engine,
+    format_observability,
+    load_records,
+)
+
+
+def write_record(history_dir, runid, ops_per_second):
+    path = history_dir / f"BENCH_{runid}.json"
+    path.write_text(json.dumps({
+        "schema": "repro.bench/1",
+        "runid": runid,
+        "engine": {"ops_per_second": ops_per_second},
+    }))
+    return path
+
+
+class TestLoadRecords:
+    def test_loads_in_chronological_order(self, tmp_path):
+        write_record(tmp_path, "20260101-000000-aaaa", 100.0)
+        write_record(tmp_path, "20260102-000000-bbbb", 200.0)
+        records = load_records(tmp_path)
+        assert [r["runid"] for _, r in records] == [
+            "20260101-000000-aaaa", "20260102-000000-bbbb"]
+
+    def test_skips_corrupt_record_with_warning(self, tmp_path):
+        write_record(tmp_path, "20260101-000000-aaaa", 100.0)
+        # A half-downloaded CI artifact: truncated JSON.
+        (tmp_path / "BENCH_20260102-000000-torn.json").write_text(
+            '{"schema": "repro.bench/1", "eng')
+        write_record(tmp_path, "20260103-000000-cccc", 300.0)
+        with pytest.warns(UserWarning, match="torn"):
+            records = load_records(tmp_path)
+        assert [r["runid"] for _, r in records] == [
+            "20260101-000000-aaaa", "20260103-000000-cccc"]
+
+    def test_compare_survives_corrupt_record(self, tmp_path):
+        """history --compare keeps working across a torn series member."""
+        write_record(tmp_path, "20260101-000000-aaaa", 100.0)
+        (tmp_path / "BENCH_20260102-000000-torn.json").write_text("{")
+        write_record(tmp_path, "20260103-000000-cccc", 99.0)
+        with pytest.warns(UserWarning):
+            records = load_records(tmp_path)
+        ok, message = compare_engine(records)
+        assert ok
+        assert "engine-compare OK" in message
+
+
+class TestFormatObservability:
+    def test_workers_sort_numerically(self):
+        """JSON string pids must order as numbers: 9 before 10 and 100."""
+        record = {"observability": {"workers": {
+            "100": {"payloads": 3, "utilization": 0.5},
+            "9": {"payloads": 1, "utilization": 0.25},
+            "10": {"payloads": 2, "utilization": 0.75},
+        }}}
+        (line,) = format_observability(record)
+        p9 = line.index("pid 9:")
+        p10 = line.index("pid 10:")
+        p100 = line.index("pid 100:")
+        assert p9 < p10 < p100
+
+    def test_empty_record_yields_no_lines(self):
+        assert format_observability({}) == []
