@@ -1,6 +1,6 @@
 # Convenience targets for the PEI reproduction.
 
-.PHONY: install test lint flow flow-mutants race race-mutants sanitize verify determinism telemetry bench bench-smoke perf-smoke dashboard experiments quick clean
+.PHONY: install test lint flow flow-mutants race race-mutants sanitize verify determinism telemetry bench bench-smoke perf-smoke sweep-smoke dashboard experiments quick clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -94,6 +94,20 @@ perf-smoke:
 	PYTHONPATH=src python -m repro.bench run smoke --jobs 2
 	PYTHONPATH=src python -m repro.bench run smoke --jobs 2
 	PYTHONPATH=src python -m repro.bench history --compare
+
+# Adaptive-sweep smoke check: a cold sweep simulates and checkpoints, a
+# --fresh warm sweep must replay entirely from the disk cache (zero
+# simulations, certified by --assert-warm), and --compare prints the
+# sweep-throughput block next to the engine gate (see "Sweeping at
+# scale" in docs/benchmarks.md).
+sweep-smoke:
+	rm -rf .bench_cache bench-history
+	PYTHONPATH=src python -m repro.bench sweep fig8-crossover \
+		--points 256 --jobs 2
+	PYTHONPATH=src python -m repro.bench sweep fig8-crossover \
+		--points 256 --jobs 2 --fresh
+	PYTHONPATH=src python -m repro.bench history --assert-warm --compare
+	PYTHONPATH=src python -m repro.obs dashboard bench-history
 
 # Same, via the CLI (no pytest-benchmark timing around it).
 experiments:

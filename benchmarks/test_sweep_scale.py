@@ -1,0 +1,89 @@
+"""Sweep-scale demo: the fig. 8 locality crossover on a 1k-point grid.
+
+This is the headline workload for the sweep frontier: a 1024-point
+input-size grid that an exhaustive sweep would evaluate point by point,
+resolved by adaptive refinement at a fraction of the cost.  Three
+properties are demonstrated and asserted:
+
+* **Budget** — adaptive sampling evaluates at most 40% of the grid
+  (in practice a few percent: a monotonic metric only needs the
+  crossing region refined).
+* **Fidelity** — the crossover it reports is a pair of *adjacent*
+  evaluated grid indices, and an exhaustive single-policy reference
+  sweep over the full grid straddles the threshold at the same pair.
+* **Scale-out** — sharded execution is bit-identical to serial.
+
+The exhaustive reference uses the ``pim_fraction`` metric (one policy
+per point instead of three), and its locality-aware requests are
+content-identical to the adaptive sweep's, so the shared disk cache
+makes the reference pass mostly replay rather than re-simulation.
+"""
+
+from conftest import emit
+
+from repro.bench import runner
+from repro.bench.experiments import ExperimentReport
+from repro.bench.sweep import SWEEPS, SweepRunner, SweepSpec
+
+POINTS = 1024
+
+
+def build_spec(metric="fig8", points=POINTS):
+    base = SWEEPS["fig8-crossover"](points)
+    if metric == base.metric:
+        return base
+    return SweepSpec(
+        name=base.name, workload=base.workload, size=base.size,
+        axis=base.axis, values=base.values, metric=metric,
+        threshold=base.threshold, config=base.config, seed=base.seed,
+        max_ops_per_thread=base.max_ops_per_thread)
+
+
+def test_sweep_scale_crossover():
+    adaptive = SweepRunner(build_spec()).run()
+
+    assert adaptive["completed"]
+    assert adaptive["grid_points"] == POINTS
+    assert adaptive["evaluated_fraction"] <= 0.40
+    crossing = adaptive["crossover"]
+    assert crossing is not None
+    # The reported pair is adjacent on the grid: refinement drove the
+    # bracket all the way down to single-step resolution.
+    assert crossing["above_index"] - crossing["below_index"] == 1
+
+    # Exhaustive reference over the same grid, single policy per point.
+    exhaustive = SweepRunner(build_spec(metric="pim_fraction")).run(full=True)
+    assert exhaustive["evaluated"] == POINTS
+    reference = exhaustive["crossover"]
+    assert reference is not None
+    assert abs(crossing["below_index"] - reference["below_index"]) <= 1
+
+    body = "\n".join([
+        f"grid points          {adaptive['grid_points']}",
+        f"evaluated            {adaptive['evaluated']}"
+        f" ({adaptive['evaluated_fraction']:.1%})",
+        f"refinement rounds    {adaptive['rounds']}",
+        f"throughput           {adaptive['points_per_second']:.1f} points/s",
+        f"crossover (adaptive) n_values"
+        f" {crossing['below']}-{crossing['above']}",
+        f"crossover (full)     n_values"
+        f" {reference['below']}-{reference['above']}",
+    ])
+    emit(ExperimentReport("sweep_scale", body, {
+        "adaptive": adaptive, "exhaustive": exhaustive}))
+
+
+def test_sweep_sharded_bit_identical():
+    spec = build_spec(points=32)
+    runner.clear_cache()
+    serial = SweepRunner(spec).run()
+    runner.clear_cache()
+    jobs = runner.get_jobs()
+    runner.set_jobs(4)
+    try:
+        sharded = SweepRunner(spec).run()
+    finally:
+        runner.set_jobs(jobs)
+    assert serial["points"] == sharded["points"]
+    assert serial["crossover"] == sharded["crossover"]
+    assert serial["rounds_points"] == sharded["rounds_points"]

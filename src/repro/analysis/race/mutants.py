@@ -18,7 +18,8 @@ from repro.analysis.race.engine import run_race
 
 __all__ = ["RACE_MUTANTS", "Mutant", "MutantResult", "run_race_mutants"]
 
-_PAYLOAD_TUPLE = "(request, tdir, telemetry_interval, parallel, handle)"
+_PAYLOAD_TUPLE = ("(request, tdir, telemetry_interval, parallel, handle,\n"
+                  "                 plan_cache_limit)")
 
 RACE_MUTANTS: Tuple[Mutant, ...] = (
     Mutant(
@@ -28,8 +29,8 @@ RACE_MUTANTS: Tuple[Mutant, ...] = (
         edits=((
             "bench/frontier.py",
             _PAYLOAD_TUPLE,
-            "(request, tdir, telemetry_interval, parallel, handle, "
-            "on_payload)",
+            "(request, tdir, telemetry_interval, parallel, handle,\n"
+            "                 plan_cache_limit, on_payload)",
         ),),
     ),
     Mutant(
@@ -50,8 +51,8 @@ RACE_MUTANTS: Tuple[Mutant, ...] = (
         edits=((
             "bench/frontier.py",
             _PAYLOAD_TUPLE,
-            "(request, tdir, telemetry_interval, parallel, handle, "
-            "RunLedger())",
+            "(request, tdir, telemetry_interval, parallel, handle,\n"
+            "                 plan_cache_limit, RunLedger())",
         ),),
     ),
     Mutant(
@@ -96,10 +97,12 @@ RACE_MUTANTS: Tuple[Mutant, ...] = (
             ),
             (
                 "bench/frontier.py",
-                "    request, telemetry_dir, telemetry_interval, "
-                "unique_stem, trace = payload\n",
-                "    request, telemetry_dir, telemetry_interval, "
-                "unique_stem, trace = payload\n"
+                "    (request, telemetry_dir, telemetry_interval, "
+                "unique_stem, trace,\n"
+                "     plan_limit) = payload\n",
+                "    (request, telemetry_dir, telemetry_interval, "
+                "unique_stem, trace,\n"
+                "     plan_limit) = payload\n"
                 "    _WORKER_STATS[\"runs\"] = "
                 "_WORKER_STATS.get(\"runs\", 0) + 1\n",
             ),

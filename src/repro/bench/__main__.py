@@ -7,7 +7,16 @@ Usage::
     python -m repro.bench run all --jobs 4
     python -m repro.bench run fig10 --telemetry telemetry-out
     python -m repro.bench run smoke --jobs 2 --cache-dir .bench_cache
+    python -m repro.bench sweep fig8-crossover --points 1024 --jobs 4
     python -m repro.bench history --assert-warm
+
+``sweep`` runs a registered design-space sweep (see
+:mod:`repro.bench.sweep`): adaptive grid refinement under a hard
+evaluation budget, trace-affinity sharding across workers, and a
+checkpoint under ``--history-dir`` that lets a killed sweep resume with
+zero re-simulation.  The trajectory record it appends carries a ``sweep``
+block (points evaluated, crossover, points/sec) that ``history
+--compare`` prints and the dashboard renders.
 
 Results are printed and, with ``--out DIR``, persisted one text file per
 experiment.  ``--telemetry [DIR]`` additionally writes a full observability
@@ -45,10 +54,12 @@ from repro.bench.history import (
     BenchTrajectory,
     compare_engine,
     format_observability,
+    format_sweep,
     latest_record,
     load_records,
     settings_dict,
 )
+from repro.bench.sweep import SWEEPS, SweepRunner
 
 EXPERIMENTS = {
     "fig2": experiments.fig2_pagerank_potential,
@@ -169,6 +180,51 @@ def _add_run_parser(sub) -> None:
                      "(done/cached/simulating counts and an ETA)")
 
 
+def _add_sweep_parser(sub) -> None:
+    sweep = sub.add_parser(
+        "sweep", help="adaptive design-space sweep (resumable, sharded)")
+    sweep.add_argument("sweep", choices=sorted(SWEEPS),
+                       help="registered sweep name")
+    sweep.add_argument("--points", type=int, default=1024, metavar="N",
+                       help="full grid resolution (default: 1024); adaptive "
+                       "sampling evaluates only the interesting fraction")
+    sweep.add_argument("--full", action="store_true",
+                       help="evaluate the entire grid exhaustively instead "
+                       "of adaptively (the ground-truth mode)")
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (default: 1, serial)")
+    sweep.add_argument("--schedule", choices=("affinity", "fifo"),
+                       default="affinity",
+                       help="parallel dispatch: 'affinity' shards points by "
+                       "shared trace so workers reuse decoded traces and "
+                       "compiled plans; 'fifo' is completion-order scatter "
+                       "(default: affinity)")
+    sweep.add_argument("--checkpoint", type=pathlib.Path, default=None,
+                       metavar="FILE",
+                       help="sweep checkpoint path (default: "
+                       "<history-dir>/SWEEP_<name>.json); a killed sweep "
+                       "resumes from it with zero re-simulation")
+    sweep.add_argument("--fresh", action="store_true",
+                       help="ignore (and overwrite) any existing checkpoint; "
+                       "cached results still serve, so a fresh pass over a "
+                       "warm cache simulates nothing")
+    sweep.add_argument("--cache-dir", type=pathlib.Path,
+                       default=pathlib.Path(DEFAULT_CACHE_DIR), metavar="DIR",
+                       help="on-disk result cache location "
+                       f"(default: {DEFAULT_CACHE_DIR})")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk result cache (disables "
+                       "warm restarts too)")
+    sweep.add_argument("--history-dir", type=pathlib.Path,
+                       default=pathlib.Path(DEFAULT_HISTORY_DIR),
+                       metavar="DIR",
+                       help="directory for BENCH_<runid>.json records "
+                       f"(default: {DEFAULT_HISTORY_DIR})")
+    sweep.add_argument("--no-microbench", action="store_true",
+                       help="skip the engine microbenchmark normally "
+                       "embedded in the trajectory record")
+
+
 def _add_history_parser(sub) -> None:
     hist = sub.add_parser(
         "history", help="summarize BENCH_* trajectory records")
@@ -259,9 +315,65 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    runner.set_jobs(args.jobs)
+    runner.set_schedule(args.schedule)
+    if args.no_cache:
+        runner.disable_disk_cache()
+        cache_info = {"enabled": False}
+    else:
+        cache = runner.enable_disk_cache(args.cache_dir)
+        cache_info = {"enabled": True, "dir": str(cache.root),
+                      "salt": cache.salt}
+    runner.enable_trace_cache(args.cache_dir / "traces")
+
+    spec = SWEEPS[args.sweep](args.points)
+    checkpoint = (args.checkpoint if args.checkpoint is not None
+                  else args.history_dir / f"SWEEP_{spec.name}.json")
+    if args.fresh and checkpoint.exists():
+        checkpoint.unlink()
+    checkpoint.parent.mkdir(parents=True, exist_ok=True)
+
+    trajectory = BenchTrajectory(
+        jobs=args.jobs, cache_info=cache_info,
+        settings=settings_dict(runner.current_settings()))
+    before = runner.accounting().snapshot()
+    t0 = time.perf_counter()  # simlint: ignore[SIM001] -- harness wall-clock for the trajectory record; never feeds simulated time
+    report = SweepRunner(spec, checkpoint=checkpoint).run(full=args.full)
+    elapsed = time.perf_counter() - t0  # simlint: ignore[SIM001] -- harness wall-clock for the trajectory record; never feeds simulated time
+    trajectory.record(f"sweep:{spec.name}", elapsed,
+                      before, runner.accounting().snapshot())
+    trajectory.sweep = report
+    for line in format_sweep({"sweep": report}):
+        print(line.strip())
+    cache = runner.disk_cache()
+    if cache is not None:
+        trajectory.cache_info.update(cache.counters())
+    trajectory.cache_info["traces"] = runner.trace_store().counters()
+    trajectory.observability = runner.frontier_summary()
+    if not args.no_microbench:
+        from repro.bench.microbench import engine_ops_per_second
+        trajectory.engine = engine_ops_per_second()
+        print(f"engine: {trajectory.engine['ops_per_second']:,.0f} ops/s "
+              f"({trajectory.engine['ms_per_run']:.1f} ms/run, best of "
+              f"{trajectory.engine['rounds']:.0f})")
+    path = trajectory.write(args.history_dir)
+    print(f"checkpoint -> {checkpoint}")
+    print(f"trajectory -> {path} ({report['simulated']} simulations, "
+          f"{report['evaluated']}/{report['grid_points']} points, "
+          f"{report['points_per_second']:.1f} points/s)")
+    return 0
+
+
 def _cmd_history(args) -> int:
     records = load_records(args.history_dir)
     if not records:
+        if args.compare and not args.assert_warm:
+            # Satellite of the first sweep on a fresh machine / CI cache:
+            # nothing to regress against is a clean pass, not a failure.
+            print(f"no baseline yet: no BENCH_*.json records under "
+                  f"{args.history_dir}; nothing to compare")
+            return 0
         print(f"no BENCH_*.json records under {args.history_dir}")
         return 1
     for path, record in records:
@@ -279,6 +391,8 @@ def _cmd_history(args) -> int:
         ok, message = compare_engine(records)
         print(message)
         for line in format_observability(records[-1][1]):
+            print(line)
+        for line in format_sweep(records[-1][1]):
             print(line)
         if not ok:
             return 1
@@ -301,6 +415,7 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     _add_run_parser(sub)
+    _add_sweep_parser(sub)
     _add_history_parser(sub)
     args = parser.parse_args(argv)
 
@@ -308,9 +423,14 @@ def main(argv=None) -> int:
         for name, fn in sorted(EXPERIMENTS.items()):
             summary = (fn.__doc__ or "").strip().splitlines()[0]
             print(f"{name:<8} {summary}")
+        for name in sorted(SWEEPS):
+            summary = (SWEEPS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<8} (sweep) {summary}")
         return 0
     if args.command == "history":
         return _cmd_history(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     return _cmd_run(args)
 
 

@@ -32,8 +32,8 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.bench.shm import TraceHandle, attach_trace, publish_traces, \
-    unlink_segments
+from repro.bench.shm import TraceHandle, attach_trace, decode_counters, \
+    publish_traces, unlink_segments
 from repro.core.dispatch import DispatchPolicy
 from repro.obs.events import worker_event
 from repro.obs.telemetry import Telemetry, bundle_stem
@@ -237,6 +237,33 @@ def _bundle_stem(request: RunRequest, workload_name: str,
     return bundle_stem(workload_name, request.policy.value)
 
 
+def _apply_plan_cache_limit(limit: Optional[int]) -> None:
+    """Rebound the columnar plan cache in this process (None = leave it).
+
+    Deferred import: the columnar engine (and numpy) must stay off the
+    import path until a replay actually needs it.
+    """
+    if limit is None:
+        return
+    from repro.system import columnar
+
+    columnar.set_plan_cache_limit(limit)
+
+
+def _plan_cache_delta(result: RunResult) -> Dict[str, int]:
+    """The plan-cache hit/miss/eviction delta a replay recorded.
+
+    Zeroes for generator runs and scalar replays — the transient
+    ``_plan_cache`` metadata entry only exists when the columnar engine
+    ran (it is excluded from ``to_dict()``, so it must be read off the
+    live result before serialization).
+    """
+    delta = result.metadata.get("_plan_cache")
+    if not isinstance(delta, dict):
+        return {"hits": 0, "misses": 0, "evictions": 0}
+    return {key: int(value) for key, value in delta.items()}
+
+
 def _execute_payload(payload) -> Dict:
     """Process-pool worker: simulate one request, return its envelope.
 
@@ -246,19 +273,28 @@ def _execute_payload(payload) -> Dict:
 
         {"result":    RunResult.to_dict(),
          "events":    [bare run-ledger events: dispatch, start, end],
-         "worker":    {"pid": ..., "dur_s": ...},
+         "worker":    {"pid": ..., "dur_s": ...,
+                       "plan_cache": {hits, misses, evictions},
+                       "trace_decode": {decodes, memo_hits}},
          "telemetry": {"metrics": ..., "profile": ...} | None}
 
     The events and the telemetry snapshot (when telemetry is enabled) ship
     back with the result, so the parent can merge the run ledger
     order-preserving and aggregate cross-worker metrics — see
-    :mod:`repro.obs.events` and :mod:`repro.obs.aggregate`.
+    :mod:`repro.obs.events` and :mod:`repro.obs.aggregate`.  The
+    ``plan_cache`` and ``trace_decode`` deltas are the per-run cost of
+    scheduling: what this run paid in ColumnPlan compiles and shared-memory
+    trace decodes (see :func:`execute_batch`'s affinity schedule).
     """
-    request, telemetry_dir, telemetry_interval, unique_stem, trace = payload
+    (request, telemetry_dir, telemetry_interval, unique_stem, trace,
+     plan_limit) = payload
+    _apply_plan_cache_limit(plan_limit)
+    decode_before = decode_counters()
     if isinstance(trace, TraceHandle):
         # Parallel batches ship traces as shared-memory handles; attach and
         # decode once per worker process (attach_trace memoizes by name).
         trace = attach_trace(trace)
+    decode_after = decode_counters()
     telemetry = (Telemetry(interval=telemetry_interval)
                  if telemetry_dir is not None else None)
     pid = os.getpid()
@@ -284,9 +320,55 @@ def _execute_payload(payload) -> Dict:
     return {
         "result": result.to_dict(),
         "events": events,
-        "worker": {"pid": pid, "dur_s": dur},
+        "worker": {
+            "pid": pid,
+            "dur_s": dur,
+            "plan_cache": _plan_cache_delta(result),
+            "trace_decode": {key: decode_after[key] - decode_before[key]
+                             for key in decode_after},
+        },
         "telemetry": snapshot,
     }
+
+
+def _execute_shard(payloads) -> List[Dict]:
+    """Process-pool worker: run one trace-affine shard of payloads.
+
+    A shard is a list of payloads that share a published trace (see
+    :func:`_affinity_shards`), executed back to back in one worker so the
+    shared-memory decode happens once and the ColumnPlan cache serves
+    every sibling config from the first compile.
+    """
+    return [_execute_payload(payload) for payload in payloads]
+
+
+def _affinity_shards(handles: Sequence, workers: int) -> List[List[int]]:
+    """Group request indices into worker-affine, load-balanced shards.
+
+    Requests sharing a published trace segment land in the same shard, so
+    one worker pays the segment decode and the plan compile for the whole
+    group — completion-order dispatch scatters them across the pool, where
+    every worker re-derives both.  Two deterministic adjustments keep the
+    pool busy:
+
+    * shards larger than ``ceil(total / workers)`` are split into chunks of
+      that size (a single-trace sweep must not serialize on one worker) —
+      each chunk is still trace-affine; and
+    * shards are ordered largest-first (LPT), so the long shards start
+      before the stragglers.
+    """
+    groups: "Dict[object, List[int]]" = {}
+    for index, handle in enumerate(handles):
+        key = (handle.name if isinstance(handle, TraceHandle)
+               else ("solo", index))
+        groups.setdefault(key, []).append(index)
+    cap = max(1, -(-len(handles) // max(workers, 1)))
+    shards: List[List[int]] = []
+    for indices in groups.values():
+        for start in range(0, len(indices), cap):
+            shards.append(indices[start:start + cap])
+    shards.sort(key=lambda shard: (-len(shard), shard[0]))
+    return shards
 
 
 def execute_batch(
@@ -296,6 +378,8 @@ def execute_batch(
     telemetry_interval: float = 10_000.0,
     traces: Optional[Sequence] = None,
     on_payload: Optional[Callable[[int, Dict], None]] = None,
+    schedule: str = "fifo",
+    plan_cache_limit: Optional[int] = None,
 ) -> List[Dict]:
     """Execute resolved requests, returning worker envelopes request-order.
 
@@ -305,7 +389,27 @@ def execute_batch(
     results.  ``on_payload(index, envelope)`` fires as each point
     *completes* — out of request order under ``jobs > 1`` — which is what
     drives live progress; the returned list is always in request order.
+
+    ``schedule`` picks the parallel dispatch strategy:
+
+    * ``"fifo"`` — one future per request, completion-order pickup.  Points
+      sharing a trace scatter across workers, each re-decoding the shm
+      segment and re-compiling the ColumnPlan.
+    * ``"affinity"`` — requests are sharded by published trace segment
+      (:func:`_affinity_shards`): every point sharing a capture lands on
+      the same worker and reuses its decoded trace and plan-cache entry.
+
+    Per-point results are bit-identical under either schedule (every
+    simulation runs on a fresh machine seeded only by its request); the
+    schedule only moves harness cost, which the per-run ``plan_cache`` /
+    ``trace_decode`` worker accounting makes visible.
+    ``plan_cache_limit`` rebounds the columnar plan cache in every
+    executing process (None keeps the default) — a memory/recompile trade
+    that never changes results.
     """
+    if schedule not in ("fifo", "affinity"):
+        raise ValueError(f"unknown schedule {schedule!r}; "
+                         f"choose 'fifo' or 'affinity'")
     for request in requests:
         if not request.resolved:
             raise ValueError(f"cannot execute unresolved request {request!r}")
@@ -320,7 +424,8 @@ def execute_batch(
         envelopes = []
         for i, (request, trace) in enumerate(zip(requests, traces)):
             envelope = _execute_payload(
-                (request, tdir, telemetry_interval, parallel, trace))
+                (request, tdir, telemetry_interval, parallel, trace,
+                 plan_cache_limit))
             if on_payload is not None:
                 on_payload(i, envelope)
             envelopes.append(envelope)
@@ -330,22 +435,37 @@ def execute_batch(
     # owns segment lifetime — unlinked in the finally whether the pool
     # drains normally or a worker dies.
     handles, segments = publish_traces(traces)
-    payloads = [(request, tdir, telemetry_interval, parallel, handle)
+    payloads = [(request, tdir, telemetry_interval, parallel, handle,
+                 plan_cache_limit)
                 for request, handle in zip(requests, handles)]
     workers = min(jobs, len(requests))
     envelopes = [None] * len(payloads)
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {pool.submit(_execute_payload, payload): i
-                       for i, payload in enumerate(payloads)}
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    i = pending.pop(future)
-                    envelope = future.result()
-                    if on_payload is not None:
-                        on_payload(i, envelope)
-                    envelopes[i] = envelope
+            if schedule == "affinity":
+                shards = _affinity_shards(handles, workers)
+                pending = {pool.submit(_execute_shard,
+                                       [payloads[i] for i in shard]): shard
+                           for shard in shards}
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        shard = pending.pop(future)
+                        for i, envelope in zip(shard, future.result()):
+                            if on_payload is not None:
+                                on_payload(i, envelope)
+                            envelopes[i] = envelope
+            else:
+                pending = {pool.submit(_execute_payload, payload): i
+                           for i, payload in enumerate(payloads)}
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        i = pending.pop(future)
+                        envelope = future.result()
+                        if on_payload is not None:
+                            on_payload(i, envelope)
+                        envelopes[i] = envelope
     finally:
         unlink_segments(segments)
     return envelopes
@@ -357,6 +477,8 @@ def run_batch(
     telemetry_dir: Optional[Path] = None,
     telemetry_interval: float = 10_000.0,
     traces: Optional[Sequence] = None,
+    schedule: str = "fifo",
+    plan_cache_limit: Optional[int] = None,
 ) -> List[RunResult]:
     """Execute resolved requests, fanning across ``jobs`` processes.
 
@@ -380,5 +502,6 @@ def run_batch(
     """
     envelopes = execute_batch(
         requests, jobs=jobs, telemetry_dir=telemetry_dir,
-        telemetry_interval=telemetry_interval, traces=traces)
+        telemetry_interval=telemetry_interval, traces=traces,
+        schedule=schedule, plan_cache_limit=plan_cache_limit)
     return [RunResult.from_dict(e["result"]) for e in envelopes]

@@ -26,6 +26,7 @@ scope)::
     }
 """
 
+import itertools
 import json
 import os
 import time
@@ -37,24 +38,33 @@ from typing import Dict, List, Optional, Tuple
 from repro.bench.cache import atomic_write_json
 
 __all__ = ["BenchTrajectory", "compare_engine", "format_observability",
-           "latest_record", "load_records", "new_runid"]
+           "format_sweep", "latest_record", "load_records", "new_runid"]
 
 SCHEMA = "repro.bench.trajectory/1"
 
 #: Fields accumulated per experiment and in the totals block.
 _COUNTER_FIELDS = ("wall_seconds", "simulations", "memo_hits", "disk_hits",
                    "instructions", "sim_wall_seconds", "trace_captures",
-                   "trace_hits")
+                   "trace_hits", "plan_hits", "plan_misses", "plan_evictions",
+                   "trace_decodes", "trace_decode_hits")
 
 #: Relative engine-throughput drop (vs the best prior record) that
 #: ``history --compare`` treats as a regression.
 ENGINE_REGRESSION_THRESHOLD = 0.20
 
 
+_RUNID_SEQ = itertools.count()
+
+
 def new_runid() -> str:
-    """A sortable, collision-resistant id: local timestamp + pid."""
+    """A sortable, collision-resistant id: timestamp + pid + sequence.
+
+    The per-process sequence keeps back-to-back invocations in one
+    process (a cold sweep and its warm re-run can share a wall-clock
+    second) from overwriting each other's records.
+    """
     stamp = time.strftime("%Y%m%dT%H%M%S")
-    return f"{stamp}-{os.getpid()}"
+    return f"{stamp}-{os.getpid()}-{next(_RUNID_SEQ)}"
 
 
 def _with_throughput(record: Dict) -> Dict:
@@ -82,6 +92,11 @@ class BenchTrajectory:
         #: (:func:`repro.bench.runner.frontier_summary` output, plus the
         #: run-ledger event counts when a ledger was enabled).
         self.observability: Dict = {}
+        #: Sweep report for ``python -m repro.bench sweep`` invocations
+        #: (:mod:`repro.bench.sweep` report dict: grid size, points
+        #: evaluated, rounds, crossover, points/sec).  Empty for plain
+        #: ``run`` records; the schema stays /1 — the block is additive.
+        self.sweep: Dict = {}
 
     def record(self, name: str, wall_seconds: float,
                before: Dict[str, float], after: Dict[str, float]) -> Dict:
@@ -106,6 +121,7 @@ class BenchTrajectory:
             "settings": self.settings,
             "engine": self.engine,
             "observability": self.observability,
+            "sweep": self.sweep,
             "experiments": self.experiments,
             "totals": _with_throughput(totals),
         }
@@ -197,6 +213,15 @@ def format_observability(record: Dict) -> List[str]:
         lines.append(f"  traces: {traces['captures']} captured, "
                      f"{traces['hits']} replayed "
                      f"({traces['hit_rate']:.0%} hit rate)")
+    plan = obs.get("plan_cache")
+    if plan and (plan.get("hits") or plan.get("misses")):
+        lines.append(
+            f"  plan cache: {plan['hits']:.0f} hits, "
+            f"{plan['misses']:.0f} compiles, "
+            f"{plan.get('evictions', 0.0):.0f} evictions "
+            f"({plan['hit_rate']:.0%} hit rate); "
+            f"trace decodes {plan.get('trace_decodes', 0.0):.0f} "
+            f"(+{plan.get('trace_decode_hits', 0.0):.0f} memoized)")
     latency = obs.get("simulate_latency_s")
     if latency and latency.get("count"):
         lines.append(
@@ -221,6 +246,37 @@ def format_observability(record: Dict) -> List[str]:
         total = sum(events.values())
         lines.append(f"  ledger: {total} events "
                      f"({len(events)} kinds)")
+    return lines
+
+
+def format_sweep(record: Dict) -> List[str]:
+    """Human-readable lines for a record's sweep block (empty when absent).
+
+    ``points_per_second`` is the sweep's end-to-end throughput — grid
+    points evaluated per second of sweep wall time (cache-served points
+    included, simulated or not) — the headline number for comparing
+    sweep-harness changes across records.
+    """
+    sweep = record.get("sweep") or {}
+    if not sweep:
+        return []
+    lines = [
+        f"  sweep {sweep.get('name', '?')}: "
+        f"{sweep.get('evaluated', 0)}/{sweep.get('grid_points', 0)} points "
+        f"evaluated ({sweep.get('evaluated_fraction', 0.0):.0%}) over "
+        f"{sweep.get('rounds', 0)} round(s), "
+        f"{sweep.get('simulated', 0)} simulated",
+        f"  sweep throughput: {sweep.get('points_per_second', 0.0):,.1f} "
+        f"points/s ({sweep.get('wall_seconds', 0.0):.2f}s wall)",
+    ]
+    crossover = sweep.get("crossover")
+    if crossover:
+        lines.append(
+            f"  crossover: {sweep.get('metric', 'metric')} crosses "
+            f"{sweep.get('threshold', 0.0):g} between "
+            f"{crossover['below']:g} and {crossover['above']:g}")
+    else:
+        lines.append("  crossover: not found on this grid")
     return lines
 
 

@@ -72,6 +72,12 @@ class BenchSettings:
         default_factory=lambda: _env_int("REPRO_BENCH_MIXES", 24))
     seed: int = field(
         default_factory=lambda: _env_int("REPRO_BENCH_SEED", 42))
+    #: ColumnPlan cache entries per process (``REPRO_BENCH_PLAN_CACHE``).
+    #: A harness memory/recompile trade only — results are bound-independent
+    #: (tests/bench/test_plan_cache.py), so resolve() deliberately does NOT
+    #: pin it into request fingerprints.
+    plan_cache_limit: int = field(
+        default_factory=lambda: _env_int("REPRO_BENCH_PLAN_CACHE", 8))
 
 
 def current_settings() -> BenchSettings:
@@ -99,6 +105,12 @@ def __getattr__(name: str):
 _MEMO: Dict[RunRequest, RunResult] = {}
 _DISK_CACHE: Optional[BenchCache] = None
 _JOBS = 1
+
+#: Parallel dispatch strategy for batches (see frontier.execute_batch):
+#: "affinity" shards requests by shared trace so a worker reuses its decoded
+#: segment and ColumnPlan cache; "fifo" is completion-order scatter.
+#: Results are bit-identical either way — this only moves harness cost.
+_SCHEDULE = "affinity"
 
 #: Capture-once trace store.  The in-process memo is always on — one
 #: runner session captures each (workload, input, seed) stream exactly once
@@ -133,6 +145,14 @@ class RunnerAccounting:
     ``instructions / sim_wall_seconds`` is the harness's simulated-ops/sec
     throughput.  ``trace_captures``/``trace_hits`` count functional
     workload captures vs trace-store hits (capture-once replay).
+
+    The remaining counters measure what the parallel schedule cost:
+    ``plan_hits``/``plan_misses``/``plan_evictions`` aggregate the columnar
+    ColumnPlan cache deltas every executed run reported, and
+    ``trace_decodes``/``trace_decode_hits`` count worker-side shared-memory
+    segment decodes vs decode-memo hits.  Affinity scheduling exists to
+    turn misses/decodes into hits — these are how that shows up in
+    ``BENCH_*`` records and ``history --compare``.
     """
 
     simulations: int = 0
@@ -142,6 +162,11 @@ class RunnerAccounting:
     sim_wall_seconds: float = 0.0
     trace_captures: int = 0
     trace_hits: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_evictions: int = 0
+    trace_decodes: int = 0
+    trace_decode_hits: int = 0
 
     def snapshot(self) -> Dict[str, float]:
         return {
@@ -152,6 +177,11 @@ class RunnerAccounting:
             "sim_wall_seconds": self.sim_wall_seconds,
             "trace_captures": self.trace_captures,
             "trace_hits": self.trace_hits,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "plan_evictions": self.plan_evictions,
+            "trace_decodes": self.trace_decodes,
+            "trace_decode_hits": self.trace_decode_hits,
         }
 
 
@@ -229,6 +259,20 @@ def set_jobs(jobs: int) -> int:
 
 def get_jobs() -> int:
     return _JOBS
+
+
+def set_schedule(schedule: str) -> str:
+    """Parallel dispatch strategy: "affinity" (default) or "fifo"."""
+    global _SCHEDULE
+    if schedule not in ("fifo", "affinity"):
+        raise ValueError(f"unknown schedule {schedule!r}; "
+                         f"choose 'fifo' or 'affinity'")
+    _SCHEDULE = schedule
+    return _SCHEDULE
+
+
+def get_schedule() -> str:
+    return _SCHEDULE
 
 
 def enable_disk_cache(root=DEFAULT_CACHE_DIR,
@@ -333,6 +377,8 @@ def _execute(requests: Sequence[RunRequest]) -> List[RunResult]:
             telemetry_interval=_TELEMETRY_INTERVAL,
             traces=traces,
             on_payload=on_payload,
+            schedule=_SCHEDULE,
+            plan_cache_limit=current_settings().plan_cache_limit,  # simflow: ignore[FLW003] -- cache bound shapes host memory use only; results are bound-independent (tests/bench/test_plan_cache.py), so it must NOT be pinned into request fingerprints
         )
     except Exception as exc:
         ledger.emit("failure", fingerprint="batch", error=repr(exc))
@@ -343,6 +389,14 @@ def _execute(requests: Sequence[RunRequest]) -> List[RunResult]:
     for envelope in envelopes:
         _AGGREGATOR.add_payload(envelope)
         ledger.absorb(envelope["events"], notify=on_payload is None)
+        worker = envelope.get("worker", {})
+        plan = worker.get("plan_cache", {})
+        _ACCOUNTING.plan_hits += int(plan.get("hits", 0))
+        _ACCOUNTING.plan_misses += int(plan.get("misses", 0))
+        _ACCOUNTING.plan_evictions += int(plan.get("evictions", 0))
+        decode = worker.get("trace_decode", {})
+        _ACCOUNTING.trace_decodes += int(decode.get("decodes", 0))
+        _ACCOUNTING.trace_decode_hits += int(decode.get("memo_hits", 0))
     _ACCOUNTING.simulations += len(requests)
     _ACCOUNTING.sim_wall_seconds += elapsed
     for request, result in zip(requests, results):

@@ -38,8 +38,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cpu.trace import TRACE_SCHEMA, CompiledTrace, TraceError
 
-__all__ = ["TraceHandle", "attach_trace", "publish_traces",
-           "unlink_segments"]
+__all__ = ["TraceHandle", "attach_trace", "decode_counters",
+           "publish_traces", "unlink_segments"]
 
 #: 8-byte little-endian length prefix in front of the JSON metadata block.
 _HEADER = struct.Struct("<Q")
@@ -50,6 +50,17 @@ _counter = itertools.count()
 #: Worker-side decode memo: segment name -> decoded trace.  Pool workers
 #: execute many payloads that share a trace; each attaches and decodes once.
 _DECODED: Dict[str, CompiledTrace] = {}
+
+#: Lifetime attach accounting for this process: full segment decodes vs
+#: memo hits.  Trace-affinity scheduling exists to turn decodes into hits
+#: (a scattered sweep decodes the same trace in every worker); the bench
+#: frontier snapshots the delta per run and surfaces it to the runner.
+_DECODE_STATS = {"decodes": 0, "memo_hits": 0}
+
+
+def decode_counters() -> Dict[str, int]:
+    """Lifetime worker-side segment decodes and decode-memo hits."""
+    return dict(_DECODE_STATS)
 
 
 @dataclass(frozen=True)
@@ -221,7 +232,9 @@ def attach_trace(handle: TraceHandle) -> CompiledTrace:
     """
     trace = _DECODED.get(handle.name)
     if trace is not None:
+        _DECODE_STATS["memo_hits"] += 1  # simrace: ignore[RCE005] -- per-process counter; workers snapshot-delta it around each attach and ship the delta home in the result envelope (frontier._execute_payload)
         return trace
+    _DECODE_STATS["decodes"] += 1  # simrace: ignore[RCE005] -- per-process counter; workers snapshot-delta it around each attach and ship the delta home in the result envelope (frontier._execute_payload)
     try:
         segment = _attach_untracked(handle.name)
     except FileNotFoundError as exc:

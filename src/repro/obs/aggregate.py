@@ -149,6 +149,7 @@ class FrontierAggregator:
         if accounting is not None:
             out["cache"] = self._cache_summary(accounting)
             out["traces"] = self._trace_summary(accounting)
+            out["plan_cache"] = self._plan_summary(accounting)
             wall = accounting.get("sim_wall_seconds", 0.0)
             insts = accounting.get("instructions", 0.0)
             out["sim_ops_per_second"] = insts / wall if wall > 0 else 0.0
@@ -190,4 +191,24 @@ class FrontierAggregator:
             "captures": captures,
             "hits": hits,
             "hit_rate": hits / total if total else 0.0,
+        }
+
+    @staticmethod
+    def _plan_summary(accounting: Dict[str, float]) -> Dict[str, float]:
+        """ColumnPlan compiles vs reuses across all executed runs.
+
+        Affinity scheduling's whole point: sibling configs that land on the
+        same worker turn plan misses (compiles) into hits, and shared-memory
+        trace decodes into decode-memo hits.
+        """
+        hits = accounting.get("plan_hits", 0.0)
+        misses = accounting.get("plan_misses", 0.0)
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "evictions": accounting.get("plan_evictions", 0.0),
+            "hit_rate": hits / total if total else 0.0,
+            "trace_decodes": accounting.get("trace_decodes", 0.0),
+            "trace_decode_hits": accounting.get("trace_decode_hits", 0.0),
         }

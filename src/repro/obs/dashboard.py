@@ -234,6 +234,79 @@ def _hit_rate_bars(record: Dict) -> str:
     return legend + "".join(parts)
 
 
+def _sweep_section(record: Dict) -> str:
+    """Adaptive-sweep view: metric curve, threshold, refinement strip.
+
+    The curve plots every evaluated grid point's metric against its grid
+    position; the dashed line is the sweep's threshold, the marker the
+    resolved crossover interval.  The strip below shows *which* points
+    each refinement round touched (color cycles by round) — coarse rounds
+    paint evenly, later rounds cluster around the crossover, which is the
+    adaptive sampler's evaluation savings made visible.
+    """
+    sweep = record.get("sweep") or {}
+    points = sweep.get("points") or []
+    if len(points) < 2:
+        return '<p class="muted">no sweep points in this record</p>'
+    grid = max(sweep.get("grid_points", 0) - 1, 1)
+    metrics = [p.get("metric", 0.0) for p in points]
+    lo, hi = min(metrics), max(metrics)
+    threshold = sweep.get("threshold", 0.0)
+    lo, hi = min(lo, threshold), max(hi, threshold)
+    span = (hi - lo) or 1.0
+    width, height, pad, strip_h = 480, 120, 8, 14
+
+    def x(index: float) -> float:
+        return pad + (width - 2 * pad) * index / grid
+
+    def y(metric: float) -> float:
+        return pad + (height - strip_h - 2 * pad) * (1 - (metric - lo) / span)
+
+    curve = " ".join(f"{x(p['index']):.1f},{y(p['metric']):.1f}"
+                     for p in points)
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="sweep metric curve '
+        f'with refinement rounds">',
+        f'<line x1="{pad}" y1="{y(threshold):.1f}" x2="{width - pad}" '
+        f'y2="{y(threshold):.1f}" stroke="var(--muted)" '
+        f'stroke-dasharray="4 3"/>',
+        f'<polyline points="{curve}" fill="none" stroke="var(--c1)" '
+        f'stroke-width="2"/>',
+    ]
+    crossover = sweep.get("crossover")
+    if crossover:
+        cx = x((crossover["below_index"] + crossover["above_index"]) / 2.0)
+        parts.append(
+            f'<line x1="{cx:.1f}" y1="{pad}" x2="{cx:.1f}" '
+            f'y2="{height - strip_h - pad}" stroke="var(--c2)" '
+            f'stroke-width="2"/>'
+            f'<text x="{cx + 5:.0f}" y="{pad + 10}">crossover '
+            f'{_fmt(crossover["below"])}&#8211;'
+            f'{_fmt(crossover["above"])}</text>')
+    strip_y = height - strip_h - 2
+    for round_no, indices in enumerate(sweep.get("rounds_points") or []):
+        slot = ("c1", "c2", "c3")[round_no % 3]
+        for index in indices:
+            # SVG needs fill, not the CSS background the bar classes set.
+            parts.append(
+                f'<rect x="{x(index) - 1.5:.1f}" y="{strip_y}" width="3" '
+                f'height="{strip_h - 4}" fill="var(--{slot})" rx="1">'
+                f'<title>round {round_no}</title></rect>')
+    parts.append("</svg>")
+    caption = (
+        f'<p class="muted">{sweep.get("evaluated", 0)} of '
+        f'{sweep.get("grid_points", 0)} grid points evaluated '
+        f'({sweep.get("evaluated_fraction", 0.0):.0%}) over '
+        f'{sweep.get("rounds", 0)} rounds &#8212; '
+        f'{_fmt(sweep.get("points_per_second", 0.0))} points/s; '
+        f'metric <code>{_esc(sweep.get("metric", "?"))}</code>, '
+        f'threshold {_fmt(threshold)}</p>')
+    legend = _legend([("c1", "round 0, 3, …"), ("c2", "round 1, 4, …"),
+                      ("c3", "round 2, 5, …")])
+    return "".join(parts) + caption + legend
+
+
 def _latency_histogram(ledgers: List[Dict], bins: int = 14) -> str:
     durations = [float(e.get("dur_s", 0.0))
                  for ledger in ledgers for e in ledger["events"]
@@ -347,6 +420,15 @@ def render_html(sources: Dict) -> str:
         sections.append(_timing_bars(latest))
         sections.append("<h2>Cache breakdown per experiment</h2>")
         sections.append(_hit_rate_bars(latest))
+        # Newest sweep-bearing record (the latest record may be a plain
+        # run that followed a sweep — the sweep view stays useful).
+        for record in reversed(records):
+            if record.get("sweep"):
+                sections.append("<h2>Adaptive sweep &#8212; "
+                                f"{_esc(record['sweep'].get('name', '?'))}"
+                                "</h2>")
+                sections.append(_sweep_section(record))
+                break
     sections.append("<h2>Simulate latency (from the run ledger)</h2>")
     sections.append(_latency_histogram(ledgers))
     sections.append("<h2>Simulated throughput across records</h2>")

@@ -72,13 +72,23 @@ from repro.cpu.trace import (
 from repro.sim.stat_keys import SLOT_CORE_LOADS, SLOT_CORE_STORES
 from repro.vm.page_table import PageTable
 
-__all__ = ["ColumnPlan", "plan_cache_info", "replay"]
+__all__ = ["ColumnPlan", "plan_cache_counters", "plan_cache_info",
+           "replay", "set_plan_cache_limit"]
 
 #: Bounded plan memo keyed by (trace fingerprint, config fingerprint,
 #: monitor use).  Plans are immutable after build except for the lazily
 #: captured warm template; each process owns its own cache.
 _PLAN_CACHE: "OrderedDict[Tuple, Optional[ColumnPlan]]" = OrderedDict()
 _PLAN_CACHE_LIMIT = 8
+
+#: Lifetime hit/miss/eviction counters for this process's plan cache.
+#: Consumers (the bench frontier, the engine microbenchmark) snapshot
+#: around a run and report the delta; the counters themselves only ever
+#: grow.  The bound and the counters shape host memory use and harness
+#: observability, never simulation results — replay is bit-identical
+#: whether a plan came from the cache or a fresh compile
+#: (tests/bench/test_plan_cache.py).
+_PLAN_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 class ColumnPlan:
@@ -126,6 +136,27 @@ class ColumnPlan:
 def plan_cache_info() -> Dict[str, int]:
     """Introspection for tests: cached plan count and capacity."""
     return {"size": len(_PLAN_CACHE), "limit": _PLAN_CACHE_LIMIT}
+
+
+def plan_cache_counters() -> Dict[str, int]:
+    """Lifetime plan-cache hits/misses/evictions for this process."""
+    return dict(_PLAN_STATS)
+
+
+def set_plan_cache_limit(limit: int) -> int:
+    """Rebound the plan cache (evicting LRU entries past the new bound).
+
+    The bound only trades host memory against plan recompiles; results are
+    identical under any bound because a recompiled plan is deterministic.
+    """
+    global _PLAN_CACHE_LIMIT
+    if limit < 1:
+        raise ValueError(f"plan cache limit must be >= 1, got {limit}")
+    _PLAN_CACHE_LIMIT = limit
+    while len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
+        _PLAN_CACHE.popitem(last=False)
+        _PLAN_STATS["evictions"] += 1
+    return _PLAN_CACHE_LIMIT
 
 
 # ----------------------------------------------------------------------
@@ -298,12 +329,15 @@ def _plan_for(system, trace, op_table) -> Optional[ColumnPlan]:
     key = (trace.fingerprint, system.config.fingerprint(), uses_monitor)
     if key in _PLAN_CACHE:
         _PLAN_CACHE.move_to_end(key)
+        _PLAN_STATS["hits"] += 1
         return _PLAN_CACHE[key]
+    _PLAN_STATS["misses"] += 1
     plan = _build_plan(trace, system.config, op_table, system.machine,
                        uses_monitor)
     _PLAN_CACHE[key] = plan  # None memoized too: don't retry a bad layout
     while len(_PLAN_CACHE) > _PLAN_CACHE_LIMIT:
         _PLAN_CACHE.popitem(last=False)
+        _PLAN_STATS["evictions"] += 1
     return plan
 
 
